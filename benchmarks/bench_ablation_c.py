@@ -1,0 +1,22 @@
+"""Ablation — the lower-bound coefficient c ∈ [0.1, 0.9] (paper picks 0.5).
+
+Shape expectation: smaller c holds n̂_low ≤ n more reliably and drives a
+(weakly) larger chosen persistence; accuracy is fine across the sweep at
+the reference size.
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablations import sweep_c
+
+
+def test_ablation_c(benchmark, trials):
+    points = run_once(benchmark, sweep_c, trials=max(trials * 3, 10))
+    by_c = {p.value: p for p in points}
+
+    for c, p in by_c.items():
+        assert p.mean_error < 0.05, (c, p)
+
+    assert by_c[0.1].extra["lower_bound_held"] == 1.0
+    assert by_c[0.1].extra["lower_bound_held"] >= by_c[0.9].extra["lower_bound_held"]
+    assert by_c[0.1].extra["mean_pn"] >= by_c[0.9].extra["mean_pn"]

@@ -1,0 +1,19 @@
+"""Ablation — channel noise (extension; the paper assumes a perfect channel).
+
+Shape expectation: mild symmetric noise costs little; heavy false alarms
+bias the estimate up, heavy misses bias it down.
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablations import sweep_channel
+
+
+def test_ablation_channel(benchmark, trials):
+    points = run_once(benchmark, sweep_channel, trials=max(trials * 3, 8))
+    by_name = {p.value: p for p in points}
+
+    assert by_name["perfect"].mean_error < 0.05
+    assert by_name["mild"].mean_error < 0.12
+    assert by_name["alarm_heavy"].mean_estimate > by_name["perfect"].mean_estimate
+    assert by_name["miss_heavy"].mean_estimate < by_name["perfect"].mean_estimate

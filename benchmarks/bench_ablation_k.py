@@ -1,0 +1,22 @@
+"""Ablation — number of hash functions k (paper fixes k = 3 "empirically").
+
+Shape expectation: every k estimates acceptably (Eq. 3 corrects for k);
+air time is essentially k-independent apart from 64 extra downlink bits
+per additional seed.
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablations import sweep_k
+
+
+def test_ablation_k(benchmark, trials):
+    points = run_once(benchmark, sweep_k, trials=max(trials * 3, 8))
+    by_k = {p.value: p for p in points}
+
+    for k, p in by_k.items():
+        assert p.mean_error < 0.08, (k, p)
+
+    secs = [p.mean_seconds for p in points]
+    assert max(secs) - min(secs) < 0.02
+    assert by_k[5].mean_seconds >= by_k[1].mean_seconds

@@ -1,0 +1,21 @@
+"""Ablation — persistence sampling: per-event vs RN-window vs static.
+
+Shape expectation: idealised and hardware-faithful modes both estimate
+well; the degraded static mode (one draw reused across k hashes) is never
+better than per-event.
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablations import sweep_persistence_mode
+
+
+def test_ablation_persistence(benchmark, trials):
+    points = run_once(
+        benchmark, sweep_persistence_mode, trials=max(trials * 4, 12)
+    )
+    by_mode = {p.value: p for p in points}
+
+    assert by_mode["event"].mean_error < 0.05
+    assert by_mode["rn_window"].mean_error < 0.07
+    assert by_mode["static"].mean_error >= by_mode["event"].mean_error

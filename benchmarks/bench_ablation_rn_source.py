@@ -1,0 +1,20 @@
+"""Ablation — RN source: tagid-derived vs prestored-random (DESIGN.md §2.3).
+
+Shape expectation: both sources achieve paper accuracy on every tagID
+distribution and are statistically indistinguishable.
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablations import sweep_rn_source
+
+
+def test_ablation_rn_source(benchmark, trials):
+    points = run_once(benchmark, sweep_rn_source, trials=max(trials * 3, 8))
+    by_key = {(p.extra["distribution"], p.extra["source"]): p for p in points}
+
+    for key, p in by_key.items():
+        assert p.mean_error < 0.05, (key, p)
+    for dist in ("T1", "T2", "T3"):
+        gap = abs(by_key[(dist, "tagid")].mean_error - by_key[(dist, "random")].mean_error)
+        assert gap < 0.04

@@ -1,0 +1,22 @@
+"""Ablation — Bloom vector length w (paper fixes w = 8192).
+
+Shape expectation: error follows the 1/√w law (visible between the
+extremes), air time grows linearly in w, scalability cap grows with w.
+"""
+
+from conftest import run_once
+
+from repro.core.estmath import max_estimable_cardinality
+from repro.experiments.ablations import sweep_w
+
+
+def test_ablation_w(benchmark, trials):
+    points = run_once(benchmark, sweep_w, trials=max(trials * 3, 8))
+    by_w = {p.value: p for p in points}
+
+    assert by_w[16384].mean_error < by_w[1024].mean_error
+
+    secs = [by_w[w].mean_seconds for w in sorted(by_w)]
+    assert all(a < b for a, b in zip(secs, secs[1:]))
+
+    assert max_estimable_cardinality(16384) == 2 * max_estimable_cardinality(8192)

@@ -1,0 +1,20 @@
+"""Fig. 1 — the design space of RFID cardinality estimation.
+
+Analytic artifact: regenerates the design-space table and checks BFCE is the
+only family in the constant-slots / single-round-accuracy quadrant.
+"""
+
+from conftest import run_once
+
+from repro.experiments.tables import design_space
+
+
+def bench_result_shape(rows):
+    winners = [r for r in rows if r["constant_slots"] and r["single_round_accuracy"]]
+    assert [r["estimator"] for r in winners] == ["BFCE"]
+    assert len(rows) >= 5
+
+
+def test_fig01_design_space(benchmark):
+    rows = run_once(benchmark, design_space)
+    bench_result_shape(rows)

@@ -1,0 +1,33 @@
+"""Fig. 3 — linearity of the numbers of 0s/1s in B versus n.
+
+Paper shape (w=8192, k=3, p ∈ {0.1, 0.2}): idle count falls, busy count
+rises, both tracking the Theorem-1 exponential (near-linear on the plotted
+range); the p=0.2 curve bends twice as fast as p=0.1.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.figures import fig3_linearity
+
+
+def test_fig03_linearity(benchmark, trials):
+    data = run_once(benchmark, fig3_linearity, trials=trials)
+
+    for p in (0.1, 0.2):
+        rows = sorted((r for r in data.rows if r["p"] == p), key=lambda r: r["n"])
+        ones = np.array([r["ones_mean"] for r in rows])
+        zeros = np.array([r["zeros_mean"] for r in rows])
+        # Monotone in n (the p=0.2 curve saturates to all-busy at the top
+        # of the range, so allow flat steps there).
+        assert np.all(np.diff(ones) <= 0) and ones[0] > ones[-1]
+        assert np.all(np.diff(zeros) >= 0) and zeros[0] < zeros[-1]
+        # Matches the Theorem-1 prediction within sampling noise.
+        for r in rows:
+            assert abs(r["ones_mean"] - r["ones_pred"]) <= max(0.05 * r["ones_pred"], 30)
+
+    # Higher p empties the vector faster: fewer idle slots at the same n.
+    for n in {r["n"] for r in data.rows}:
+        p1 = next(r for r in data.rows if r["n"] == n and r["p"] == 0.1)
+        p2 = next(r for r in data.rows if r["n"] == n and r["p"] == 0.2)
+        assert p2["ones_mean"] < p1["ones_mean"]

@@ -1,0 +1,24 @@
+"""Fig. 4 — the γ = −ln ρ̄/(3p) surface and the scalability extrema.
+
+Paper shape: 0.000326 ≤ γ ≤ 2365.9 over the open (p, ρ̄) grid, so w = 8192
+supports cardinalities beyond 19 million.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig4_gamma_surface
+
+
+def test_fig04_gamma_surface(benchmark):
+    data = run_once(benchmark, fig4_gamma_surface, resolution=1024)
+    assert abs(data.meta["gamma_min"] - 0.000326) / 0.000326 < 0.02
+    assert abs(data.meta["gamma_max"] - 2365.9) / 2365.9 < 0.001
+    assert data.meta["max_cardinality_w8192"] > 19_000_000
+    # γ decreases along p for fixed ρ̄ (sampled rows are on a grid).
+    by_rho = {}
+    for row in data.rows:
+        by_rho.setdefault(row["rho"], []).append((row["p"], row["gamma"]))
+    for pairs in by_rho.values():
+        pairs.sort()
+        gammas = [g for _, g in pairs]
+        assert all(a >= b for a, b in zip(gammas, gammas[1:]))

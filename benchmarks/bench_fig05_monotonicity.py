@@ -1,0 +1,32 @@
+"""Fig. 5 — monotonicity of f₁/f₂ in n at small p (w=8192, k=3, ε=0.05).
+
+Paper shape: f₁ strictly decreasing, f₂ strictly increasing over the plotted
+cardinality range — the property underpinning Theorem 4.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.figures import fig5_monotonicity
+
+
+def test_fig05_monotonicity(benchmark):
+    data = run_once(benchmark, fig5_monotonicity)
+    assert data.meta["f1_monotone_decreasing"]
+    assert data.meta["f2_monotone_increasing"]
+    f1 = np.array([r["f1"] for r in data.rows])
+    f2 = np.array([r["f2"] for r in data.rows])
+    assert np.all(f1 <= 0) and np.all(f2 >= 0)
+    # Both curves cross the ±d(0.05) = ±1.96 thresholds within the range —
+    # i.e. the plotted window actually shows where Theorem 4 activates.
+    assert f1.min() < -1.96 < f2.max()
+
+
+def test_fig05_monotonicity_breaks_at_large_p(benchmark):
+    """Contrast: at a large p the monotonicity (and hence Theorem 4's
+    argument) no longer holds over the same range — why BFCE prefers the
+    minimal feasible p."""
+    data = run_once(benchmark, fig5_monotonicity, p=0.5)
+    assert not (
+        data.meta["f1_monotone_decreasing"] and data.meta["f2_monotone_increasing"]
+    )

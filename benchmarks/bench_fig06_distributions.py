@@ -1,0 +1,42 @@
+"""Fig. 6 — the three tagID sets (uniform / approx-normal / normal).
+
+Paper shape: T1 flat across [1, 10¹⁵]; T2 bell-shaped with visible tails;
+T3 a tight central bell.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.figures import fig6_distributions
+
+
+def _profile(data, dist):
+    counts = np.array(
+        [r["count"] for r in data.rows if r["distribution"] == dist], dtype=float
+    )
+    return counts
+
+
+def test_fig06_distributions(benchmark):
+    data = run_once(benchmark, fig6_distributions, n=100_000, bins=50)
+
+    t1, t2, t3 = (_profile(data, d) for d in ("T1", "T2", "T3"))
+    # All sets have the full population.
+    for c in (t1, t2, t3):
+        assert c.sum() == 100_000
+
+    # T1 flat: no bin more than 30% off the mean.
+    assert t1.max() / t1.mean() < 1.3
+
+    # T3 peaked: central mass (peak/mean ≈ 3.2 for σ = range/8 at 50 bins),
+    # empty extremes.
+    assert t3.max() / t3.mean() > 3.0
+    assert t3[:3].sum() + t3[-3:].sum() < 0.01 * t3.sum()
+
+    # T2 between the two: peaked, but with non-trivial tails (contamination).
+    assert 1.5 < t2.max() / t2.mean() < t3.max() / t3.mean()
+    assert t2[:3].sum() + t2[-3:].sum() > 0.01 * t2.sum()
+
+    # All three peak near mid-range for the bells.
+    for c in (t2, t3):
+        assert 15 <= int(np.argmax(c)) <= 35

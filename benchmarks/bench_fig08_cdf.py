@@ -1,0 +1,29 @@
+"""Fig. 8 — cumulative distribution of 100 BFCE rounds at n = 500 000.
+
+Paper shape: estimates "tightly concentrated around the actual cardinality"
+under all three distributions; at (0.05, 0.05) at least 95% of rounds land
+inside the ε-interval.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.figures import fig8_cdf
+
+
+def test_fig08_cdf(benchmark):
+    data = run_once(benchmark, fig8_cdf, n=500_000, rounds=100)
+
+    for dist, rate in data.meta["within_eps_rate"].items():
+        assert rate >= 0.95, (dist, rate)
+
+    for dist in ("T1", "T2", "T3"):
+        estimates = np.array(
+            [r["estimate"] for r in data.rows if r["distribution"] == dist]
+        )
+        assert estimates.size == 100
+        # Tight concentration: interquartile spread ≪ ε·n.
+        iqr = np.quantile(estimates, 0.75) - np.quantile(estimates, 0.25)
+        assert iqr < 0.05 * 500_000
+        # Median unbiasedness: within 2% of truth.
+        assert abs(np.median(estimates) - 500_000) < 0.02 * 500_000

@@ -1,0 +1,33 @@
+"""Fig. 9 — accuracy comparison: BFCE vs ZOE vs SRC on T2.
+
+Paper shape: all three meet the requirement in almost all cases; ZOE and
+SRC show occasional marginal misses (their accuracy leans on the rough
+phase), while BFCE meets the desired accuracy in every case in one round.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig9_fig10_comparison
+
+
+def test_fig09_comparison_accuracy(benchmark, trials):
+    data = run_once(
+        benchmark,
+        fig9_fig10_comparison,
+        n_values=(10_000, 50_000, 100_000, 500_000),
+        reference_n=500_000,
+        trials=trials,
+    )
+
+    # BFCE: every sweep point within its requested ε (the paper's headline).
+    for row in (r for r in data.rows if r["estimator"] == "BFCE"):
+        assert row["error_mean"] <= row["eps"], row
+
+    # ZOE/SRC: accurate in the bulk — mean error within 1.5× ε everywhere
+    # and within ε at a clear majority of points (occasional marginal
+    # misses are the published behaviour, e.g. 6.9% at ε = 5%).
+    for name in ("ZOE", "SRC"):
+        rows = [r for r in data.rows if r["estimator"] == name]
+        assert all(r["error_mean"] <= 1.5 * r["eps"] for r in rows), name
+        within = sum(r["error_mean"] <= r["eps"] for r in rows)
+        assert within >= 0.7 * len(rows), (name, within, len(rows))

@@ -1,0 +1,49 @@
+"""Fig. 10 — overall execution time: BFCE vs ZOE vs SRC on T2.
+
+Paper shape: ZOE runs for seconds (up to ~18 s worst case) because it
+broadcasts a 32-bit seed per slot; SRC is sub-second but varies with the
+rough phase and the δ-driven round count; BFCE is constant at < 0.19 s
+(+ a few ms of probing) — ~30× faster than ZOE and ~2× faster than SRC
+on average over the sweep set.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.figures import fig9_fig10_comparison
+
+
+def test_fig10_comparison_time(benchmark, trials):
+    data = run_once(
+        benchmark,
+        fig9_fig10_comparison,
+        n_values=(10_000, 50_000, 100_000, 500_000),
+        reference_n=500_000,
+        trials=trials,
+    )
+
+    bfce = [r for r in data.rows if r["estimator"] == "BFCE"]
+    zoe = [r for r in data.rows if r["estimator"] == "ZOE"]
+    src = [r for r in data.rows if r["estimator"] == "SRC"]
+
+    # BFCE constant-time: every point below 0.21 s (0.19 s + probing),
+    # spread under 30 ms across the whole sweep set.
+    secs = [r["seconds_mean"] for r in bfce]
+    assert max(secs) < 0.21
+    assert max(secs) - min(secs) < 0.03
+
+    # ZOE seconds-scale at tight requirements, well beyond BFCE everywhere.
+    tight_zoe = [r for r in zoe if r["eps"] == 0.05 and r["delta"] == 0.05]
+    assert all(r["seconds_mean"] > 2.0 for r in tight_zoe)
+
+    # Published average factors (shape, with slack): ≥ 15× vs ZOE and
+    # between 1.2× and 4× vs SRC averaged over the sweep set.
+    assert data.meta["zoe_over_bfce"] > 15.0
+    assert 1.2 < data.meta["src_over_bfce"] < 4.0
+
+    # SRC varies with δ: the δ = 0.05 points (7 rounds) run several times
+    # longer than δ = 0.30 (1 round) at the same ε.
+    src_c = [r for r in src if r["panel"] == "c"]
+    t_tight = next(r["seconds_mean"] for r in src_c if r["delta"] == 0.05)
+    t_loose = next(r["seconds_mean"] for r in src_c if r["delta"] == 0.30)
+    assert t_tight > 3 * t_loose

@@ -1,0 +1,54 @@
+"""Extension — exact identification vs estimation: the regime crossover.
+
+The paper restricts BFCE to n > 1000 because "it is easy and fast to get the
+exact number of tags by using traditional identification protocols when the
+cardinality is small" (Sec. III-A).  This bench quantifies where the C1G2
+Q-algorithm inventory's linear cost crosses BFCE's constant ~0.19 s, and
+checks the hybrid counter routes each regime correctly.
+"""
+
+from conftest import run_once
+
+from repro.core.bfce import BFCE
+from repro.rfid.identification import HybridCounter, QInventory
+from repro.rfid.ids import uniform_ids
+from repro.rfid.tags import TagPopulation
+
+
+def _run():
+    rows = []
+    for n in (20, 50, 100, 200, 500, 1_000, 2_000):
+        pop = TagPopulation(uniform_ids(n, seed=n + 3))
+        inv = QInventory().run(pop, seed=1)
+        bfce = BFCE().estimate(pop, seed=1)
+        rows.append({
+            "n": n,
+            "inventory_s": inv.elapsed_seconds,
+            "inventory_exact": inv.complete and inv.count == n,
+            "bfce_s": bfce.elapsed_seconds,
+        })
+    hybrid_small = HybridCounter(threshold=1_000).count(
+        TagPopulation(uniform_ids(150, seed=7)), seed=2
+    )
+    hybrid_large = HybridCounter(threshold=1_000).count(
+        TagPopulation(uniform_ids(80_000, seed=8)), seed=2
+    )
+    return rows, hybrid_small, hybrid_large
+
+
+def test_hybrid_crossover(benchmark):
+    rows, hybrid_small, hybrid_large = run_once(benchmark, _run)
+
+    # Inventory is exact everywhere and grows ~linearly in n.
+    assert all(r["inventory_exact"] for r in rows)
+    t = {r["n"]: r["inventory_s"] for r in rows}
+    assert t[2_000] > 5 * t[200]
+
+    # The crossover sits in the paper's claimed regime: identification wins
+    # below a few hundred tags, BFCE wins by 1000+.
+    assert any(r["inventory_s"] < r["bfce_s"] for r in rows if r["n"] <= 100)
+    assert all(r["inventory_s"] > r["bfce_s"] for r in rows if r["n"] >= 1_000)
+
+    # The hybrid router lands each side correctly.
+    assert hybrid_small.method == "inventory" and hybrid_small.exact
+    assert hybrid_large.method == "bfce" and not hybrid_large.exact

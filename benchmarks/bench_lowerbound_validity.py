@@ -1,0 +1,33 @@
+"""Sec. V-B — validity of the rough lower bound n̂_low = c·n̂_r.
+
+Paper claim: c = 0.5 "can guarantee n̂_low ≤ n hold in most cases"; smaller
+c is safer, larger c sails closer to the wind.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import lower_bound_validity
+
+
+def test_lowerbound_validity(benchmark, trials):
+    data = run_once(
+        benchmark,
+        lower_bound_validity,
+        c_values=(0.1, 0.3, 0.5, 0.7, 0.9),
+        n_values=(1_000, 10_000, 100_000, 500_000),
+        trials=max(10, trials * 3),
+    )
+
+    # c = 0.5 holds essentially always at these sizes.
+    for row in (r for r in data.rows if r["c"] == 0.5):
+        assert row["holds_rate"] >= 0.95, row
+
+    # The rate is monotone non-increasing in c at every n.
+    for n in {r["n"] for r in data.rows}:
+        rows = sorted((r for r in data.rows if r["n"] == n), key=lambda r: r["c"])
+        rates = [r["holds_rate"] for r in rows]
+        assert all(a >= b - 0.1 for a, b in zip(rates, rates[1:])), (n, rates)
+
+    # c = 0.1 is bulletproof.
+    for row in (r for r in data.rows if r["c"] == 0.1):
+        assert row["holds_rate"] == 1.0

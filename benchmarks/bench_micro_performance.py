@@ -1,0 +1,80 @@
+"""Micro-benchmarks of the simulator's hot paths.
+
+Unlike the figure benches (one-shot experiments), these are classic
+pytest-benchmark timings guarding the vectorized kernels against
+performance regressions.  The paper-scale experiments hash millions of
+(tag × frame) pairs; the kernels must stay allocation-light and loop-free.
+
+Throughput expectations on commodity hardware (asserted loosely):
+* ``mix64`` ≥ 100 M keys/s,
+* a full BFCE frame at n = 1 M tags well under 200 ms,
+* an end-to-end estimation at n = 100 k under 250 ms of wall time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.framedaloha import run_aloha_frame
+from repro.core.bfce import BFCE
+from repro.rfid.frames import slot_response_counts
+from repro.rfid.hashing import geometric_hash, mix64, uniform_unit
+from repro.rfid.ids import uniform_ids
+from repro.rfid.tags import TagPopulation
+
+
+@pytest.fixture(scope="module")
+def keys_10m() -> np.ndarray:
+    return np.arange(10_000_000, dtype=np.uint64)
+
+
+@pytest.fixture(scope="module")
+def pop_1m() -> TagPopulation:
+    return TagPopulation(uniform_ids(1_000_000, seed=1))
+
+
+@pytest.fixture(scope="module")
+def pop_100k() -> TagPopulation:
+    return TagPopulation(uniform_ids(100_000, seed=2))
+
+
+def test_perf_mix64(benchmark, keys_10m):
+    result = benchmark(mix64, keys_10m)
+    assert result.size == keys_10m.size
+    # ≥ 100 M keys/s ⇒ ≤ 0.1 s for 10 M keys.
+    assert benchmark.stats["mean"] < 0.5
+
+
+def test_perf_uniform_unit(benchmark, keys_10m):
+    result = benchmark(uniform_unit, keys_10m, 42)
+    assert result.size == keys_10m.size
+    assert benchmark.stats["mean"] < 0.5
+
+
+def test_perf_geometric_hash(benchmark, keys_10m):
+    result = benchmark(geometric_hash, keys_10m[:1_000_000], 7, 32)
+    assert result.size == 1_000_000
+    assert benchmark.stats["mean"] < 0.5
+
+
+def test_perf_bfce_frame_1m_tags(benchmark, pop_1m):
+    seeds = [11, 22, 33]
+    counts = benchmark(
+        slot_response_counts, pop_1m, w=8192, seeds=seeds, p_n=16
+    )
+    assert counts.sum() > 0
+    assert benchmark.stats["mean"] < 1.0
+
+
+def test_perf_aloha_frame_1m_tags(benchmark, pop_1m):
+    frame = benchmark(
+        run_aloha_frame, pop_1m, frame_size=1024, sampling_prob=0.001, seed=3
+    )
+    assert frame.size == 1024
+    assert benchmark.stats["mean"] < 1.0
+
+
+def test_perf_end_to_end_estimate(benchmark, pop_100k):
+    bfce = BFCE()
+    result = benchmark(bfce.estimate, pop_100k, seed=4)
+    assert result.relative_error(100_000) < 0.05
+    assert benchmark.stats["mean"] < 1.0

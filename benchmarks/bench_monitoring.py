@@ -1,0 +1,49 @@
+"""Extension — continuous monitoring: detection latency and false alarms.
+
+Shape expectations for the incremental-estimation loop built on BFCE's
+constant duty cycle: a 40% level shift is flagged within two surveys, a
+stationary population never alarms over a long run, and per-survey air time
+stays flat under churn.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.core.monitor import CardinalityMonitor
+from repro.experiments.dynamics import BatchEvent, PopulationTrace
+
+
+def _run():
+    # Stationary run with churn: no alarms expected.
+    quiet = CardinalityMonitor()
+    quiet_trace = PopulationTrace(initial_size=120_000, churn_rate=0.01, seed=71)
+    quiet_alarms = sum(
+        quiet.observe(quiet_trace.step(), seed=i).change_detected for i in range(25)
+    )
+    quiet_air = [u.air_seconds for u in quiet.history]
+
+    # Shifted run: one batch event at epoch 10.
+    shift = CardinalityMonitor()
+    shift_trace = PopulationTrace(
+        initial_size=120_000,
+        churn_rate=0.01,
+        events=(BatchEvent(10, +50_000, "shift"),),
+        seed=72,
+    )
+    detected_at = None
+    for i in range(20):
+        if shift.observe(shift_trace.step(), seed=i).change_detected:
+            detected_at = i
+            break
+    return quiet_alarms, quiet_air, detected_at
+
+
+def test_monitoring(benchmark):
+    quiet_alarms, quiet_air, detected_at = run_once(benchmark, _run)
+
+    assert quiet_alarms == 0
+    assert detected_at is not None
+    assert 10 <= detected_at <= 12  # within two surveys of the shift
+    # Constant duty cycle under churn.
+    assert max(quiet_air) - min(quiet_air) < 0.02
+    assert float(np.mean(quiet_air)) < 0.21

@@ -1,0 +1,50 @@
+"""Sec. IV-E.1 — analytic temporal overhead vs the simulated ledger.
+
+Paper claim: t = (6·l_R + 2·l_p)·t_{r→t} + 3·t_int + 9216·t_{t→r} < 0.19 s,
+independent of the cardinality and the accuracy requirement.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.core.accuracy import AccuracyRequirement
+from repro.core.bfce import BFCE
+from repro.experiments.tables import analytic_overhead
+from repro.experiments.workloads import population
+
+
+def _measure():
+    analytic = analytic_overhead().total_seconds
+    rows = []
+    for n in (10_000, 100_000, 1_000_000):
+        for eps, delta in ((0.05, 0.05), (0.2, 0.2)):
+            pop = population("T1", n, seed=1)
+            result = BFCE(requirement=AccuracyRequirement(eps, delta)).estimate(
+                pop, seed=n % 1009
+            )
+            phases = {p.phase: p for p in result.ledger.phase_breakdown()}
+            rows.append(
+                {
+                    "n": n,
+                    "eps": eps,
+                    "measured_core": phases["rough"].seconds
+                    + phases["accurate"].seconds,
+                    "measured_total": result.elapsed_seconds,
+                    "probe": phases["probe"].seconds,
+                }
+            )
+    return analytic, rows
+
+
+def test_overhead_analytic_vs_measured(benchmark):
+    analytic, rows = run_once(benchmark, _measure)
+
+    assert analytic < 0.19
+    for row in rows:
+        # Core phases (the paper's accounting) match the closed form to one
+        # interval, regardless of n and (ε, δ).
+        assert abs(row["measured_core"] - analytic) <= 302e-6 * (
+            1 + 0  # one interval of slack for the broadcast-gap convention
+        ), row
+        # Probing adds only milliseconds.
+        assert row["probe"] < 0.05, row

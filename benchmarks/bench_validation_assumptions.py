@@ -1,0 +1,39 @@
+"""Validation — the statistical premises behind Theorems 1–3.
+
+Runs the three assumption checks (per-slot marginal, slot independence,
+CLT normality of ρ̄) on the bit-level simulator at paper scale, under all
+three tagID distributions.  If these fail, every accuracy claim downstream
+is built on sand — so they get their own benchmark.
+"""
+
+from conftest import run_once
+
+from repro.experiments.validation import (
+    check_rho_normality,
+    check_slot_independence,
+    check_slot_marginal,
+)
+from repro.experiments.workloads import population
+
+
+def _run():
+    out = {}
+    for dist in ("T1", "T2", "T3"):
+        pop = population(dist, 100_000, seed=81)
+        out[dist] = {
+            "marginal": check_slot_marginal(pop, frames=15, base_seed=1),
+            "independence": check_slot_independence(pop, frames=50, base_seed=2),
+            "normality": check_rho_normality(pop, frames=80, base_seed=3),
+        }
+    return out
+
+
+def test_validation_assumptions(benchmark):
+    out = run_once(benchmark, _run)
+    for dist, checks in out.items():
+        assert checks["marginal"].passes, (dist, checks["marginal"])
+        assert checks["independence"].passes, (dist, checks["independence"])
+        assert checks["normality"].passes, (dist, checks["normality"])
+        # The marginal is tight, not merely "within z-limit".
+        m = checks["marginal"]
+        assert abs(m.observed - m.theoretical) / m.theoretical < 0.02

@@ -1,0 +1,29 @@
+"""Benchmark harness configuration.
+
+Every bench regenerates one paper artifact (figure/analysis) once via
+``benchmark.pedantic(..., rounds=1)`` — these are full experiments, not
+micro-benchmarks — and then asserts the published *shape* on the returned
+data.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Scale knobs: set ``REPRO_BENCH_TRIALS`` to raise per-point trial counts
+(default keeps the full suite within a few minutes on a laptop).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def trials() -> int:
+    """Per-sweep-point trial count (env-overridable)."""
+    return int(os.environ.get("REPRO_BENCH_TRIALS", "3"))
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Execute ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Conveyor/dock-door throughput monitoring under a hard time budget.
+
+Logistics scenario (paper Sec. I): pallets stream past a dock-door reader in
+waves; between waves the reader has a fixed quiet window (here 250 ms) to
+survey how many tagged cases are currently in its field.  Only a
+constant-time estimator can promise to fit the window: ZOE's multi-second
+runs would still be mid-flight when the next wave arrives.
+
+The example also shows BFCE degrading gracefully on a noisy dock (1% slot
+error) — a channel the paper's perfect-channel analysis doesn't cover.
+
+Run:  python examples/conveyor_monitoring.py
+"""
+
+import numpy as np
+
+from repro import BFCE, AccuracyRequirement, NoisyChannel, TagPopulation
+from repro.baselines import SRC, ZOE
+
+WINDOW_S = 0.25  # quiet window between waves
+EPS, DELTA = 0.05, 0.05
+
+
+def wave_population(wave: int, rng: np.random.Generator) -> TagPopulation:
+    """A wave of cases: size swings wildly between waves (mixed pallets)."""
+    size = int(rng.integers(5_000, 400_000))
+    base = np.uint64(wave) * np.uint64(1 << 40)
+    ids = base + rng.choice(1 << 39, size=size, replace=False).astype(np.uint64)
+    return TagPopulation(ids)
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    req = AccuracyRequirement(EPS, DELTA)
+    bfce = BFCE(requirement=req)
+
+    print(f"Quiet window between waves: {WINDOW_S * 1e3:.0f} ms; "
+          f"requirement (ε, δ) = ({EPS}, {DELTA})\n")
+    print(f"{'wave':>4} {'cases':>8} {'BFCE est':>9} {'err':>7} {'BFCE ms':>8} "
+          f"{'fits?':>5}   {'SRC ms':>8} {'ZOE ms':>9}")
+    print("-" * 72)
+
+    fits = 0
+    waves = 6
+    for wave in range(waves):
+        pop = wave_population(wave, rng)
+        r_bfce = bfce.estimate(pop, seed=wave)
+        r_src = SRC(req).estimate(pop, seed=wave)
+        r_zoe = ZOE(req).estimate(pop, seed=wave)
+        ok = r_bfce.elapsed_seconds <= WINDOW_S
+        fits += ok
+        print(f"{wave:>4} {pop.size:>8,} {r_bfce.n_hat:>9,.0f} "
+              f"{r_bfce.relative_error(pop.size):>6.2%} "
+              f"{r_bfce.elapsed_seconds * 1e3:>8.1f} {'yes' if ok else 'NO':>5}   "
+              f"{r_src.elapsed_seconds * 1e3:>8.1f} {r_zoe.elapsed_seconds * 1e3:>9.1f}")
+
+    print("-" * 72)
+    print(f"BFCE fit the {WINDOW_S * 1e3:.0f} ms window in {fits}/{waves} waves; "
+          "SRC/ZOE columns show what the same survey would have cost.")
+
+    # Noisy dock: 1% symmetric slot errors.
+    pop = wave_population(99, rng)
+    noisy = bfce.estimate(
+        pop, seed=99, channel=NoisyChannel(miss_prob=0.01, false_alarm_prob=0.01)
+    )
+    print(f"\nNoisy dock (1% slot errors): {pop.size:,} cases → "
+          f"estimate {noisy.n_hat:,.0f} "
+          f"(error {noisy.relative_error(pop.size):.2%}) — graceful degradation.")
+
+
+if __name__ == "__main__":
+    main()

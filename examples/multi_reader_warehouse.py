@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Multi-reader warehouse: counting a union without double-counting.
+
+A big storage hall needs several readers for coverage, and their fields
+overlap.  The paper's system model (Sec. III-A) synchronizes all readers
+through the back-end so they behave as one logical reader; because the Bloom
+vector is an OR of tag responses, the server can merge per-reader busy
+vectors and estimate the *union* cardinality exactly as if one giant reader
+covered the hall.
+
+This example compares the coordinated estimate against the naive
+sum-of-per-reader-estimates (which over-counts every overlap tag), and also
+routes small zones through the exact C1G2 inventory via the hybrid counter.
+
+Run:  python examples/multi_reader_warehouse.py
+"""
+
+from repro.rfid import CoverageMap, HybridCounter, MultiReaderSystem, TagPopulation
+from repro.rfid.ids import uniform_ids
+from repro.rfid.multireader import estimate_pairwise_overlap, naive_sum_estimate
+
+
+def main() -> None:
+    n_tags = 200_000
+    n_readers = 4
+    overlap = 0.35
+
+    print(f"Hall: {n_tags:,} tagged items, {n_readers} readers, "
+          f"{overlap:.0%} of items heard by two readers.\n")
+    ids = uniform_ids(n_tags, seed=21)
+    coverage = CoverageMap.random_overlap(ids, n_readers, overlap=overlap, seed=22)
+
+    for r in range(n_readers):
+        print(f"  reader {r}: hears {coverage.reader_population(r).size:>7,} items")
+    dup = int(coverage.memberships.sum()) - coverage.union_size
+    print(f"  duplicated coverage: {dup:,} item-reader pairs beyond the union\n")
+
+    system = MultiReaderSystem(coverage)
+    result = system.estimate(seed=23)
+    naive = naive_sum_estimate(coverage, seed=23)
+
+    print("Coordinated (synchronized seeds, server-side OR merge):")
+    print(f"  union estimate : {result.n_hat:,.0f} "
+          f"(true {n_tags:,}, error {result.relative_error(n_tags):.2%})")
+    print(f"  wall-clock time: {result.wallclock_seconds * 1e3:.1f} ms "
+          f"(readers run concurrently)")
+    print(f"  total air time : {result.total_air_seconds * 1e3:.1f} ms "
+          f"across {result.n_readers} readers")
+    print(f"  guarantee met  : {result.guarantee_met}\n")
+
+    print("Naive per-reader estimation (no coordination):")
+    print(f"  sum of estimates: {naive:,.0f} "
+          f"(over-counts by {naive / n_tags - 1:+.1%} — the overlap fraction)\n")
+
+    # How much do adjacent reader fields overlap?  Three Eq.-3 evaluations
+    # on synchronized vectors (A, B, A|B) + inclusion–exclusion answer it —
+    # no per-tag identification needed.
+    ov = estimate_pairwise_overlap(coverage, 0, 1, seed=26)
+    true_overlap = int(
+        (coverage.memberships[0] & coverage.memberships[1]).sum()
+    )
+    print("Pairwise overlap of readers 0 and 1 (Bloom inclusion–exclusion):")
+    print(f"  |A| ≈ {ov.n_a:,.0f}, |B| ≈ {ov.n_b:,.0f}, |A∪B| ≈ {ov.n_union:,.0f}")
+    print(f"  |A∩B| ≈ {ov.n_intersection:,.0f} (true {true_overlap:,}), "
+          f"Jaccard ≈ {ov.jaccard:.2f}\n")
+
+    # A small staging zone is better served by exact identification.
+    staging = TagPopulation(uniform_ids(350, seed=24))
+    hybrid = HybridCounter(threshold=1_000).count(staging, seed=25)
+    print(f"Staging zone ({staging.size} items): hybrid counter chose "
+          f"'{hybrid.method}' → count = {hybrid.count:.0f} "
+          f"(exact = {hybrid.exact}) in {hybrid.elapsed_seconds:.2f} s.")
+
+
+if __name__ == "__main__":
+    main()

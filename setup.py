@@ -1,0 +1,6 @@
+"""Legacy setup shim: enables `python setup.py develop` on environments
+without the `wheel` package (offline PEP 660 builds fail there)."""
+
+from setuptools import setup
+
+setup()

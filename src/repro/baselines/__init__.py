@@ -1,0 +1,54 @@
+"""Baseline cardinality estimators the paper compares against or cites.
+
+Primary comparison targets (Figs. 9–10): :class:`ZOE` and :class:`SRC`,
+with :class:`LOF` as ZOE's rough-phase input.  The remaining cited
+state-of-the-art — :class:`PET` [13] and :class:`A3` [16] — and the wider
+related-work family of Sec. II (:class:`UPE`, :class:`EZB`, :class:`FNEB`,
+:class:`MLE`, :class:`ART`) are implemented as well, so every estimator the
+paper names is runnable against the same substrate.
+"""
+
+from .a3 import A3
+from .art import ART
+from .base import CardinalityEstimator, EstimationResult
+from .ezb import EZB, ezb_required_rounds, variance_factor_g
+from .fneb import FNEB, fneb_required_rounds
+from .framedaloha import AlohaFrame, mean_run_length_of_ones, run_aloha_frame
+from .lof import FM_PHI, LOF
+from .mle import MLE, mle_log_likelihood, solve_mle
+from .pet import PET, pet_required_rounds
+from .src_protocol import SRC, SRC_FRAME_CONSTANT, SRC_OPTIMAL_LOAD, src_round_count
+from .upe import UPE, expected_collision_fraction, invert_collision_fraction
+from .zoe import ZOE, zoe_optimal_load, zoe_required_frames
+
+__all__ = [
+    "A3",
+    "ART",
+    "PET",
+    "pet_required_rounds",
+    "CardinalityEstimator",
+    "EstimationResult",
+    "EZB",
+    "ezb_required_rounds",
+    "variance_factor_g",
+    "FNEB",
+    "fneb_required_rounds",
+    "AlohaFrame",
+    "mean_run_length_of_ones",
+    "run_aloha_frame",
+    "FM_PHI",
+    "LOF",
+    "MLE",
+    "mle_log_likelihood",
+    "solve_mle",
+    "SRC",
+    "SRC_FRAME_CONSTANT",
+    "SRC_OPTIMAL_LOAD",
+    "src_round_count",
+    "UPE",
+    "expected_collision_fraction",
+    "invert_collision_fraction",
+    "ZOE",
+    "zoe_optimal_load",
+    "zoe_required_frames",
+]

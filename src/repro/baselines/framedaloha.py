@@ -1,0 +1,132 @@
+"""Shared framed-slotted-ALOHA machinery for the baseline estimators.
+
+Most pre-BFCE estimators (UPE, EZB, FNEB, MLE, ART, SRC's second phase) share
+one primitive: the reader announces a frame of ``F`` slots and a sampling
+probability ``ρ``; every tag joins the frame with probability ``ρ`` and, if
+joining, hashes uniformly into one slot.  The reader then observes, per slot,
+either a busy/idle bit (bit-slot mode) or the finer empty/singleton/collision
+trichotomy (protocols like UPE assume the PHY can tell a clean reply from a
+collision).
+
+:func:`run_aloha_frame` executes one such frame for a whole population in a
+few vectorized operations and returns the per-slot responder counts, from
+which any observation model can be derived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..rfid.hashing import uniform_hash, uniform_unit
+from ..rfid.tags import TagPopulation
+
+__all__ = ["AlohaFrame", "run_aloha_frame", "mean_run_length_of_ones"]
+
+
+@dataclass(frozen=True)
+class AlohaFrame:
+    """Observation of one framed-ALOHA frame.
+
+    Attributes
+    ----------
+    counts:
+        Per-slot responder counts (length ``F``); simulator-side ground
+        truth from which observations derive.
+    """
+
+    counts: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return int(self.counts.size)
+
+    @property
+    def busy(self) -> np.ndarray:
+        """Boolean busy/idle observation (what a bit-slot reader sees)."""
+        return self.counts > 0
+
+    @property
+    def empty_slots(self) -> int:
+        return int((self.counts == 0).sum())
+
+    @property
+    def singleton_slots(self) -> int:
+        """Slots with exactly one responder (needs collision detection)."""
+        return int((self.counts == 1).sum())
+
+    @property
+    def collision_slots(self) -> int:
+        """Slots with two or more responders (needs collision detection)."""
+        return int((self.counts >= 2).sum())
+
+    @property
+    def empty_fraction(self) -> float:
+        return self.empty_slots / self.size
+
+    def first_busy_index(self) -> int:
+        """Index of the first non-empty slot, or ``F`` if the frame is empty."""
+        busy = self.busy
+        idx = int(np.argmax(busy))
+        return idx if busy.any() else self.size
+
+    def first_idle_index(self) -> int:
+        """Index of the first empty slot, or ``F`` if the frame is full."""
+        idle = ~self.busy
+        idx = int(np.argmax(idle))
+        return idx if idle.any() else self.size
+
+
+def run_aloha_frame(
+    population: TagPopulation,
+    *,
+    frame_size: int,
+    sampling_prob: float,
+    seed: int,
+) -> AlohaFrame:
+    """Execute one framed-ALOHA frame.
+
+    Each tag independently joins with probability ``sampling_prob`` (decided
+    by a deterministic hash of its tagID and ``seed``) and, if joining,
+    occupies the slot ``uniform_hash(tagID, seed, F)``.
+
+    Parameters
+    ----------
+    population:
+        The tags in range.
+    frame_size:
+        Number of slots ``F`` (any positive integer; framed ALOHA does not
+        require powers of two).
+    sampling_prob:
+        Join probability ρ in [0, 1].
+    seed:
+        Frame seed broadcast by the reader.
+    """
+    if frame_size <= 0:
+        raise ValueError("frame_size must be positive")
+    if not 0 <= sampling_prob <= 1:
+        raise ValueError(f"sampling_prob must be in [0, 1], got {sampling_prob}")
+    ids = population.tag_ids
+    joins = uniform_unit(ids, seed=seed ^ 0x5EED) < sampling_prob
+    slots = uniform_hash(ids[joins], seed=seed, modulus=frame_size)
+    counts = np.bincount(slots, minlength=frame_size)
+    return AlohaFrame(counts=counts)
+
+
+def mean_run_length_of_ones(bits: np.ndarray) -> float:
+    """Average length of maximal runs of 1s in a 0/1 array (ART's statistic).
+
+    Returns 0.0 when the array contains no 1s.
+    """
+    b = np.asarray(bits).astype(np.int8)
+    if b.ndim != 1:
+        raise ValueError("bits must be one-dimensional")
+    if b.size == 0 or not (b > 0).any():
+        return 0.0
+    padded = np.concatenate([[0], b, [0]])
+    diff = np.diff(padded)
+    starts = np.flatnonzero(diff == 1)
+    ends = np.flatnonzero(diff == -1)
+    runs = ends - starts
+    return float(runs.mean())

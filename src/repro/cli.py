@@ -1,0 +1,257 @@
+"""Command-line entry point: regenerate any paper experiment by id.
+
+Usage::
+
+    repro-rfid list
+    repro-rfid run fig3 [--trials N] [--quick]
+    repro-rfid run fig9 --trials 3
+    repro-rfid overhead
+    repro-rfid estimate --n 100000 --eps 0.05 --delta 0.05
+
+``run`` executes a figure generator and prints its data table; ``overhead``
+prints the Sec. IV-E.1 closed-form breakdown; ``estimate`` runs one BFCE
+execution against a synthetic population.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from .core.bfce import bfce_estimate
+from .experiments import figures as fig_mod
+from .experiments.report import render_figure, render_table
+from .experiments.tables import analytic_overhead, design_space
+from .rfid.ids import make_ids
+
+__all__ = ["main", "build_parser"]
+
+#: Experiment id → generator (quick-mode kwargs, full-mode kwargs).
+EXPERIMENTS: dict[str, tuple[Callable[..., "fig_mod.FigureData"], dict, dict]] = {
+    "fig2": (fig_mod.fig2_protocol_trace, {"n": 10_000}, {}),
+    "fig3": (fig_mod.fig3_linearity, {"trials": 2}, {}),
+    "fig4": (fig_mod.fig4_gamma_surface, {"resolution": 64}, {}),
+    "fig5": (fig_mod.fig5_monotonicity, {}, {}),
+    "fig6": (fig_mod.fig6_distributions, {"n": 20_000}, {}),
+    "fig7": (fig_mod.fig7_accuracy, {"trials": 2, "n_values": (1_000, 100_000)}, {}),
+    "fig8": (fig_mod.fig8_cdf, {"rounds": 20}, {}),
+    "fig9": (fig_mod.fig9_fig10_comparison, {"trials": 1, "n_values": (100_000,)}, {}),
+    "fig10": (fig_mod.fig9_fig10_comparison, {"trials": 1, "n_values": (100_000,)}, {}),
+    "sec5b": (fig_mod.lower_bound_validity, {"trials": 5}, {}),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-rfid",
+        description="BFCE (ICPP 2015) reproduction: run paper experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiment ids")
+
+    run = sub.add_parser("run", help="regenerate one experiment's data")
+    run.add_argument("experiment", choices=sorted([*EXPERIMENTS, "design-space"]))
+    run.add_argument("--trials", type=int, default=None, help="override trial count")
+    run.add_argument("--quick", action="store_true", help="use reduced parameters")
+    run.add_argument("--max-rows", type=int, default=40)
+    run.add_argument("--save", metavar="PATH", default=None,
+                     help="also write the regenerated data to a JSON file")
+
+    sub.add_parser("overhead", help="print the Sec. IV-E.1 analytic overhead")
+
+    est = sub.add_parser("estimate", help="run one BFCE estimation")
+    est.add_argument("--n", type=int, required=True, help="true cardinality")
+    est.add_argument("--distribution", default="T1", choices=("T1", "T2", "T3", "T4"))
+    est.add_argument("--eps", type=float, default=0.05)
+    est.add_argument("--delta", type=float, default=0.05)
+    est.add_argument("--seed", type=int, default=0)
+    est.add_argument("--trace", action="store_true",
+                     help="print the message-by-message air-interface trace")
+
+    abl = sub.add_parser("ablate", help="run one design-choice ablation sweep")
+    abl.add_argument("knob", choices=("k", "w", "c", "persistence", "rn-source", "channel"))
+    abl.add_argument("--trials", type=int, default=6)
+
+    plan = sub.add_parser(
+        "plan", help="feasibility planning: guarantee boundary and required w"
+    )
+    plan.add_argument("--eps", type=float, default=0.05)
+    plan.add_argument("--delta", type=float, default=0.05)
+    plan.add_argument("--n-max", type=float, default=None,
+                      help="target cardinality (prints the required w)")
+
+    inv = sub.add_parser(
+        "inventory", help="exact C1G2 Q-algorithm inventory (small n)"
+    )
+    inv.add_argument("--n", type=int, required=True)
+    inv.add_argument("--seed", type=int, default=0)
+
+    mon = sub.add_parser(
+        "monitor", help="continuous monitoring demo over a dynamic trace"
+    )
+    mon.add_argument("--initial", type=int, default=100_000)
+    mon.add_argument("--epochs", type=int, default=12)
+    mon.add_argument("--shift", type=int, default=50_000,
+                     help="batch arrival injected at the midpoint epoch")
+    mon.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_list() -> int:
+    for name in sorted(EXPERIMENTS):
+        fn = EXPERIMENTS[name][0]
+        doc = (fn.__doc__ or "").strip().splitlines()[0]
+        print(f"{name:>8}  {doc}")
+    print(f"{'design-space':>8}  The Fig. 1 design-space table (analytic).")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.experiment == "design-space":
+        print(render_table(design_space()))
+        return 0
+    fn, quick_kwargs, full_kwargs = EXPERIMENTS[args.experiment]
+    kwargs = dict(quick_kwargs if args.quick else full_kwargs)
+    if args.trials is not None:
+        kwargs["trials"] = args.trials
+    data = fn(**kwargs)
+    print(render_figure(data, max_rows=args.max_rows))
+    if args.save:
+        from .experiments.persistence import save_figure_json
+
+        save_figure_json(data, args.save)
+        print(f"(data written to {args.save})")
+    return 0
+
+
+def _cmd_overhead() -> int:
+    b = analytic_overhead()
+    print("Sec. IV-E.1 analytic overhead (default config, C1G2 timing):")
+    print(f"  t1 (rough phase)    = {b.t1_seconds * 1e3:8.2f} ms")
+    print(f"  t2 (accurate phase) = {b.t2_seconds * 1e3:8.2f} ms")
+    print(f"  total               = {b.total_seconds * 1e3:8.2f} ms  (< 190 ms)")
+    print(f"  downlink bits = {b.downlink_bits}, uplink slots = {b.uplink_slots}, "
+          f"intervals = {b.intervals}")
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    ids = make_ids(args.distribution, args.n, seed=args.seed)
+    result = bfce_estimate(
+        ids, eps=args.eps, delta=args.delta, seed=args.seed + 1
+    )
+    print(f"true n        = {args.n}")
+    print(f"estimate      = {result.n_hat:.1f}")
+    print(f"relative err  = {result.relative_error(args.n):.4f} (ε = {args.eps})")
+    print(f"rough n̂_low   = {result.n_low:.1f}  (c·n̂_r)")
+    print(f"optimal p_o   = {result.pn_optimal}/1024")
+    print(f"air time      = {result.elapsed_seconds * 1e3:.2f} ms")
+    print(f"guarantee met = {result.guarantee_met}")
+    for phase in result.ledger.phase_breakdown():
+        print(f"    {phase.phase:>9}: {phase.seconds * 1e3:7.2f} ms, "
+              f"{phase.downlink_bits:>5} down bits, {phase.uplink_slots:>5} up slots")
+    if args.trace:
+        print("\nair-interface trace (message-by-message):")
+        t = 0.0
+        for msg in result.ledger:
+            cost = msg.cost_seconds(result.ledger.timing)
+            t += cost
+            arrow = "reader->tags" if msg.direction == "down" else "tags->reader"
+            reps = f" x{msg.count}" if msg.count > 1 else ""
+            print(f"  t={t * 1e3:8.2f} ms  {arrow}  {msg.bits:>5} "
+                  f"{'bits' if msg.direction == 'down' else 'slots'}{reps}  "
+                  f"[{msg.phase}] {msg.label}")
+    return 0
+
+
+def _cmd_ablate(args: argparse.Namespace) -> int:
+    from .experiments import ablations
+
+    sweeps = {
+        "k": ablations.sweep_k,
+        "w": ablations.sweep_w,
+        "c": ablations.sweep_c,
+        "persistence": ablations.sweep_persistence_mode,
+        "rn-source": ablations.sweep_rn_source,
+        "channel": ablations.sweep_channel,
+    }
+    points = sweeps[args.knob](trials=args.trials)
+    print(render_table([p.as_row() for p in points]))
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from .core.accuracy import AccuracyRequirement
+    from .core.planning import max_guaranteed_cardinality, required_w
+
+    req = AccuracyRequirement(args.eps, args.delta)
+    boundary = max_guaranteed_cardinality(req)
+    print(f"(ε, δ) = ({args.eps}, {args.delta}), w = 8192:")
+    print(f"  max cardinality with the Theorem-4 guarantee: {boundary:,.0f}")
+    print("  (estimability alone extends to ~19.4 M — see DESIGN.md §2.5)")
+    if args.n_max is not None:
+        w = required_w(args.n_max, req)
+        print(f"  required w to guarantee n = {args.n_max:,.0f}: {w}")
+    return 0
+
+
+def _cmd_inventory(args: argparse.Namespace) -> int:
+    from .rfid.identification import QInventory
+    from .rfid.tags import TagPopulation
+
+    ids = make_ids("T1", args.n, seed=args.seed)
+    result = QInventory().run(TagPopulation(ids), seed=args.seed + 1)
+    print(f"identified {result.count}/{args.n} tags "
+          f"(complete = {result.complete}) in {result.rounds} rounds, "
+          f"{result.slots} slots, {result.elapsed_seconds:.2f} s of air time")
+    print(f"  wasted slots: {result.collisions} collisions, "
+          f"{result.empties} empties")
+    return 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    from .core.monitor import CardinalityMonitor
+    from .experiments.dynamics import BatchEvent, PopulationTrace
+
+    trace = PopulationTrace(
+        initial_size=args.initial,
+        churn_rate=0.01,
+        events=(BatchEvent(args.epochs // 2, args.shift, "shift"),),
+        seed=args.seed,
+    )
+    monitor = CardinalityMonitor()
+    print(f"{'epoch':>5} {'true':>9} {'estimate':>9} {'smoothed':>9}  alarm")
+    for epoch in range(args.epochs):
+        pop = trace.step()
+        u = monitor.observe(pop, seed=args.seed + epoch)
+        alarm = "** CHANGE **" if u.change_detected else ""
+        print(f"{epoch:>5} {pop.size:>9,} {u.estimate:>9,.0f} "
+              f"{u.smoothed:>9,.0f}  {alarm}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "overhead":
+        return _cmd_overhead()
+    if args.command == "estimate":
+        return _cmd_estimate(args)
+    if args.command == "ablate":
+        return _cmd_ablate(args)
+    if args.command == "plan":
+        return _cmd_plan(args)
+    if args.command == "inventory":
+        return _cmd_inventory(args)
+    if args.command == "monitor":
+        return _cmd_monitor(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,132 @@
+"""Accuracy theory (paper Theorem 3 and the Fig. 5 monotonicity analysis).
+
+An estimate ``n̂`` meets the (ε, δ) requirement
+``Pr{|n̂ − n| ≤ ε·n} ≥ 1 − δ`` iff the observed idle ratio falls inside
+``[e^{−λ(1+ε)}, e^{−λ(1−ε)}]`` with that probability.  Normalising ρ̄ by its
+CLT standard error ``σ(X)/√w`` turns the condition into a two-sided normal
+bound (Theorem 3):
+
+.. math::
+
+    f_1 = \\frac{e^{−λ(1+ε)} − e^{−λ}}{σ(X)/\\sqrt{w}} ≤ −d
+    \\quad\\text{and}\\quad
+    f_2 = \\frac{e^{−λ(1−ε)} − e^{−λ}}{σ(X)/\\sqrt{w}} ≥ d,
+
+with ``d = √2·erfinv(1 − δ)`` (the two-sided normal quantile).  For small
+``p``, ``f₁``/``f₂`` are monotone decreasing/increasing in ``n`` (Fig. 5), so
+verifying them at a *lower bound* ``n̂_low ≤ n`` suffices (Theorem 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.special import erfinv
+
+from .estmath import lam, sigma_x
+
+__all__ = [
+    "normal_quantile_d",
+    "f1",
+    "f2",
+    "AccuracyRequirement",
+    "meets_requirement",
+    "guarantee_margin",
+    "theoretical_rho_interval",
+]
+
+
+def normal_quantile_d(delta: float) -> float:
+    """d = √2·erfinv(1 − δ): the symmetric normal quantile of Theorem 3.
+
+    E.g. ``d(0.05) ≈ 1.96``; ``Pr{−d ≤ Y ≤ d} = 1 − δ`` for standard normal Y.
+    """
+    if not 0 < delta < 1:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    return float(np.sqrt(2.0) * erfinv(1.0 - delta))
+
+
+def _se(lmbda, w: int):
+    """Standard error of ρ̄: σ(X)/√w, floored away from zero.
+
+    At extreme loads (λ → 0 or λ ≫ 1) σ(X) underflows; the floor keeps the
+    division finite, and since the numerators underflow to zero *faster*,
+    the statistics correctly evaluate to ~0 there (i.e. infeasible).
+    """
+    return np.maximum(sigma_x(lmbda) / np.sqrt(w), 1e-300)
+
+
+def f1(n, w: int, k: int, p, eps: float):
+    """Theorem 3's lower-side statistic (negative for ε > 0)."""
+    _check_eps(eps)
+    lmbda = lam(n, w, k, p)
+    with np.errstate(over="ignore"):
+        return (np.exp(-lmbda * (1 + eps)) - np.exp(-lmbda)) / _se(lmbda, w)
+
+
+def f2(n, w: int, k: int, p, eps: float):
+    """Theorem 3's upper-side statistic (positive for ε > 0)."""
+    _check_eps(eps)
+    lmbda = lam(n, w, k, p)
+    with np.errstate(over="ignore"):
+        return (np.exp(-lmbda * (1 - eps)) - np.exp(-lmbda)) / _se(lmbda, w)
+
+
+def _check_eps(eps: float) -> None:
+    if not 0 < eps < 1:
+        raise ValueError(f"eps must be in (0, 1), got {eps}")
+
+
+@dataclass(frozen=True)
+class AccuracyRequirement:
+    """An (ε, δ) approximation requirement.
+
+    ``Pr{|n̂ − n| ≤ eps·n} ≥ 1 − delta``.
+    """
+
+    eps: float = 0.05
+    delta: float = 0.05
+
+    def __post_init__(self) -> None:
+        _check_eps(self.eps)
+        if not 0 < self.delta < 1:
+            raise ValueError(f"delta must be in (0, 1), got {self.delta}")
+
+    @property
+    def d(self) -> float:
+        """The normal quantile d = √2·erfinv(1 − δ)."""
+        return normal_quantile_d(self.delta)
+
+    def is_met_by(self, n_hat: float, n_true: float) -> bool:
+        """Whether a single estimate falls inside the ε-interval of n_true."""
+        if n_true <= 0:
+            raise ValueError("n_true must be positive")
+        return abs(n_hat - n_true) <= self.eps * n_true
+
+
+def meets_requirement(n, w: int, k: int, p, req: AccuracyRequirement) -> np.ndarray | bool:
+    """Theorem 3's feasibility predicate: f₁(n) ≤ −d and f₂(n) ≥ d.
+
+    Vectorized over ``n`` and/or ``p``.
+    """
+    d = req.d
+    return np.logical_and(f1(n, w, k, p, req.eps) <= -d, f2(n, w, k, p, req.eps) >= d)
+
+
+def guarantee_margin(n, w: int, k: int, p, req: AccuracyRequirement):
+    """Slack min(−d − f₁, f₂ − d); ≥ 0 iff the requirement is satisfiable.
+
+    Used as the best-effort objective when no grid ``p`` is feasible
+    (DESIGN.md §2.5): the ``p`` maximising this margin is closest to meeting
+    the requirement.
+    """
+    d = req.d
+    return np.minimum(-d - f1(n, w, k, p, req.eps), f2(n, w, k, p, req.eps) - d)
+
+
+def theoretical_rho_interval(n: float, w: int, k: int, p: float, eps: float) -> tuple[float, float]:
+    """The ρ̄ acceptance interval [e^{−λ(1+ε)}, e^{−λ(1−ε)}] of Eq. 6."""
+    _check_eps(eps)
+    lmbda = float(lam(n, w, k, p))
+    return float(np.exp(-lmbda * (1 + eps))), float(np.exp(-lmbda * (1 - eps)))

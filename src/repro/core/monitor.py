@@ -1,0 +1,179 @@
+"""Continuous cardinality monitoring (incremental estimation extension).
+
+BFCE's constant execution time makes it the first estimator that can be run
+*periodically* with a hard duty-cycle guarantee: each survey costs < 0.2 s of
+air time no matter how the population moved.  :class:`CardinalityMonitor`
+wraps repeated BFCE rounds into a monitoring loop with
+
+* **EWMA smoothing** — single rounds carry ~1–3% noise; the exponentially
+  weighted average tracks the level with tunable inertia;
+* **change detection** — a two-sided CUSUM on the standardized innovation
+  (round estimate vs EWMA, scaled by the round's own ε) raises an alarm when
+  the population level genuinely shifts, while staying quiet under the
+  estimator's sampling noise;
+* **warm-started probing** — between surveys the population rarely changes
+  by orders of magnitude, so the probe phase starts from the previous
+  round's accepted numerator instead of 8/1024, usually converging in one
+  probe round.
+
+The monitor never peeks at ground truth; everything derives from the air
+interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..rfid.tags import TagPopulation
+from .accuracy import AccuracyRequirement
+from .bfce import BFCE, BFCEResult
+from .config import BFCEConfig, DEFAULT_CONFIG
+
+__all__ = ["MonitorUpdate", "CardinalityMonitor"]
+
+
+@dataclass(frozen=True)
+class MonitorUpdate:
+    """One survey's outcome within a monitoring session.
+
+    Attributes
+    ----------
+    round_index:
+        0-based survey number.
+    estimate:
+        The raw single-round BFCE estimate.
+    smoothed:
+        EWMA-smoothed level after absorbing this round.
+    innovation:
+        Standardized deviation of this round from the previous smoothed
+        level (units of ε·level).
+    change_detected:
+        True when the CUSUM crossed its threshold this round (the CUSUM
+        resets afterwards).
+    air_seconds:
+        Metered air time of this survey.
+    result:
+        The full underlying :class:`~repro.core.bfce.BFCEResult`.
+    """
+
+    round_index: int
+    estimate: float
+    smoothed: float
+    innovation: float
+    change_detected: bool
+    air_seconds: float
+    result: BFCEResult
+
+
+@dataclass
+class CardinalityMonitor:
+    """Periodic BFCE surveys with smoothing and change detection.
+
+    Parameters
+    ----------
+    requirement:
+        Per-survey (ε, δ) accuracy.
+    config:
+        BFCE constants.
+    alpha:
+        EWMA weight of the newest round (0 < α ≤ 1).
+    cusum_threshold:
+        Alarm level for the two-sided CUSUM of standardized innovations.
+        With innovations scaled by ε·level, sampling noise contributes
+        |innovation| ≲ 1 per round; a threshold of 4 tolerates noise but
+        catches a sustained 2ε-level shift within ~2–3 rounds.
+    cusum_drift:
+        Dead-band subtracted from each |innovation| before accumulation.
+    """
+
+    requirement: AccuracyRequirement = field(default_factory=AccuracyRequirement)
+    config: BFCEConfig = field(default_factory=lambda: DEFAULT_CONFIG)
+    alpha: float = 0.4
+    cusum_threshold: float = 4.0
+    cusum_drift: float = 0.5
+
+    _smoothed: float | None = field(default=None, init=False, repr=False)
+    _cusum_pos: float = field(default=0.0, init=False, repr=False)
+    _cusum_neg: float = field(default=0.0, init=False, repr=False)
+    _last_pn: int | None = field(default=None, init=False, repr=False)
+    _round: int = field(default=0, init=False, repr=False)
+    history: list[MonitorUpdate] = field(default_factory=list, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0 < self.alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        if self.cusum_threshold <= 0:
+            raise ValueError("cusum_threshold must be positive")
+        if self.cusum_drift < 0:
+            raise ValueError("cusum_drift must be non-negative")
+
+    # ------------------------------------------------------------------
+    @property
+    def smoothed(self) -> float | None:
+        """Current smoothed level (None before the first survey)."""
+        return self._smoothed
+
+    def observe(self, population: TagPopulation, *, seed: int = 0) -> MonitorUpdate:
+        """Survey the population once and fold it into the monitor state."""
+        config = self._warm_config()
+        bfce = BFCE(config=config, requirement=self.requirement)
+        result = bfce.estimate(population, seed=seed)
+        self._last_pn = result.pn_probe
+
+        estimate = result.n_hat
+        if self._smoothed is None:
+            smoothed_prev = estimate
+            innovation = 0.0
+        else:
+            smoothed_prev = self._smoothed
+            scale = max(self.requirement.eps * max(smoothed_prev, 1.0), 1e-9)
+            innovation = (estimate - smoothed_prev) / scale
+
+        # Two-sided CUSUM on the innovation.
+        self._cusum_pos = max(0.0, self._cusum_pos + innovation - self.cusum_drift)
+        self._cusum_neg = max(0.0, self._cusum_neg - innovation - self.cusum_drift)
+        change = (
+            self._cusum_pos > self.cusum_threshold
+            or self._cusum_neg > self.cusum_threshold
+        )
+        if change:
+            # Re-anchor on the new level and reset the accumulators.
+            self._cusum_pos = self._cusum_neg = 0.0
+            self._smoothed = estimate
+        else:
+            self._smoothed = (
+                self.alpha * estimate + (1 - self.alpha) * smoothed_prev
+            )
+
+        update = MonitorUpdate(
+            round_index=self._round,
+            estimate=estimate,
+            smoothed=self._smoothed,
+            innovation=innovation,
+            change_detected=change,
+            air_seconds=result.elapsed_seconds,
+            result=result,
+        )
+        self._round += 1
+        self.history.append(update)
+        return update
+
+    def reset(self) -> None:
+        """Forget all state (smoothing, CUSUM, warm start, history)."""
+        self._smoothed = None
+        self._cusum_pos = self._cusum_neg = 0.0
+        self._last_pn = None
+        self._round = 0
+        self.history.clear()
+
+    # ------------------------------------------------------------------
+    def _warm_config(self) -> BFCEConfig:
+        """Start the probe from the last accepted numerator (warm start)."""
+        if self._last_pn is None:
+            return self.config
+        pn = min(max(self._last_pn, 1), self.config.pn_denom - 1)
+        if pn == self.config.probe_start_pn:
+            return self.config
+        from dataclasses import replace
+
+        return replace(self.config, probe_start_pn=pn)

@@ -1,0 +1,108 @@
+"""Optimal persistence probability search (Sec. IV-D, Theorem 4).
+
+Given the rough lower bound ``n̂_low ≤ n``, BFCE brute-forces the persistence
+grid ``p ∈ {1/1024, …, 1023/1024}`` and takes the **minimal** ``p`` whose
+Theorem-3 statistics evaluated *at n̂_low* satisfy
+
+.. math:: f_1(\\hat n_{low}) ≤ −d \\quad\\text{and}\\quad f_2(\\hat n_{low}) ≥ d.
+
+By the Fig.-5 monotonicity (f₁ decreasing, f₂ increasing in n for small p)
+the condition then also holds at the true ``n``, so the accurate frame's
+estimate is an (ε, δ)-estimate.
+
+Feasibility gap (DESIGN.md §2.5): for very large ``n̂_low`` even the grid's
+smallest ``p`` drives λ so high that no grid point satisfies both
+inequalities.  The paper does not treat this case; we fall back to the grid
+``p`` maximising the guarantee margin ``min(−d − f₁, f₂ − d)`` and flag
+``feasible=False`` so callers can surface the weakened guarantee.
+
+The whole search is a single vectorized evaluation over the 1023-point grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .accuracy import AccuracyRequirement, f1, f2, guarantee_margin
+from .config import BFCEConfig, DEFAULT_CONFIG
+
+__all__ = ["OptimalPResult", "find_optimal_pn"]
+
+
+@dataclass(frozen=True)
+class OptimalPResult:
+    """Outcome of the grid search.
+
+    Attributes
+    ----------
+    pn:
+        Selected persistence numerator (p_o = pn / 1024).
+    feasible:
+        True if Theorem 4's conditions hold at ``pn``; False when the
+        best-effort fallback was used.
+    margin:
+        Guarantee margin min(−d − f₁, f₂ − d) at the selected point
+        (≥ 0 iff feasible).
+    n_low:
+        The lower bound the search was evaluated at.
+    """
+
+    pn: int
+    feasible: bool
+    margin: float
+    n_low: float
+    pn_denom: int = 1024
+
+    @property
+    def p(self) -> float:
+        """The selected persistence probability p_o."""
+        return self.pn / self.pn_denom
+
+
+def find_optimal_pn(
+    n_low: float,
+    req: AccuracyRequirement,
+    config: BFCEConfig = DEFAULT_CONFIG,
+) -> OptimalPResult:
+    """Brute-force the minimal feasible persistence numerator at ``n_low``.
+
+    Parameters
+    ----------
+    n_low:
+        Rough lower bound of the cardinality (must be positive; a zero
+        lower bound means the range is effectively empty and the caller
+        should use the maximum persistence instead of searching).
+    req:
+        The (ε, δ) requirement.
+    config:
+        Protocol constants (grid resolution, w, k).
+    """
+    if n_low <= 0:
+        raise ValueError(f"n_low must be positive, got {n_low}")
+    d = req.d
+    pn_grid = np.arange(config.pn_min, config.pn_max + 1, dtype=np.int64)
+    p_grid = pn_grid / config.pn_denom
+    lo = f1(n_low, config.w, config.k, p_grid, req.eps)
+    hi = f2(n_low, config.w, config.k, p_grid, req.eps)
+    ok = (lo <= -d) & (hi >= d)
+    if ok.any():
+        idx = int(np.argmax(ok))  # first True == minimal p
+        margin = float(min(-d - lo[idx], hi[idx] - d))
+        return OptimalPResult(
+            pn=int(pn_grid[idx]),
+            feasible=True,
+            margin=margin,
+            n_low=n_low,
+            pn_denom=config.pn_denom,
+        )
+    margins = guarantee_margin(n_low, config.w, config.k, p_grid, req)
+    idx = int(np.argmax(margins))
+    return OptimalPResult(
+        pn=int(pn_grid[idx]),
+        feasible=False,
+        margin=float(margins[idx]),
+        n_low=n_low,
+        pn_denom=config.pn_denom,
+    )

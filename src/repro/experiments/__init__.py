@@ -1,0 +1,102 @@
+"""Evaluation harness: workloads, trial runner, figure generators, reports."""
+
+from .ablations import (
+    AblationPoint,
+    sweep_c,
+    sweep_channel,
+    sweep_k,
+    sweep_persistence_mode,
+    sweep_rn_source,
+    sweep_w,
+)
+from .dynamics import BatchEvent, PopulationTrace
+from .figures import (
+    FigureData,
+    fig2_protocol_trace,
+    fig3_linearity,
+    fig4_gamma_surface,
+    fig5_monotonicity,
+    fig6_distributions,
+    fig7_accuracy,
+    fig8_cdf,
+    fig9_fig10_comparison,
+    lower_bound_validity,
+)
+from .parallel import run_bfce_trials_parallel
+from .persistence import (
+    load_figure_json,
+    load_records_csv,
+    save_figure_json,
+    save_records_csv,
+)
+from .report import render_bars, render_figure, render_table
+from .validation import (
+    check_rho_normality,
+    check_slot_independence,
+    check_slot_marginal,
+)
+from .runner import SweepPoint, TrialRecord, run_bfce_trials, run_trials, sweep
+from .stats import ErrorSummary, ecdf, guarantee_rate, relative_error, summarize_errors
+from .tables import OverheadBreakdown, analytic_overhead, design_space
+from .workloads import (
+    DELTA_SWEEP,
+    DISTRIBUTION_NAMES,
+    EPS_SWEEP,
+    N_SWEEP,
+    N_SWEEP_SMALL,
+    REFERENCE_N,
+    population,
+)
+
+__all__ = [
+    "run_bfce_trials_parallel",
+    "AblationPoint",
+    "sweep_c",
+    "sweep_channel",
+    "sweep_k",
+    "sweep_persistence_mode",
+    "sweep_rn_source",
+    "sweep_w",
+    "load_figure_json",
+    "load_records_csv",
+    "save_figure_json",
+    "save_records_csv",
+    "BatchEvent",
+    "PopulationTrace",
+    "check_rho_normality",
+    "check_slot_independence",
+    "check_slot_marginal",
+    "FigureData",
+    "fig2_protocol_trace",
+    "fig3_linearity",
+    "fig4_gamma_surface",
+    "fig5_monotonicity",
+    "fig6_distributions",
+    "fig7_accuracy",
+    "fig8_cdf",
+    "fig9_fig10_comparison",
+    "lower_bound_validity",
+    "render_bars",
+    "render_figure",
+    "render_table",
+    "SweepPoint",
+    "TrialRecord",
+    "run_bfce_trials",
+    "run_trials",
+    "sweep",
+    "ErrorSummary",
+    "ecdf",
+    "guarantee_rate",
+    "relative_error",
+    "summarize_errors",
+    "OverheadBreakdown",
+    "analytic_overhead",
+    "design_space",
+    "DELTA_SWEEP",
+    "DISTRIBUTION_NAMES",
+    "EPS_SWEEP",
+    "N_SWEEP",
+    "N_SWEEP_SMALL",
+    "REFERENCE_N",
+    "population",
+]

@@ -1,0 +1,221 @@
+"""Structured ablation sweeps over BFCE's design choices.
+
+DESIGN.md calls out the constants the paper fixes "empirically" — k = 3,
+w = 8192, c = 0.5 — plus this repository's own modelling choices
+(persistence sampling mode, RN source, channel).  Each function here sweeps
+one choice with everything else at paper defaults and returns uniform
+:class:`AblationPoint` records; the ablation benchmarks assert the expected
+shape on these, and the CLI can print them.
+
+All sweeps share trial mechanics: ``trials`` independent single-round BFCE
+executions per point, mean relative error and mean air time reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.bfce import BFCE
+from ..core.config import BFCEConfig
+from ..rfid.channel import Channel, NoisyChannel, PerfectChannel
+from .workloads import population
+
+__all__ = [
+    "AblationPoint",
+    "sweep_k",
+    "sweep_w",
+    "sweep_c",
+    "sweep_persistence_mode",
+    "sweep_rn_source",
+    "sweep_channel",
+]
+
+
+@dataclass(frozen=True)
+class AblationPoint:
+    """One setting of one ablated knob."""
+
+    knob: str
+    value: object
+    mean_error: float
+    max_error: float
+    mean_seconds: float
+    mean_estimate: float
+    extra: dict
+
+    def as_row(self) -> dict:
+        """Flat dict for table rendering."""
+        return {
+            "knob": self.knob,
+            "value": self.value,
+            "mean_error": self.mean_error,
+            "max_error": self.max_error,
+            "mean_seconds": self.mean_seconds,
+        }
+
+
+def _run_point(
+    knob: str,
+    value: object,
+    bfce: BFCE,
+    pop,
+    *,
+    trials: int,
+    base_seed: int,
+    channel: Channel | None = None,
+    extra: dict | None = None,
+) -> AblationPoint:
+    results = [
+        bfce.estimate(pop, seed=base_seed + t, channel=channel)
+        for t in range(trials)
+    ]
+    n_true = pop.size
+    errors = np.array([r.relative_error(n_true) for r in results])
+    return AblationPoint(
+        knob=knob,
+        value=value,
+        mean_error=float(errors.mean()),
+        max_error=float(errors.max()),
+        mean_seconds=float(np.mean([r.elapsed_seconds for r in results])),
+        mean_estimate=float(np.mean([r.n_hat for r in results])),
+        extra=extra or {},
+    )
+
+
+def sweep_k(
+    k_values: Sequence[int] = (1, 2, 3, 4, 5),
+    *,
+    n: int = 100_000,
+    trials: int = 8,
+    base_seed: int = 0,
+) -> list[AblationPoint]:
+    """Number of hash functions (paper: k = 3 'empirically')."""
+    pop = population("T1", n, seed=base_seed + 2)
+    return [
+        _run_point(
+            "k", k, BFCE(config=BFCEConfig(k=k)), pop,
+            trials=trials, base_seed=base_seed + 1000 * k,
+        )
+        for k in k_values
+    ]
+
+
+def sweep_w(
+    w_values: Sequence[int] = (1024, 2048, 4096, 8192, 16384),
+    *,
+    n: int = 100_000,
+    trials: int = 8,
+    base_seed: int = 0,
+) -> list[AblationPoint]:
+    """Bloom vector length (paper: w = 8192)."""
+    pop = population("T1", n, seed=base_seed + 3)
+    out = []
+    for w in w_values:
+        cfg = BFCEConfig(w=w, rough_slots=min(1024, w // 2))
+        out.append(
+            _run_point(
+                "w", w, BFCE(config=cfg), pop,
+                trials=trials, base_seed=base_seed + 2000 + w,
+            )
+        )
+    return out
+
+
+def sweep_c(
+    c_values: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.9),
+    *,
+    n: int = 100_000,
+    trials: int = 10,
+    base_seed: int = 0,
+) -> list[AblationPoint]:
+    """Lower-bound coefficient (paper: c = 0.5), with hold-rate diagnostics."""
+    pop = population("T1", n, seed=base_seed + 4)
+    out = []
+    for c in c_values:
+        bfce = BFCE(config=BFCEConfig(c=float(c)))
+        results = [bfce.estimate(pop, seed=base_seed + 3000 + t) for t in range(trials)]
+        errors = np.array([r.relative_error(n) for r in results])
+        out.append(
+            AblationPoint(
+                knob="c",
+                value=float(c),
+                mean_error=float(errors.mean()),
+                max_error=float(errors.max()),
+                mean_seconds=float(np.mean([r.elapsed_seconds for r in results])),
+                mean_estimate=float(np.mean([r.n_hat for r in results])),
+                extra={
+                    "lower_bound_held": float(np.mean([r.n_low <= n for r in results])),
+                    "mean_pn": float(np.mean([r.pn_optimal for r in results])),
+                },
+            )
+        )
+    return out
+
+
+def sweep_persistence_mode(
+    modes: Sequence[str] = ("event", "rn_window", "static"),
+    *,
+    n: int = 50_000,
+    trials: int = 12,
+    base_seed: int = 0,
+) -> list[AblationPoint]:
+    """Persistence sampling: idealised vs hardware-faithful vs degraded."""
+    return [
+        _run_point(
+            "persistence_mode", mode, BFCE(),
+            population("T1", n, seed=base_seed + 5, persistence_mode=mode),
+            trials=trials, base_seed=base_seed + 4000,
+        )
+        for mode in modes
+    ]
+
+
+def sweep_rn_source(
+    *,
+    distributions: Sequence[str] = ("T1", "T2", "T3"),
+    sources: Sequence[str] = ("tagid", "random"),
+    n: int = 50_000,
+    trials: int = 8,
+    base_seed: int = 0,
+) -> list[AblationPoint]:
+    """Prestored-RN derivation, crossed with the tagID distributions."""
+    out = []
+    for dist in distributions:
+        for source in sources:
+            pop = population(dist, n, seed=base_seed + 6, rn_source=source)
+            out.append(
+                _run_point(
+                    "rn_source", f"{dist}/{source}", BFCE(), pop,
+                    trials=trials, base_seed=base_seed + 5000,
+                    extra={"distribution": dist, "source": source},
+                )
+            )
+    return out
+
+
+def sweep_channel(
+    channels: dict[str, Channel] | None = None,
+    *,
+    n: int = 50_000,
+    trials: int = 8,
+    base_seed: int = 0,
+) -> list[AblationPoint]:
+    """Channel imperfection (extension beyond the paper's perfect channel)."""
+    if channels is None:
+        channels = {
+            "perfect": PerfectChannel(),
+            "mild": NoisyChannel(miss_prob=0.005, false_alarm_prob=0.005),
+            "miss_heavy": NoisyChannel(miss_prob=0.10, false_alarm_prob=0.0),
+            "alarm_heavy": NoisyChannel(miss_prob=0.0, false_alarm_prob=0.10),
+        }
+    pop = population("T1", n, seed=base_seed + 7)
+    return [
+        _run_point(
+            "channel", name, BFCE(), pop,
+            trials=trials, base_seed=base_seed + 6000, channel=channel,
+        )
+        for name, channel in channels.items()
+    ]

@@ -1,0 +1,117 @@
+"""Saving and loading experiment results (CSV / JSON round-trips).
+
+Long sweeps are expensive; users want to regenerate tables and plots without
+re-running the simulator.  This module serialises the harness's record types
+— :class:`~repro.experiments.runner.TrialRecord` lists and
+:class:`~repro.experiments.figures.FigureData` — to plain CSV/JSON files and
+reads them back losslessly (modulo the free-form ``extra``/``meta`` dicts,
+which go through JSON).
+
+No third-party serialisation dependency: ``csv`` + ``json`` from the
+standard library, with NumPy scalars coerced to native Python on the way
+out.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from .figures import FigureData
+from .runner import TrialRecord
+
+__all__ = [
+    "save_records_csv",
+    "load_records_csv",
+    "save_figure_json",
+    "load_figure_json",
+]
+
+_RECORD_FIELDS = [
+    "estimator", "n_true", "n_hat", "error", "seconds", "seed",
+    "eps", "delta", "distribution", "extra",
+]
+
+
+def _native(value):
+    """Coerce NumPy scalars/arrays into JSON-safe native Python values."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {k: _native(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_native(v) for v in value]
+    return value
+
+
+def save_records_csv(records: Sequence[TrialRecord], path: str | Path) -> None:
+    """Write trial records to CSV (``extra`` serialised as a JSON column)."""
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as fh:
+        writer = csv.DictWriter(fh, fieldnames=_RECORD_FIELDS)
+        writer.writeheader()
+        for r in records:
+            writer.writerow({
+                "estimator": r.estimator,
+                "n_true": r.n_true,
+                "n_hat": r.n_hat,
+                "error": r.error,
+                "seconds": r.seconds,
+                "seed": r.seed,
+                "eps": r.eps,
+                "delta": r.delta,
+                "distribution": r.distribution,
+                "extra": json.dumps(_native(r.extra)),
+            })
+
+
+def load_records_csv(path: str | Path) -> list[TrialRecord]:
+    """Read trial records written by :func:`save_records_csv`."""
+    path = Path(path)
+    records: list[TrialRecord] = []
+    with path.open(newline="", encoding="utf-8") as fh:
+        for row in csv.DictReader(fh):
+            records.append(
+                TrialRecord(
+                    estimator=row["estimator"],
+                    n_true=int(row["n_true"]),
+                    n_hat=float(row["n_hat"]),
+                    error=float(row["error"]),
+                    seconds=float(row["seconds"]),
+                    seed=int(row["seed"]),
+                    eps=float(row["eps"]),
+                    delta=float(row["delta"]),
+                    distribution=row["distribution"],
+                    extra=json.loads(row["extra"]) if row["extra"] else {},
+                )
+            )
+    return records
+
+
+def save_figure_json(data: FigureData, path: str | Path) -> None:
+    """Write a figure's regenerated data to JSON."""
+    path = Path(path)
+    payload = {
+        "figure": data.figure,
+        "title": data.title,
+        "rows": _native(list(data.rows)),
+        "meta": _native(dict(data.meta)),
+    }
+    path.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+
+
+def load_figure_json(path: str | Path) -> FigureData:
+    """Read a figure written by :func:`save_figure_json`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    return FigureData(
+        figure=payload["figure"],
+        title=payload["title"],
+        rows=payload["rows"],
+        meta=payload["meta"],
+    )

@@ -1,0 +1,70 @@
+"""ASCII rendering of experiment results (no plotting dependencies).
+
+Renders :class:`~repro.experiments.figures.FigureData` tables and simple
+horizontal bar charts for the terminal, and assembles the EXPERIMENTS.md
+paper-vs-measured sections.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .figures import FigureData
+
+__all__ = ["render_table", "render_bars", "render_figure"]
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(rows: Sequence[dict], columns: Sequence[str] | None = None) -> str:
+    """Render dict-rows as a fixed-width ASCII table."""
+    if not rows:
+        return "(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    cells = [[_format_cell(row.get(c, "")) for c in cols] for row in rows]
+    widths = [max(len(c), *(len(r[i]) for r in cells)) for i, c in enumerate(cols)]
+    header = " | ".join(c.ljust(widths[i]) for i, c in enumerate(cols))
+    sep = "-+-".join("-" * w for w in widths)
+    body = "\n".join(" | ".join(r[i].ljust(widths[i]) for i in range(len(cols))) for r in cells)
+    return f"{header}\n{sep}\n{body}"
+
+
+def render_bars(
+    labels: Sequence[str], values: Sequence[float], *, width: int = 50, unit: str = ""
+) -> str:
+    """Horizontal ASCII bar chart (one bar per label, scaled to the max)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have the same length")
+    if not labels:
+        return "(no data)"
+    peak = max(values)
+    scale = width / peak if peak > 0 else 0.0
+    label_w = max(len(str(lb)) for lb in labels)
+    lines = []
+    for lb, v in zip(labels, values):
+        bar = "#" * max(1 if v > 0 else 0, int(round(v * scale)))
+        lines.append(f"{str(lb).ljust(label_w)} | {bar} {_format_cell(float(v))}{unit}")
+    return "\n".join(lines)
+
+
+def render_figure(data: FigureData, *, max_rows: int = 40) -> str:
+    """Render a FigureData: title, metadata, and (truncated) row table."""
+    lines = [f"== {data.figure}: {data.title} =="]
+    if data.meta:
+        for key, value in data.meta.items():
+            lines.append(f"   {key} = {_format_cell(value) if not isinstance(value, dict) else value}")
+    shown = data.rows[:max_rows]
+    lines.append(render_table(shown))
+    if len(data.rows) > max_rows:
+        lines.append(f"... ({len(data.rows) - max_rows} more rows)")
+    return "\n".join(lines)

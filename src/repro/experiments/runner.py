@@ -1,0 +1,156 @@
+"""Trial runner: executes estimators over sweeps and collects records.
+
+One :class:`TrialRecord` captures a single protocol execution (one paper
+"round"): the estimate, its relative error, the metered air time and the
+protocol diagnostics.  :func:`run_trials` repeats an estimator with distinct
+seeds; :func:`sweep` crosses it over parameter grids.  Everything is
+deterministic given the base seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..baselines.base import CardinalityEstimator
+from ..core.accuracy import AccuracyRequirement
+from ..core.bfce import BFCE
+from ..rfid.tags import TagPopulation
+from .stats import ErrorSummary
+
+__all__ = ["TrialRecord", "run_trials", "run_bfce_trials", "SweepPoint", "sweep"]
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """One protocol execution against a known ground truth."""
+
+    estimator: str
+    n_true: int
+    n_hat: float
+    error: float
+    seconds: float
+    seed: int
+    eps: float
+    delta: float
+    distribution: str = ""
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def within_eps(self) -> bool:
+        """Whether this trial met the ε-interval."""
+        return self.error <= self.eps
+
+
+def run_bfce_trials(
+    population: TagPopulation,
+    *,
+    trials: int,
+    eps: float = 0.05,
+    delta: float = 0.05,
+    base_seed: int = 0,
+    distribution: str = "",
+    estimator_factory: Callable[[AccuracyRequirement], BFCE] | None = None,
+) -> list[TrialRecord]:
+    """Run BFCE ``trials`` times with distinct reader seeds."""
+    req = AccuracyRequirement(eps, delta)
+    bfce = estimator_factory(req) if estimator_factory else BFCE(requirement=req)
+    n_true = population.size
+    records: list[TrialRecord] = []
+    for t in range(trials):
+        result = bfce.estimate(population, seed=base_seed + t)
+        records.append(
+            TrialRecord(
+                estimator="BFCE",
+                n_true=n_true,
+                n_hat=result.n_hat,
+                error=result.relative_error(n_true),
+                seconds=result.elapsed_seconds,
+                seed=base_seed + t,
+                eps=eps,
+                delta=delta,
+                distribution=distribution,
+                extra={
+                    "n_low": result.n_low,
+                    "pn_optimal": result.pn_optimal,
+                    "guarantee_met": result.guarantee_met,
+                },
+            )
+        )
+    return records
+
+
+def run_trials(
+    estimator: CardinalityEstimator,
+    population: TagPopulation,
+    *,
+    trials: int,
+    base_seed: int = 0,
+    distribution: str = "",
+) -> list[TrialRecord]:
+    """Run any baseline estimator ``trials`` times with distinct seeds."""
+    n_true = population.size
+    req = estimator.requirement
+    records: list[TrialRecord] = []
+    for t in range(trials):
+        result = estimator.estimate(population, seed=base_seed + t)
+        records.append(
+            TrialRecord(
+                estimator=result.estimator,
+                n_true=n_true,
+                n_hat=result.n_hat,
+                error=result.relative_error(n_true),
+                seconds=result.elapsed_seconds,
+                seed=base_seed + t,
+                eps=req.eps,
+                delta=req.delta,
+                distribution=distribution,
+                extra=dict(result.extra),
+            )
+        )
+    return records
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Aggregated result at one sweep coordinate."""
+
+    coords: dict
+    errors: ErrorSummary
+    mean_seconds: float
+    max_seconds: float
+    guarantee_rate: float
+    records: tuple[TrialRecord, ...]
+
+
+def sweep(
+    runner: Callable[..., Sequence[TrialRecord]],
+    grid: Iterable[dict],
+) -> list[SweepPoint]:
+    """Run ``runner(**coords)`` at every grid point and aggregate.
+
+    ``runner`` must return the trial records for one coordinate dict; the
+    coordinate dict is echoed back on the :class:`SweepPoint` so reports can
+    label rows without re-deriving parameters.
+    """
+    points: list[SweepPoint] = []
+    for coords in grid:
+        records = list(runner(**coords))
+        if not records:
+            raise ValueError(f"runner returned no records for {coords}")
+        errors = np.array([r.error for r in records])
+        seconds = np.array([r.seconds for r in records])
+        within = np.array([r.within_eps for r in records])
+        points.append(
+            SweepPoint(
+                coords=dict(coords),
+                errors=ErrorSummary.from_errors(errors),
+                mean_seconds=float(seconds.mean()),
+                max_seconds=float(seconds.max()),
+                guarantee_rate=float(within.mean()),
+                records=tuple(records),
+            )
+        )
+    return points

@@ -1,0 +1,171 @@
+"""Statistical validation of the paper's modelling assumptions.
+
+Theorems 1–3 rest on three statistical premises:
+
+1. **per-slot marginal** — every Bloom slot is idle with probability
+   ``e^{−λ}`` (Theorem 1's Poissonization of the binomial);
+2. **slot independence** — ρ̄'s variance is ``σ²(X)/w``, i.e. slots behave
+   as independent Bernoulli trials (they are in fact weakly negatively
+   correlated: a response landing in slot i cannot land in slot j);
+3. **CLT normality** — the standardized ρ̄ is approximately N(0, 1) so the
+   erfinv-based quantile ``d`` is the right constant (Theorem 3).
+
+This module tests each premise against the bit-level simulator, giving the
+reproduction an evidence trail that the implementation matches the theory it
+claims to implement (and quantifying how benign the neglected correlation
+is).  Used by the validation benchmark and the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from ..rfid.frames import run_bfce_frame
+from ..rfid.tags import TagPopulation
+
+__all__ = [
+    "MarginalCheck",
+    "check_slot_marginal",
+    "IndependenceCheck",
+    "check_slot_independence",
+    "NormalityCheck",
+    "check_rho_normality",
+]
+
+
+def _collect_rhos(
+    population: TagPopulation,
+    *,
+    w: int,
+    k: int,
+    pn: int,
+    frames: int,
+    base_seed: int,
+) -> np.ndarray:
+    rng = np.random.default_rng(base_seed)
+    rhos = np.empty(frames, dtype=np.float64)
+    for t in range(frames):
+        seeds = rng.integers(0, 1 << 32, size=k, dtype=np.uint64)
+        rhos[t] = run_bfce_frame(population, w=w, seeds=seeds, p_n=pn).rho
+    return rhos
+
+
+@dataclass(frozen=True)
+class MarginalCheck:
+    """Observed vs theoretical idle probability."""
+
+    observed: float
+    theoretical: float
+    z_score: float
+    passes: bool
+
+
+def check_slot_marginal(
+    population: TagPopulation,
+    *,
+    w: int = 8192,
+    k: int = 3,
+    pn: int = 102,
+    frames: int = 20,
+    base_seed: int = 0,
+    z_limit: float = 4.0,
+) -> MarginalCheck:
+    """Premise 1: pooled idle fraction matches e^{−λ} within CLT noise.
+
+    Pools ``frames`` independent frames (frames × w slots) and compares the
+    grand idle fraction against Theorem 1 with a z-test.
+    """
+    n = population.size
+    p = pn / 1024
+    theoretical = float(np.exp(-k * p * n / w))
+    rhos = _collect_rhos(
+        population, w=w, k=k, pn=pn, frames=frames, base_seed=base_seed
+    )
+    observed = float(rhos.mean())
+    se = float(np.sqrt(theoretical * (1 - theoretical) / (frames * w)))
+    z = (observed - theoretical) / se if se > 0 else 0.0
+    return MarginalCheck(
+        observed=observed,
+        theoretical=theoretical,
+        z_score=float(z),
+        passes=abs(z) <= z_limit,
+    )
+
+
+@dataclass(frozen=True)
+class IndependenceCheck:
+    """Observed ρ̄ variance vs the independent-slot prediction."""
+
+    variance_ratio: float
+    observed_std: float
+    predicted_std: float
+    passes: bool
+
+
+def check_slot_independence(
+    population: TagPopulation,
+    *,
+    w: int = 8192,
+    k: int = 3,
+    pn: int = 102,
+    frames: int = 60,
+    base_seed: int = 1,
+    ratio_band: tuple[float, float] = (0.5, 1.5),
+) -> IndependenceCheck:
+    """Premise 2: Var(ρ̄) ≈ p(1−p)/w.
+
+    The true slots are weakly *negatively* correlated (balls-into-bins), so
+    the observed variance may sit slightly below the independent-slot
+    prediction; a ratio far above 1 would mean the hash clusters responses.
+    """
+    n = population.size
+    p_theory = float(np.exp(-k * (pn / 1024) * n / w))
+    predicted_var = p_theory * (1 - p_theory) / w
+    rhos = _collect_rhos(
+        population, w=w, k=k, pn=pn, frames=frames, base_seed=base_seed
+    )
+    observed_var = float(rhos.var(ddof=1))
+    ratio = observed_var / predicted_var if predicted_var > 0 else np.inf
+    return IndependenceCheck(
+        variance_ratio=float(ratio),
+        observed_std=float(np.sqrt(observed_var)),
+        predicted_std=float(np.sqrt(predicted_var)),
+        passes=ratio_band[0] <= ratio <= ratio_band[1],
+    )
+
+
+@dataclass(frozen=True)
+class NormalityCheck:
+    """Normality of the standardized ρ̄ across frames."""
+
+    statistic: float
+    p_value: float
+    passes: bool
+
+
+def check_rho_normality(
+    population: TagPopulation,
+    *,
+    w: int = 8192,
+    k: int = 3,
+    pn: int = 102,
+    frames: int = 80,
+    base_seed: int = 2,
+    alpha: float = 0.01,
+) -> NormalityCheck:
+    """Premise 3: standardized ρ̄ passes a normality test (Shapiro–Wilk).
+
+    Under H₀ (normal) the p-value is uniform, so a small ``alpha`` keeps the
+    check's own false-failure rate low.
+    """
+    rhos = _collect_rhos(
+        population, w=w, k=k, pn=pn, frames=frames, base_seed=base_seed
+    )
+    standardized = (rhos - rhos.mean()) / rhos.std(ddof=1)
+    stat, p_value = stats.shapiro(standardized)
+    return NormalityCheck(
+        statistic=float(stat), p_value=float(p_value), passes=p_value > alpha
+    )

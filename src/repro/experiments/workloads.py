@@ -1,0 +1,78 @@
+"""Workload builders: populations and sweep grids used by the experiments.
+
+Centralises the parameter choices of the paper's evaluation (Sec. V) so the
+figure generators and the benchmark harness agree on them:
+
+* cardinalities swept in Fig. 7(a) / Fig. 9(a);
+* the ε and δ grids of Figs. 7(b, c) and 9–10(b, c) — 0.05 … 0.30;
+* the reference point n = 500 000, (ε, δ) = (0.05, 0.05) used throughout.
+
+Populations are cached per (distribution, n, seed) because tagID generation
+(unique draws over [1, 10¹⁵]) is the costliest part of a sweep at large n.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from ..rfid.ids import make_ids
+from ..rfid.tags import TagPopulation
+
+__all__ = [
+    "N_SWEEP",
+    "N_SWEEP_SMALL",
+    "EPS_SWEEP",
+    "DELTA_SWEEP",
+    "REFERENCE_N",
+    "DISTRIBUTION_NAMES",
+    "population",
+]
+
+#: Cardinality sweep of Fig. 7(a): 10³ … 10⁶.
+N_SWEEP: tuple[int, ...] = (1_000, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000)
+
+#: Reduced sweep for quick benchmark runs.
+N_SWEEP_SMALL: tuple[int, ...] = (1_000, 10_000, 100_000, 500_000)
+
+#: Confidence-interval sweep of Figs. 7(b) / 9(b) / 10(b).
+EPS_SWEEP: tuple[float, ...] = (0.05, 0.10, 0.15, 0.20, 0.25, 0.30)
+
+#: Error-probability sweep of Figs. 7(c) / 9(c) / 10(c).
+DELTA_SWEEP: tuple[float, ...] = (0.05, 0.10, 0.15, 0.20, 0.25, 0.30)
+
+#: The fixed cardinality of Figs. 7(b, c), 8, 9(b, c), 10(b, c).
+REFERENCE_N: int = 500_000
+
+#: The paper's three tagID distributions.
+DISTRIBUTION_NAMES: tuple[str, ...] = ("T1", "T2", "T3")
+
+
+@lru_cache(maxsize=64)
+def _cached_ids(distribution: str, n: int, seed: int) -> np.ndarray:
+    ids = make_ids(distribution, n, seed)
+    ids.setflags(write=False)
+    return ids
+
+
+def population(
+    distribution: str,
+    n: int,
+    *,
+    seed: int = 0,
+    rn_source: str = "tagid",
+    persistence_mode: str = "event",
+) -> TagPopulation:
+    """Build (or fetch from cache) a tag population for one sweep point.
+
+    The underlying tagID array is cached and marked read-only; the
+    :class:`~repro.rfid.tags.TagPopulation` wrapper is constructed fresh so
+    callers may vary ``rn_source`` / ``persistence_mode`` freely.
+    """
+    ids = _cached_ids(distribution, int(n), int(seed))
+    return TagPopulation(
+        ids.copy(),
+        rn_source=rn_source,  # type: ignore[arg-type]
+        persistence_mode=persistence_mode,  # type: ignore[arg-type]
+    )

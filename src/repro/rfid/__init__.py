@@ -1,0 +1,90 @@
+"""RFID substrate: tagID populations, tag model, hashing, channel, frames, reader."""
+
+from .channel import Channel, NoisyChannel, PerfectChannel
+from .epc import Sgtin96, decode_sgtin96, encode_sgtin96, sgtin_population
+from .faults import FaultModel, FaultyPopulation, correct_skew
+from .frames import FrameResult, run_bfce_frame, slot_response_counts
+from .hashing import (
+    chi2_uniformity,
+    derive_rn_from_ids,
+    geometric_hash,
+    mix64,
+    uniform_hash,
+    uniform_unit,
+    xor_bitget_hash,
+)
+from .identification import (
+    HybridCounter,
+    HybridResult,
+    InventoryResult,
+    QInventory,
+)
+from .ids import (
+    DISTRIBUTIONS,
+    ID_SPACE_MAX,
+    TagIDDistribution,
+    approx_normal_ids,
+    make_ids,
+    normal_ids,
+    uniform_ids,
+)
+from .multireader import (
+    CoverageMap,
+    MultiReaderResult,
+    MultiReaderSystem,
+    OverlapEstimate,
+    estimate_pairwise_overlap,
+    naive_sum_estimate,
+)
+from .protocol import ESTIMATE_COMMAND, FieldSpec, MessageSpec, bfce_phase_message
+from .reader import Reader
+from .tags import PERSISTENCE_BITS, PERSISTENCE_DENOM, PersistenceMode, TagPopulation
+
+__all__ = [
+    "Sgtin96",
+    "decode_sgtin96",
+    "encode_sgtin96",
+    "sgtin_population",
+    "FaultModel",
+    "FaultyPopulation",
+    "correct_skew",
+    "OverlapEstimate",
+    "estimate_pairwise_overlap",
+    "HybridCounter",
+    "HybridResult",
+    "InventoryResult",
+    "QInventory",
+    "CoverageMap",
+    "MultiReaderResult",
+    "MultiReaderSystem",
+    "naive_sum_estimate",
+    "Channel",
+    "NoisyChannel",
+    "PerfectChannel",
+    "FrameResult",
+    "run_bfce_frame",
+    "slot_response_counts",
+    "chi2_uniformity",
+    "derive_rn_from_ids",
+    "geometric_hash",
+    "mix64",
+    "uniform_hash",
+    "uniform_unit",
+    "xor_bitget_hash",
+    "DISTRIBUTIONS",
+    "ID_SPACE_MAX",
+    "TagIDDistribution",
+    "approx_normal_ids",
+    "make_ids",
+    "normal_ids",
+    "uniform_ids",
+    "ESTIMATE_COMMAND",
+    "FieldSpec",
+    "MessageSpec",
+    "bfce_phase_message",
+    "Reader",
+    "PERSISTENCE_BITS",
+    "PERSISTENCE_DENOM",
+    "PersistenceMode",
+    "TagPopulation",
+]

@@ -1,0 +1,76 @@
+"""Bit-slot channel models.
+
+The reader senses each bit-slot and classifies it *busy* (≥ 1 tag responded)
+or *idle*.  The paper assumes a perfect channel (Sec. III-A); a noisy model
+is provided for failure-injection tests and the channel ablation bench.
+
+Channels operate on *response counts per slot* (how many tags transmitted in
+each slot) and return the per-slot busy/idle observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Channel", "PerfectChannel", "NoisyChannel"]
+
+
+class Channel:
+    """Interface: map per-slot response counts to observed busy flags."""
+
+    def observe(self, counts: np.ndarray, rng: np.random.Generator | None = None) -> np.ndarray:
+        """Return a boolean array: True where the reader senses a busy slot."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class PerfectChannel(Channel):
+    """The paper's model: a slot is busy iff at least one tag responds."""
+
+    def observe(self, counts: np.ndarray, rng: np.random.Generator | None = None) -> np.ndarray:
+        counts = np.asarray(counts)
+        if np.any(counts < 0):
+            raise ValueError("response counts must be non-negative")
+        return counts > 0
+
+
+@dataclass(frozen=True)
+class NoisyChannel(Channel):
+    """Channel with miss and false-alarm errors (extension).
+
+    Parameters
+    ----------
+    miss_prob:
+        Probability that a busy slot is sensed idle.  With ``m ≥ 1``
+        responders the slot is missed only if *every* response is lost,
+        i.e. with probability ``miss_prob ** m`` (responses add power).
+    false_alarm_prob:
+        Probability that an idle slot is sensed busy (ambient interference).
+    """
+
+    miss_prob: float = 0.0
+    false_alarm_prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.miss_prob <= 1:
+            raise ValueError("miss_prob must be in [0, 1]")
+        if not 0 <= self.false_alarm_prob <= 1:
+            raise ValueError("false_alarm_prob must be in [0, 1]")
+
+    def observe(self, counts: np.ndarray, rng: np.random.Generator | None = None) -> np.ndarray:
+        counts = np.asarray(counts)
+        if np.any(counts < 0):
+            raise ValueError("response counts must be non-negative")
+        if rng is None:
+            rng = np.random.default_rng()
+        busy = counts > 0
+        out = np.empty(counts.shape, dtype=bool)
+        # Busy slots survive unless all m responses are individually missed.
+        survive = rng.random(counts.shape) >= np.power(
+            self.miss_prob, np.maximum(counts, 1), dtype=np.float64
+        )
+        out[busy] = survive[busy]
+        out[~busy] = rng.random(int((~busy).sum())) < self.false_alarm_prob
+        return out

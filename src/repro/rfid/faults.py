@@ -1,0 +1,144 @@
+"""Fault injection: deployment imperfections the paper's model excludes.
+
+The paper assumes a perfect, synchronized air interface (Sec. III-A).  Real
+docks are messier.  This module wraps a :class:`~repro.rfid.tags.TagPopulation`
+with three fault families so the robustness of the estimator — and of the
+bias corrections below — can be measured:
+
+* **persistence skew** — tags' RNG/threshold circuits respond with
+  ``p' = skew·p`` instead of the commanded ``p`` (voltage/process variation).
+  Biases λ multiplicatively, hence the estimate by the same factor; if the
+  skew is characterised (e.g. from calibration), :func:`correct_skew`
+  removes it exactly.
+* **desynchronisation** — a fraction of tags miss the parameter broadcast
+  entirely (deep fade, reader handoff) and stay silent for the whole frame.
+  Indistinguishable from absence: the estimator converges on the *awake*
+  population, a structural undercount of exactly that fraction.
+* **clock drift** — a drifting tag fires its response one slot late with
+  some probability.  Occupancy moves between adjacent slots; the total
+  number of busy slots is almost unchanged, so the estimator is nearly
+  immune — a genuinely reassuring property this module lets you verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .hashing import uniform_unit
+from .tags import PERSISTENCE_DENOM, TagPopulation
+
+__all__ = ["FaultModel", "FaultyPopulation", "correct_skew"]
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Deployment-fault parameters.
+
+    Parameters
+    ----------
+    persistence_skew:
+        Multiplier on the commanded persistence probability (1.0 = nominal;
+        0.8 means tags respond 20% less often than commanded).
+    desync_fraction:
+        Fraction of tags that miss the broadcast and stay silent all frame.
+    drift_prob:
+        Per-response probability that a response lands one slot late
+        (wrapping at the frame end).
+    """
+
+    persistence_skew: float = 1.0
+    desync_fraction: float = 0.0
+    drift_prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.persistence_skew <= 0:
+            raise ValueError("persistence_skew must be positive")
+        if not 0 <= self.desync_fraction < 1:
+            raise ValueError("desync_fraction must be in [0, 1)")
+        if not 0 <= self.drift_prob <= 1:
+            raise ValueError("drift_prob must be in [0, 1]")
+
+    @property
+    def is_nominal(self) -> bool:
+        return (
+            self.persistence_skew == 1.0
+            and self.desync_fraction == 0.0
+            and self.drift_prob == 0.0
+        )
+
+
+class FaultyPopulation(TagPopulation):
+    """A tag population subject to a :class:`FaultModel`.
+
+    Drop-in replacement for :class:`TagPopulation` — every protocol in the
+    repository runs against it unmodified.  Faults are deterministic given
+    the population and ``fault_seed``.
+    """
+
+    def __init__(
+        self,
+        tag_ids: np.ndarray,
+        fault: FaultModel,
+        *,
+        fault_seed: int = 0,
+        **kwargs,
+    ) -> None:
+        super().__init__(tag_ids, **kwargs)
+        self.fault = fault
+        self.fault_seed = fault_seed
+        # Desynchronised tags are fixed per deployment, not per frame.
+        u = uniform_unit(self.tag_ids, seed=fault_seed ^ 0xDE5A)
+        self._desynced = u < fault.desync_fraction
+
+    # -- persistence skew + desync affect the response decision ---------
+    def persistence_decisions(self, p_n: int, frame_seed: int, k: int) -> np.ndarray:
+        skewed = self.fault.persistence_skew * p_n
+        # Realise the skewed probability exactly (fractional numerators) by
+        # drawing against p'·denom directly rather than rounding p_n.
+        if self.persistence_mode == "event" and skewed != p_n:
+            dec = np.empty((k, self.size), dtype=bool)
+            target = min(skewed / PERSISTENCE_DENOM, 1.0)
+            for j in range(k):
+                u = uniform_unit(self.tag_ids, seed=_fault_event_seed(frame_seed, j))
+                dec[j] = u < target
+        else:
+            dec = super().persistence_decisions(
+                min(int(round(skewed)), PERSISTENCE_DENOM) if skewed != p_n else p_n,
+                frame_seed,
+                k,
+            )
+        if self._desynced.any():
+            dec = dec & ~self._desynced[None, :]
+        return dec
+
+    # -- clock drift affects slot placement -----------------------------
+    def slot_selections(self, seeds, w: int) -> np.ndarray:
+        sel = super().slot_selections(seeds, w)
+        if self.fault.drift_prob > 0:
+            k = sel.shape[0]
+            for j in range(k):
+                u = uniform_unit(
+                    self.tag_ids, seed=_fault_event_seed(int(np.asarray(seeds)[0]) + j, 0x0D)
+                )
+                late = u < self.fault.drift_prob
+                sel[j, late] = (sel[j, late] + 1) % w
+        return sel
+
+
+def _fault_event_seed(frame_seed: int, j: int) -> int:
+    from .hashing import mix64
+
+    return int(mix64(np.uint64(((frame_seed & 0xFFFFFFFF) << 8) ^ (j + 0xFA))))
+
+
+def correct_skew(n_hat: float, persistence_skew: float) -> float:
+    """Remove a characterised persistence skew from an estimate.
+
+    The skew scales λ = k·p·n/w by ``skew``; Eq. 3 then returns ``skew·n``,
+    so dividing restores the unbiased estimate.
+    """
+    if persistence_skew <= 0:
+        raise ValueError("persistence_skew must be positive")
+    return n_hat / persistence_skew

@@ -1,0 +1,137 @@
+"""Bit-slot frame execution.
+
+A *frame* is the tag→reader half of one estimation phase: the reader has
+broadcast parameters (``w``, ``k`` seeds, ``p_n``) and now senses ``w``
+consecutive bit-slots.  :func:`run_bfce_frame` computes the resulting Bloom
+vector ``B`` for an entire tag population in a handful of vectorized NumPy
+operations (slot hashing → persistence mask → ``np.bincount`` → channel).
+
+Polarity (paper Algorithm 1): ``B[i] = 1`` for an **idle** slot and
+``B[i] = 0`` for a **busy** slot, so the ratio of 1s ``ρ̄`` estimates
+``e^{−λ}``.
+
+A frame may be *truncated*: the reader announces the full hash range ``w``
+but stops sensing after ``observe_slots`` slots (the rough phase observes
+1024 of 8192).  Because each slot's occupancy is identically distributed,
+the observed prefix is an unbiased sample of the full frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .channel import Channel, PerfectChannel
+from .tags import TagPopulation
+
+__all__ = ["FrameResult", "run_bfce_frame", "slot_response_counts"]
+
+_PERFECT = PerfectChannel()
+
+
+@dataclass(frozen=True)
+class FrameResult:
+    """Outcome of one bit-slot frame.
+
+    Attributes
+    ----------
+    bloom:
+        The observed Bloom vector ``B`` (uint8; 1 = idle, 0 = busy), of
+        length ``observe_slots``.
+    rho:
+        Ratio of 1s in ``bloom`` (fraction of idle slots), the paper's ρ̄.
+    responses:
+        Total number of tag transmissions that occurred in observed slots
+        (used by the energy model; not observable by a real reader).
+    w:
+        The announced hash range (Bloom length), which may exceed
+        ``len(bloom)`` for truncated frames.
+    """
+
+    bloom: np.ndarray
+    rho: float
+    responses: int
+    w: int
+
+    @property
+    def observed_slots(self) -> int:
+        return int(self.bloom.size)
+
+    @property
+    def ones(self) -> int:
+        """Number of idle slots observed."""
+        return int(self.bloom.sum())
+
+    @property
+    def zeros(self) -> int:
+        """Number of busy slots observed."""
+        return int(self.bloom.size - self.bloom.sum())
+
+
+def slot_response_counts(
+    population: TagPopulation,
+    *,
+    w: int,
+    seeds: np.ndarray | list[int],
+    p_n: int,
+) -> np.ndarray:
+    """Number of tag transmissions landing in each of the ``w`` slots.
+
+    Implements Algorithm 2 for the whole population: every tag hashes to
+    ``k = len(seeds)`` slots and transmits in each selected slot with
+    persistence probability ``p_n / 1024``.  A tag whose hashes collide on
+    one slot may transmit more than once there; the channel ORs them anyway.
+    """
+    k = len(seeds)
+    selections = population.slot_selections(seeds, w)  # (k, n)
+    frame_seed = int(np.asarray(seeds, dtype=np.uint64)[0])
+    decisions = population.persistence_decisions(p_n, frame_seed, k)  # (k, n)
+    hit_slots = selections[decisions]
+    return np.bincount(hit_slots, minlength=w)
+
+
+def run_bfce_frame(
+    population: TagPopulation,
+    *,
+    w: int,
+    seeds: np.ndarray | list[int],
+    p_n: int,
+    observe_slots: int | None = None,
+    channel: Channel | None = None,
+    channel_rng: np.random.Generator | None = None,
+) -> FrameResult:
+    """Execute one BFCE frame and return the observed Bloom vector.
+
+    Parameters
+    ----------
+    population:
+        The tags in range.
+    w:
+        Announced Bloom length (hash range); power of two.
+    seeds:
+        ``k`` 32-bit random seeds for this frame.
+    p_n:
+        Persistence numerator; ``p = p_n / 1024``.
+    observe_slots:
+        Sense only the first this-many slots (defaults to all ``w``).
+    channel:
+        Channel model; defaults to the paper's perfect channel.
+    channel_rng:
+        RNG for noisy channels (ignored by the perfect channel).
+    """
+    if observe_slots is None:
+        observe_slots = w
+    if not 1 <= observe_slots <= w:
+        raise ValueError(f"observe_slots must be in [1, w={w}], got {observe_slots}")
+    counts = slot_response_counts(population, w=w, seeds=seeds, p_n=p_n)
+    counts = counts[:observe_slots]
+    ch = channel if channel is not None else _PERFECT
+    busy = ch.observe(counts, rng=channel_rng)
+    bloom = (~busy).astype(np.uint8)
+    return FrameResult(
+        bloom=bloom,
+        rho=float(bloom.mean()),
+        responses=int(counts.sum()),
+        w=w,
+    )

@@ -1,0 +1,176 @@
+"""Hash primitives used by RFID estimation protocols.
+
+Three families live here:
+
+* **XOR/bitget hash** (Sec. IV-E.2 of the paper): each tag prestores a 32-bit
+  random number ``RN``; on receiving a 32-bit seed ``RS`` it computes
+  ``H = bitget(RN ⊕ RS, 13:1)`` — the lowest 13 bits of the XOR — yielding a
+  slot index in ``[0, 8192)``.  This is the only computation a BFCE tag needs.
+* **Splittable integer mixer** (`mix64`): a SplitMix64-style finalizer used to
+  (a) derive prestored RNs from tagIDs and (b) give baselines a high-quality
+  uniform hash ``uniform_hash`` without carrying Python-level RNG state.
+* **Geometric hash** (`geometric_hash`): maps a tag to the position of the
+  lowest set bit of a uniform hash — ``P(G = i) = 2^{-(i+1)}`` — the primitive
+  behind LOF-style lottery-frame estimators.
+
+All functions are vectorized over NumPy ``uint64``/``uint32`` arrays and never
+loop in Python over tags.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "mix64",
+    "derive_rn_from_ids",
+    "xor_bitget_hash",
+    "uniform_hash",
+    "uniform_unit",
+    "geometric_hash",
+    "chi2_uniformity",
+]
+
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+_U64_MASK = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def mix64(x: np.ndarray | int) -> np.ndarray:
+    """SplitMix64 finalizer: a bijective avalanche mixer on uint64.
+
+    Accepts any integer array (copied to uint64); returns uint64 with all 64
+    output bits depending on all input bits.  Deterministic and stateless.
+    """
+    with np.errstate(over="ignore"):
+        # uint64 arithmetic wraps by design; silence NumPy's scalar-overflow
+        # warning (array ops never warn, 0-d scalars do).
+        z = np.asarray(x, dtype=np.uint64) + _GOLDEN
+        z = (z ^ (z >> np.uint64(30))) * _MIX1
+        z = (z ^ (z >> np.uint64(27))) * _MIX2
+        return z ^ (z >> np.uint64(31))
+
+
+def derive_rn_from_ids(tag_ids: np.ndarray) -> np.ndarray:
+    """Derive the 32-bit prestored random number of each tag from its tagID.
+
+    The paper prestores an RN "prior to the RFID system deployment"; deriving
+    it deterministically from the tagID lets the tagID *distribution*
+    (T1/T2/T3, Fig. 6) flow through the hash path, which is what the paper's
+    robustness evaluation varies.  Uses one `mix64` round, so even clustered
+    IDs (T3 normal) produce well-spread RNs — matching commissioning with a
+    decent PRNG.
+
+    Parameters
+    ----------
+    tag_ids:
+        Integer array of tagIDs (any integer dtype; values may exceed 2**32).
+
+    Returns
+    -------
+    uint32 array of per-tag RNs, same shape as ``tag_ids``.
+    """
+    ids = np.asarray(tag_ids)
+    if ids.dtype == object or not np.issubdtype(ids.dtype, np.integer):
+        # tagIDs up to 1e15 fit in int64/uint64; object arrays come from
+        # Python ints and are converted explicitly.
+        ids = ids.astype(np.uint64)
+    return (mix64(ids.astype(np.uint64)) & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+
+
+def xor_bitget_hash(rn: np.ndarray, seed: int, out_bits: int = 13) -> np.ndarray:
+    """The tag-side hash of Sec. IV-E.2: ``bitget(RN ⊕ RS, out_bits:1)``.
+
+    Parameters
+    ----------
+    rn:
+        uint32 array of prestored per-tag random numbers.
+    seed:
+        The 32-bit random seed ``RS`` broadcast by the reader.
+    out_bits:
+        Number of low bits to keep.  13 gives slot indices in ``[0, 8192)``
+        for the paper's ``w = 8192``.
+
+    Returns
+    -------
+    uint32 array of slot indices in ``[0, 2**out_bits)``.
+
+    Notes
+    -----
+    XOR with a seed is a *permutation* of the RN space, not a mixing hash:
+    uniformity of the output relies entirely on uniformity of the low bits of
+    ``RN``.  This is faithful to the paper (tags can only afford XOR+bitget);
+    `derive_rn_from_ids` supplies the required RN uniformity.
+    """
+    if not 1 <= out_bits <= 32:
+        raise ValueError("out_bits must be in [1, 32]")
+    rn = np.asarray(rn, dtype=np.uint32)
+    mask = np.uint32((1 << out_bits) - 1)
+    return (rn ^ np.uint32(seed & 0xFFFFFFFF)) & mask
+
+
+def uniform_hash(keys: np.ndarray, seed: int, modulus: int) -> np.ndarray:
+    """High-quality uniform hash of integer keys into ``[0, modulus)``.
+
+    Used by baseline protocols whose published designs assume ideal uniform
+    hash functions (UPE, EZB, FNEB, MLE, ART, SRC).  Implemented as
+    ``mix64(key ⊕ mix64(seed)) mod modulus``.
+    """
+    if modulus <= 0:
+        raise ValueError("modulus must be positive")
+    keys = np.asarray(keys, dtype=np.uint64)
+    seeded = keys ^ mix64(np.uint64(seed & 0xFFFFFFFFFFFFFFFF))
+    return (mix64(seeded) % np.uint64(modulus)).astype(np.int64)
+
+
+def uniform_unit(keys: np.ndarray, seed: int) -> np.ndarray:
+    """Uniform hash of integer keys into the float interval ``[0, 1)``.
+
+    Used to realise per-tag persistence decisions deterministically from
+    (tagID, seed) pairs, so a simulation replays identically for a seed.
+    """
+    keys = np.asarray(keys, dtype=np.uint64)
+    seeded = keys ^ mix64(np.uint64(seed & 0xFFFFFFFFFFFFFFFF))
+    # 53-bit mantissa for an unbiased float64 in [0, 1).
+    return (mix64(seeded) >> np.uint64(11)).astype(np.float64) / float(1 << 53)
+
+
+def geometric_hash(keys: np.ndarray, seed: int, max_bits: int = 32) -> np.ndarray:
+    """Geometric-distributed hash: position of the lowest set bit.
+
+    ``P(G = i) = 2^{-(i+1)}`` for ``i < max_bits - 1``; keys whose low
+    ``max_bits`` hash bits are all zero land in the final bucket
+    ``max_bits - 1``.  This is the LOF (lottery frame) primitive [19].
+
+    Returns
+    -------
+    int64 array of bucket indices in ``[0, max_bits)``.
+    """
+    if not 1 <= max_bits <= 64:
+        raise ValueError("max_bits must be in [1, 64]")
+    keys = np.asarray(keys, dtype=np.uint64)
+    h = mix64(keys ^ mix64(np.uint64(seed & 0xFFFFFFFFFFFFFFFF)))
+    if max_bits < 64:
+        h = h & np.uint64((1 << max_bits) - 1)
+    # Lowest set bit via isolate-and-log2; all-zero maps to max_bits - 1.
+    low = h & (~h + np.uint64(1))
+    pos = np.full(h.shape, max_bits - 1, dtype=np.int64)
+    nz = low != 0
+    pos[nz] = np.log2(low[nz].astype(np.float64)).astype(np.int64)
+    return np.minimum(pos, max_bits - 1)
+
+
+def chi2_uniformity(samples: np.ndarray, bins: int) -> float:
+    """Pearson χ² statistic of integer samples against uniform ``[0, bins)``.
+
+    A diagnostic for hash quality: for a uniform hash the statistic is
+    approximately χ²(bins−1), i.e. close to ``bins`` for large samples.
+    """
+    if bins <= 1:
+        raise ValueError("bins must be > 1")
+    counts = np.bincount(np.asarray(samples, dtype=np.int64), minlength=bins)
+    if counts.size > bins:
+        raise ValueError("samples out of range [0, bins)")
+    expected = samples.size / bins
+    return float(((counts - expected) ** 2 / expected).sum())

@@ -1,0 +1,94 @@
+"""Reader→tag message formats and their bit lengths.
+
+The paper's overhead analysis (Sec. IV-E.1) expresses the downlink cost of a
+phase as ``(l_w + l_k + k·l_R + l_p) · t_{r→t}``, then notes that ``w`` and
+``k`` are constants that can be preloaded on tags, leaving ``k·l_R + l_p``
+bits per phase.  This module encodes that message structure so every
+protocol's downlink bits come from a declared format instead of magic
+numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["FieldSpec", "MessageSpec", "ESTIMATE_COMMAND", "bfce_phase_message"]
+
+#: Length of one random seed broadcast by the reader (bits).  Sec. V-A fixes
+#: both seed and persistence-numerator fields at 32 bits.
+SEED_BITS: int = 32
+
+#: Length of the persistence-probability field (bits).
+P_FIELD_BITS: int = 32
+
+#: Length of the w field, if transmitted (bits).
+W_FIELD_BITS: int = 16
+
+#: Length of the k field, if transmitted (bits).
+K_FIELD_BITS: int = 8
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One field of a reader broadcast."""
+
+    name: str
+    bits: int
+
+    def __post_init__(self) -> None:
+        if self.bits < 0:
+            raise ValueError("field length must be non-negative")
+
+
+@dataclass(frozen=True)
+class MessageSpec:
+    """An ordered set of fields making up one reader broadcast."""
+
+    name: str
+    fields: tuple[FieldSpec, ...] = field(default_factory=tuple)
+
+    @property
+    def bits(self) -> int:
+        """Total message length in bits."""
+        return sum(f.bits for f in self.fields)
+
+    def field_bits(self, name: str) -> int:
+        for f in self.fields:
+            if f.name == name:
+                return f.bits
+        raise KeyError(f"message {self.name!r} has no field {name!r}")
+
+
+#: The bare "estimate" command (treated as zero-length in the paper's
+#: accounting; kept explicit so extensions can price it).
+ESTIMATE_COMMAND = MessageSpec("estimate", ())
+
+
+def bfce_phase_message(
+    k: int,
+    *,
+    preloaded_constants: bool = True,
+    seed_bits: int = SEED_BITS,
+    p_bits: int = P_FIELD_BITS,
+) -> MessageSpec:
+    """The parameter broadcast opening one BFCE phase.
+
+    Parameters
+    ----------
+    k:
+        Number of hash seeds included.
+    preloaded_constants:
+        If True (the paper's setting), ``w`` and ``k`` are preloaded on tags
+        and not transmitted; the message is ``k`` seeds plus ``p_n``
+        (``k·32 + 32`` bits).  If False, 16-bit ``w`` and 8-bit ``k`` fields
+        are included as well.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    fields: list[FieldSpec] = []
+    if not preloaded_constants:
+        fields.append(FieldSpec("w", W_FIELD_BITS))
+        fields.append(FieldSpec("k", K_FIELD_BITS))
+    fields.extend(FieldSpec(f"seed_{j}", seed_bits) for j in range(k))
+    fields.append(FieldSpec("p_n", p_bits))
+    return MessageSpec("bfce_phase", tuple(fields))

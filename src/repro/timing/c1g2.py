@@ -1,0 +1,104 @@
+"""EPCglobal Class-1 Generation-2 (C1G2) air-interface timing model.
+
+The paper's evaluation (Sec. V-A) and overhead analysis (Sec. IV-E.1) use a
+small set of timing constants taken from the EPCglobal C1G2 standard [24]:
+
+* the reader transmits to tags at 26.5 kb/s, i.e. **37.76 µs per bit**;
+* tags transmit to the reader at 53 kb/s, i.e. **18.88 µs per bit**;
+* any two consecutive transmissions (reader→tag or tag→reader) are separated
+  by a waiting interval of **302 µs**.
+
+Every protocol in this repository meters its communication through these
+constants, via :class:`C1G2Timing`.  A *message* in either direction costs
+``bits × per-bit-time + t_int`` — exactly the accounting used by the paper
+(e.g. a 32-bit seed broadcast costs ``32 × 37.76 + 302 = 1510.3 µs``, quoted
+as "1,510 µs" in Sec. V-A; a tag frame of ``l`` bit-slots costs
+``18.88·l + 302 µs``).
+
+All times in this module are expressed in **seconds** unless a name ends in
+``_us`` (microseconds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "READER_TO_TAG_US_PER_BIT",
+    "TAG_TO_READER_US_PER_BIT",
+    "INTERVAL_US",
+    "C1G2Timing",
+]
+
+#: Time for the reader to transmit one bit to the tags (µs).  26.5 kb/s.
+READER_TO_TAG_US_PER_BIT: float = 37.76
+
+#: Time for a tag to transmit one bit to the reader (µs).  53 kb/s.
+TAG_TO_READER_US_PER_BIT: float = 18.88
+
+#: Mandatory waiting interval between two consecutive transmissions (µs).
+INTERVAL_US: float = 302.0
+
+_US = 1e-6
+
+
+@dataclass(frozen=True)
+class C1G2Timing:
+    """Timing constants of one C1G2 air interface.
+
+    The defaults are the standard values used throughout the paper.  All
+    fields are in microseconds; the ``*_s`` helpers convert message costs to
+    seconds.
+
+    Parameters
+    ----------
+    reader_to_tag_us_per_bit:
+        Per-bit downlink (reader → tag) transmission time.
+    tag_to_reader_us_per_bit:
+        Per-bit uplink (tag → reader) transmission time.  One *bit-slot* of a
+        parallel-response frame occupies exactly this long.
+    interval_us:
+        Gap between two consecutive transmissions in either direction.
+    """
+
+    reader_to_tag_us_per_bit: float = READER_TO_TAG_US_PER_BIT
+    tag_to_reader_us_per_bit: float = TAG_TO_READER_US_PER_BIT
+    interval_us: float = INTERVAL_US
+
+    def __post_init__(self) -> None:
+        if self.reader_to_tag_us_per_bit <= 0:
+            raise ValueError("reader_to_tag_us_per_bit must be positive")
+        if self.tag_to_reader_us_per_bit <= 0:
+            raise ValueError("tag_to_reader_us_per_bit must be positive")
+        if self.interval_us < 0:
+            raise ValueError("interval_us must be non-negative")
+
+    # ------------------------------------------------------------------
+    # message costs (seconds)
+    # ------------------------------------------------------------------
+    def downlink_s(self, bits: int) -> float:
+        """Cost of one reader→tag message of ``bits`` bits, incl. interval."""
+        if bits < 0:
+            raise ValueError("bits must be non-negative")
+        return (bits * self.reader_to_tag_us_per_bit + self.interval_us) * _US
+
+    def uplink_s(self, bit_slots: int) -> float:
+        """Cost of one tag→reader frame of ``bit_slots`` slots, incl. interval.
+
+        In the *bit-slot* response mode (Sec. III-A) every slot carries at
+        most one bit of channel state, so a frame of ``l`` slots costs
+        ``18.88·l + 302 µs`` regardless of how many tags respond.
+        """
+        if bit_slots < 0:
+            raise ValueError("bit_slots must be non-negative")
+        return (bit_slots * self.tag_to_reader_us_per_bit + self.interval_us) * _US
+
+    def seed_broadcast_s(self, seed_bits: int = 32) -> float:
+        """Cost of broadcasting one random seed (default 32 bits): 1510.3 µs."""
+        return self.downlink_s(seed_bits)
+
+
+#: Module-level default timing shared by all protocols.
+DEFAULT_TIMING = C1G2Timing()
+
+__all__.append("DEFAULT_TIMING")

@@ -1,0 +1,98 @@
+"""Per-tag energy accounting (extension).
+
+The paper's related work (MLE, Li et al. 2010) motivates estimators for
+*active* tags by their battery drain: every bit a tag transmits or receives
+costs energy.  This module adds a simple linear energy model on top of the
+:class:`~repro.timing.accounting.TimeLedger` so protocols can be compared on
+total tag-side energy as well as wall-clock time.
+
+Model
+-----
+* Receiving a downlink broadcast costs every tag ``rx_nj_per_bit × bits``
+  (all tags listen to every broadcast).
+* An uplink frame of ``l`` bit-slots costs each *responding* tag
+  ``tx_nj_per_bit`` per bit it actually transmits; idle tags listening to the
+  frame clock cost ``idle_nj_per_slot`` per slot.
+
+The defaults are representative of semi-active UHF tags (values in
+nanojoules); they matter only for *relative* protocol comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .accounting import TimeLedger
+
+__all__ = ["EnergyModel", "EnergyReport"]
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy totals for one protocol execution (nanojoules)."""
+
+    rx_nj: float
+    tx_nj: float
+    idle_nj: float
+
+    @property
+    def total_nj(self) -> float:
+        return self.rx_nj + self.tx_nj + self.idle_nj
+
+    @property
+    def total_uj(self) -> float:
+        """Total in microjoules."""
+        return self.total_nj * 1e-3
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Linear per-bit energy model for an active/semi-active tag.
+
+    Parameters
+    ----------
+    rx_nj_per_bit:
+        Energy for a tag to receive one downlink bit.
+    tx_nj_per_bit:
+        Energy for a tag to transmit one uplink bit.
+    idle_nj_per_slot:
+        Energy for a tag to stay synchronised through one bit-slot in which
+        it does not transmit.
+    """
+
+    rx_nj_per_bit: float = 0.6
+    tx_nj_per_bit: float = 9.0
+    idle_nj_per_slot: float = 0.05
+
+    def __post_init__(self) -> None:
+        for name in ("rx_nj_per_bit", "tx_nj_per_bit", "idle_nj_per_slot"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    def per_tag_report(
+        self,
+        ledger: TimeLedger,
+        *,
+        mean_tx_bits_per_tag: float,
+    ) -> EnergyReport:
+        """Average energy spent by one tag over a recorded execution.
+
+        Parameters
+        ----------
+        ledger:
+            The execution's message ledger.  Downlink bits are charged as RX
+            to every tag; uplink slots are charged as idle listening.
+        mean_tx_bits_per_tag:
+            Average number of bits one tag actually transmitted (protocol
+            specific — e.g. for BFCE at persistence ``p`` with ``k`` hashes
+            this is about ``k·p`` per frame).
+        """
+        if mean_tx_bits_per_tag < 0:
+            raise ValueError("mean_tx_bits_per_tag must be non-negative")
+        rx = ledger.downlink_bits() * self.rx_nj_per_bit
+        idle_slots = max(ledger.uplink_slots() - mean_tx_bits_per_tag, 0.0)
+        return EnergyReport(
+            rx_nj=rx,
+            tx_nj=mean_tx_bits_per_tag * self.tx_nj_per_bit,
+            idle_nj=idle_slots * self.idle_nj_per_slot,
+        )

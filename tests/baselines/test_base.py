@@ -1,0 +1,51 @@
+"""Unit tests for the estimator base interface."""
+
+import pytest
+
+from repro.baselines.base import CardinalityEstimator, EstimationResult
+from repro.core.accuracy import AccuracyRequirement
+from repro.timing.accounting import TimeLedger
+
+
+class TestEstimationResult:
+    def test_relative_error(self):
+        r = EstimationResult(n_hat=110.0, elapsed_seconds=0.1, estimator="X")
+        assert r.relative_error(100) == pytest.approx(0.1)
+
+    def test_relative_error_validates(self):
+        r = EstimationResult(n_hat=1.0, elapsed_seconds=0.0, estimator="X")
+        with pytest.raises(ValueError):
+            r.relative_error(0)
+
+    def test_defaults(self):
+        r = EstimationResult(n_hat=1.0, elapsed_seconds=0.0, estimator="X")
+        assert r.rounds == 1
+        assert r.extra == {}
+
+
+class TestCardinalityEstimator:
+    def test_default_requirement(self):
+        est = CardinalityEstimator()
+        assert est.requirement.eps == 0.05
+
+    def test_custom_requirement(self):
+        est = CardinalityEstimator(AccuracyRequirement(0.1, 0.2))
+        assert est.requirement.delta == 0.2
+
+    def test_estimate_with_reader_abstract(self, pop_small):
+        with pytest.raises(NotImplementedError):
+            CardinalityEstimator().estimate(pop_small)
+
+    def test_result_helper_pulls_ledger_totals(self):
+        ledger = TimeLedger()
+        ledger.record_downlink(32)
+        ledger.record_uplink(100)
+        est = CardinalityEstimator()
+        est.name = "helper-test"
+        r = est._result(42.0, ledger, rounds=3, extra={"a": 1})
+        assert r.estimator == "helper-test"
+        assert r.downlink_bits == 32
+        assert r.uplink_slots == 100
+        assert r.rounds == 3
+        assert r.extra == {"a": 1}
+        assert r.elapsed_seconds == pytest.approx(ledger.total_seconds())

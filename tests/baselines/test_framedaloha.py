@@ -1,0 +1,107 @@
+"""Unit tests for the shared framed-ALOHA machinery."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.framedaloha import (
+    AlohaFrame,
+    mean_run_length_of_ones,
+    run_aloha_frame,
+)
+from repro.rfid.ids import uniform_ids
+from repro.rfid.tags import TagPopulation
+
+
+class TestRunAlohaFrame:
+    def test_counts_shape(self, pop_small):
+        frame = run_aloha_frame(pop_small, frame_size=128, sampling_prob=0.5, seed=1)
+        assert frame.counts.shape == (128,)
+        assert frame.size == 128
+
+    def test_sampling_prob_zero_empty(self, pop_small):
+        frame = run_aloha_frame(pop_small, frame_size=64, sampling_prob=0.0, seed=1)
+        assert frame.counts.sum() == 0
+        assert frame.empty_fraction == 1.0
+
+    def test_sampling_prob_one_all_join(self, pop_small):
+        frame = run_aloha_frame(pop_small, frame_size=64, sampling_prob=1.0, seed=1)
+        assert frame.counts.sum() == len(pop_small)
+
+    def test_expected_participation(self):
+        pop = TagPopulation(uniform_ids(50_000, seed=1))
+        frame = run_aloha_frame(pop, frame_size=1024, sampling_prob=0.3, seed=2)
+        assert frame.counts.sum() == pytest.approx(15_000, rel=0.05)
+
+    def test_empty_fraction_matches_poisson(self):
+        """With λ = ρn/F responders per slot, P(empty) ≈ e^{−λ}."""
+        pop = TagPopulation(uniform_ids(50_000, seed=3))
+        frame = run_aloha_frame(pop, frame_size=1024, sampling_prob=0.03, seed=4)
+        lam = 0.03 * 50_000 / 1024
+        assert frame.empty_fraction == pytest.approx(np.exp(-lam), abs=0.05)
+
+    def test_slot_type_partition(self, pop_small):
+        frame = run_aloha_frame(pop_small, frame_size=256, sampling_prob=0.5, seed=5)
+        assert frame.empty_slots + frame.singleton_slots + frame.collision_slots == 256
+
+    def test_deterministic(self, pop_small):
+        a = run_aloha_frame(pop_small, frame_size=64, sampling_prob=0.4, seed=6)
+        b = run_aloha_frame(pop_small, frame_size=64, sampling_prob=0.4, seed=6)
+        assert np.array_equal(a.counts, b.counts)
+
+    def test_frame_size_validated(self, pop_small):
+        with pytest.raises(ValueError):
+            run_aloha_frame(pop_small, frame_size=0, sampling_prob=0.5, seed=1)
+
+    def test_sampling_prob_validated(self, pop_small):
+        with pytest.raises(ValueError):
+            run_aloha_frame(pop_small, frame_size=10, sampling_prob=1.5, seed=1)
+
+    def test_non_power_of_two_frames_allowed(self, pop_small):
+        frame = run_aloha_frame(pop_small, frame_size=1000, sampling_prob=0.5, seed=7)
+        assert frame.size == 1000
+
+
+class TestFrameObservables:
+    def test_first_busy_index(self):
+        frame = AlohaFrame(counts=np.array([0, 0, 3, 1, 0]))
+        assert frame.first_busy_index() == 2
+
+    def test_first_busy_index_all_empty(self):
+        frame = AlohaFrame(counts=np.zeros(5, dtype=int))
+        assert frame.first_busy_index() == 5
+
+    def test_first_idle_index(self):
+        frame = AlohaFrame(counts=np.array([1, 2, 0, 1]))
+        assert frame.first_idle_index() == 2
+
+    def test_first_idle_index_all_busy(self):
+        frame = AlohaFrame(counts=np.ones(4, dtype=int))
+        assert frame.first_idle_index() == 4
+
+
+class TestMeanRunLength:
+    def test_basic_runs(self):
+        assert mean_run_length_of_ones(np.array([1, 1, 0, 1, 0, 1, 1, 1])) == pytest.approx(2.0)
+
+    def test_all_zeros(self):
+        assert mean_run_length_of_ones(np.zeros(10, dtype=int)) == 0.0
+
+    def test_all_ones(self):
+        assert mean_run_length_of_ones(np.ones(7, dtype=int)) == 7.0
+
+    def test_single_run_at_edges(self):
+        assert mean_run_length_of_ones(np.array([1, 0, 0, 0, 1])) == 1.0
+
+    def test_empty_array(self):
+        assert mean_run_length_of_ones(np.array([], dtype=int)) == 0.0
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            mean_run_length_of_ones(np.ones((2, 2), dtype=int))
+
+    def test_iid_bernoulli_mean_run_is_one_over_q(self):
+        """For iid busy prob b, mean busy run length → 1/(1−b)."""
+        rng = np.random.default_rng(8)
+        b = 0.6
+        bits = (rng.random(200_000) < b).astype(int)
+        assert mean_run_length_of_ones(bits) == pytest.approx(1 / (1 - b), rel=0.02)

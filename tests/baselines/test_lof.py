@@ -1,0 +1,60 @@
+"""Unit tests for the LOF lottery-frame estimator."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.lof import FM_PHI, LOF
+from repro.rfid.ids import uniform_ids
+from repro.rfid.tags import TagPopulation
+
+
+class TestLOF:
+    def test_rough_accuracy_within_factor_two(self):
+        """LOF with 10 rounds should land within ~2× of the truth — exactly
+        good enough to seed ZOE's rough phase."""
+        n = 100_000
+        pop = TagPopulation(uniform_ids(n, seed=1))
+        result = LOF(rounds=10).estimate(pop, seed=2)
+        assert n / 2 <= result.n_hat <= 2 * n
+
+    def test_more_rounds_tighter(self):
+        """Averaging more lottery frames reduces spread."""
+        n = 50_000
+        pop = TagPopulation(uniform_ids(n, seed=3))
+        few = [LOF(rounds=1).estimate(pop, seed=s).n_hat for s in range(12)]
+        many = [LOF(rounds=16).estimate(pop, seed=s).n_hat for s in range(12)]
+        assert np.std(np.log2(many)) < np.std(np.log2(few))
+
+    def test_cost_model(self, pop_small):
+        result = LOF(rounds=10, frame_slots=32).estimate(pop_small, seed=4)
+        assert result.downlink_bits == 10 * 32
+        assert result.uplink_slots == 10 * 32
+        assert result.rounds == 10
+
+    def test_cheap_in_time(self, pop_medium):
+        result = LOF(rounds=10).estimate(pop_medium, seed=5)
+        assert result.elapsed_seconds < 0.05
+
+    def test_empty_population(self):
+        pop = TagPopulation(np.array([], dtype=np.uint64))
+        result = LOF(rounds=5).estimate(pop, seed=6)
+        # First idle slot is 0 ⇒ estimate 2⁰/φ ≈ 1.3: "nearly nothing".
+        assert result.n_hat == pytest.approx(1 / FM_PHI)
+
+    def test_scaling_with_n(self):
+        """The estimate grows with cardinality (log-scale statistic)."""
+        estimates = []
+        for n in [1_000, 30_000, 900_000]:
+            pop = TagPopulation(uniform_ids(n, seed=n))
+            estimates.append(LOF(rounds=10).estimate(pop, seed=7).n_hat)
+        assert estimates[0] < estimates[1] < estimates[2]
+
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError):
+            LOF(rounds=0)
+        with pytest.raises(ValueError):
+            LOF(frame_slots=1)
+
+    def test_extra_diagnostics(self, pop_small):
+        result = LOF(rounds=3).estimate(pop_small, seed=8)
+        assert "first_idle_mean" in result.extra

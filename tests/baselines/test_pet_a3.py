@@ -1,0 +1,107 @@
+"""Unit tests for the PET and A³ baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.a3 import A3
+from repro.baselines.pet import PET, pet_required_rounds
+from repro.core.accuracy import AccuracyRequirement
+from repro.rfid.ids import uniform_ids
+from repro.rfid.tags import TagPopulation
+
+
+class TestPETRounds:
+    def test_scaling(self):
+        assert pet_required_rounds(0.05, 1.96) > pet_required_rounds(0.2, 1.96)
+        with pytest.raises(ValueError):
+            pet_required_rounds(0.0, 1.96)
+
+
+class TestPET:
+    def test_loglog_probe_count(self):
+        """Binary search over 32 levels costs ⌈log2 32⌉ = 5 probes/round —
+        the O(log log n) slot complexity."""
+        pop = TagPopulation(uniform_ids(50_000, seed=1))
+        result = PET(AccuracyRequirement(0.3, 0.3), depth=32).estimate(pop, seed=2)
+        assert result.extra["probes"] == 5 * result.rounds
+
+    def test_rough_accuracy(self):
+        """PET's level statistic averages into a usable estimate at a loose
+        requirement (1−δ of runs within ε)."""
+        n = 100_000
+        pop = TagPopulation(uniform_ids(n, seed=3))
+        est = PET(AccuracyRequirement(0.2, 0.2))
+        errs = [est.estimate(pop, seed=s).relative_error(n) for s in range(10)]
+        assert sum(e <= 0.2 for e in errs) >= 8
+
+    def test_scaling_with_n(self):
+        ests = []
+        for n in (5_000, 500_000):
+            pop = TagPopulation(uniform_ids(n, seed=n))
+            ests.append(PET(AccuracyRequirement(0.3, 0.3)).estimate(pop, seed=4).n_hat)
+        assert ests[1] > 20 * ests[0]
+
+    def test_empty_population(self):
+        pop = TagPopulation(np.array([], dtype=np.uint64))
+        result = PET(AccuracyRequirement(0.3, 0.3)).estimate(pop, seed=5)
+        assert result.n_hat == 0.0
+
+    def test_seed_broadcast_per_probe(self):
+        """Like ZOE, every PET probe costs a downlink seed — its weakness in
+        the paper's overall-time framing."""
+        pop = TagPopulation(uniform_ids(10_000, seed=6))
+        result = PET(AccuracyRequirement(0.3, 0.3)).estimate(pop, seed=7)
+        assert result.downlink_bits == 32 * result.extra["probes"]
+        assert result.uplink_slots == result.extra["probes"]
+
+    def test_depth_validated(self):
+        with pytest.raises(ValueError):
+            PET(depth=1)
+
+
+class TestA3:
+    def test_accuracy_at_reference(self):
+        n = 100_000
+        pop = TagPopulation(uniform_ids(n, seed=8))
+        result = A3(AccuracyRequirement(0.05, 0.05)).estimate(pop, seed=9)
+        assert result.relative_error(n) <= 0.06
+
+    def test_sequential_stopping_adapts_to_eps(self):
+        """The stopping rule collects ~(d/ε)²-scale slots: tight ε needs
+        far more than loose ε."""
+        pop = TagPopulation(uniform_ids(50_000, seed=10))
+        tight = A3(AccuracyRequirement(0.05, 0.05)).estimate(pop, seed=11)
+        loose = A3(AccuracyRequirement(0.2, 0.2)).estimate(pop, seed=11)
+        assert tight.extra["slots"] > 3 * loose.extra["slots"]
+
+    def test_faster_than_zoe_same_requirement(self):
+        """A³'s contribution over ZOE: one seed per batch instead of one per
+        slot cuts the downlink-dominated execution time several-fold."""
+        from repro.baselines.zoe import ZOE
+
+        pop = TagPopulation(uniform_ids(100_000, seed=12))
+        req = AccuracyRequirement(0.05, 0.05)
+        t_a3 = A3(req).estimate(pop, seed=13).elapsed_seconds
+        t_zoe = ZOE(req).estimate(pop, seed=13).elapsed_seconds
+        assert t_a3 < t_zoe / 3
+
+    def test_slower_than_bfce(self):
+        """...but A³ still needs Θ(1/ε²) slots where BFCE needs 9 216."""
+        from repro.core.bfce import BFCE
+
+        pop = TagPopulation(uniform_ids(100_000, seed=14))
+        req = AccuracyRequirement(0.05, 0.05)
+        t_a3 = A3(req).estimate(pop, seed=15).elapsed_seconds
+        t_bfce = BFCE(requirement=req).estimate(pop, seed=15).elapsed_seconds
+        assert t_a3 > 2 * t_bfce
+
+    def test_guarantee_rate_across_seeds(self):
+        n = 50_000
+        pop = TagPopulation(uniform_ids(n, seed=16))
+        est = A3(AccuracyRequirement(0.1, 0.1))
+        errs = [est.estimate(pop, seed=s).relative_error(n) for s in range(10)]
+        assert sum(e <= 0.1 for e in errs) >= 9
+
+    def test_batch_validated(self):
+        with pytest.raises(ValueError):
+            A3(batch=0)

@@ -1,0 +1,81 @@
+"""Unit tests for the SRC baseline."""
+
+import pytest
+
+from repro.baselines.src_protocol import SRC, src_round_count
+from repro.core.accuracy import AccuracyRequirement
+from repro.rfid.ids import uniform_ids
+from repro.rfid.tags import TagPopulation
+
+
+class TestRoundCount:
+    @pytest.mark.parametrize(
+        "delta,expected",
+        [(0.30, 1), (0.25, 1), (0.20, 1), (0.15, 3), (0.10, 5), (0.05, 7)],
+    )
+    def test_majority_amplification_table(self, delta, expected):
+        """m is the smallest odd integer with
+        Σ_{i=(m+1)/2}^m C(m,i)·0.8^i·0.2^{m−i} ≥ 1−δ (paper Sec. V-C)."""
+        assert src_round_count(delta) == expected
+
+    def test_monotone_in_delta(self):
+        assert src_round_count(0.01) >= src_round_count(0.05) >= src_round_count(0.2)
+
+    def test_delta_validated(self):
+        with pytest.raises(ValueError):
+            src_round_count(0.0)
+
+
+class TestSRCProtocol:
+    def test_accuracy_at_reference(self):
+        n = 100_000
+        pop = TagPopulation(uniform_ids(n, seed=1))
+        result = SRC(AccuracyRequirement(0.05, 0.05)).estimate(pop, seed=2)
+        assert result.relative_error(n) <= 0.05
+
+    def test_subsecond_but_slower_than_bfce(self):
+        """Fig. 10 shape: SRC lands sub-second yet above BFCE's 0.19 s at
+        the tight (0.05, 0.05) setting."""
+        pop = TagPopulation(uniform_ids(100_000, seed=3))
+        result = SRC(AccuracyRequirement(0.05, 0.05)).estimate(pop, seed=4)
+        assert 0.19 < result.elapsed_seconds < 1.5
+
+    def test_frame_size_scales_inverse_eps_squared(self):
+        f_tight = SRC(AccuracyRequirement(0.05, 0.05)).frame_size()
+        f_loose = SRC(AccuracyRequirement(0.10, 0.05)).frame_size()
+        assert f_tight == pytest.approx(4 * f_loose, rel=0.01)
+
+    def test_rounds_follow_delta(self):
+        pop = TagPopulation(uniform_ids(20_000, seed=5))
+        r1 = SRC(AccuracyRequirement(0.1, 0.3)).estimate(pop, seed=6)
+        r7 = SRC(AccuracyRequirement(0.1, 0.05)).estimate(pop, seed=6)
+        assert r1.rounds == 1
+        assert r7.rounds == 7
+        assert r7.elapsed_seconds > r1.elapsed_seconds
+
+    def test_round_estimates_recorded(self):
+        pop = TagPopulation(uniform_ids(20_000, seed=7))
+        result = SRC(AccuracyRequirement(0.1, 0.1)).estimate(pop, seed=8)
+        assert len(result.extra["round_estimates"]) == result.rounds
+
+    def test_recovers_from_bad_rough_bound(self):
+        """When the lottery frame wildly misjudges n, the saturation guard
+        must correct the working bound and still produce a sane estimate.
+        (We cannot force a bad lottery draw deterministically, so instead we
+        verify across seeds that every run stays accurate.)"""
+        n = 200_000
+        pop = TagPopulation(uniform_ids(n, seed=9))
+        for seed in range(8):
+            result = SRC(AccuracyRequirement(0.1, 0.1)).estimate(pop, seed=seed)
+            assert result.relative_error(n) <= 0.1
+
+    def test_empty_population(self):
+        import numpy as np
+
+        pop = TagPopulation(np.array([], dtype=np.uint64))
+        result = SRC(AccuracyRequirement(0.1, 0.2)).estimate(pop, seed=10)
+        assert result.n_hat < 10
+
+    def test_rough_slots_validated(self):
+        with pytest.raises(ValueError):
+            SRC(rough_slots=1)

@@ -1,0 +1,130 @@
+"""Unit tests for the UPE and EZB framed-ALOHA baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ezb import EZB, ezb_required_rounds, variance_factor_g
+from repro.baselines.upe import (
+    UPE,
+    expected_collision_fraction,
+    invert_collision_fraction,
+)
+from repro.core.accuracy import AccuracyRequirement
+from repro.rfid.ids import uniform_ids
+from repro.rfid.tags import TagPopulation
+
+
+class TestVarianceFactor:
+    def test_minimum_near_1_59(self):
+        grid = np.linspace(0.5, 3.5, 600)
+        values = [variance_factor_g(l) for l in grid]
+        assert grid[int(np.argmin(values))] == pytest.approx(1.594, abs=0.02)
+
+    def test_validated(self):
+        with pytest.raises(ValueError):
+            variance_factor_g(0.0)
+
+    def test_required_rounds_scaling(self):
+        """Rounds scale with (d/ε)² and shrink with frame size."""
+        d = 1.96
+        assert ezb_required_rounds(0.05, d, 1024, 1.594) > ezb_required_rounds(
+            0.1, d, 1024, 1.594
+        )
+        assert ezb_required_rounds(0.05, d, 4096, 1.594) < ezb_required_rounds(
+            0.05, d, 1024, 1.594
+        )
+
+    def test_at_least_one_round(self):
+        assert ezb_required_rounds(0.3, 1.0, 1 << 20, 1.594) == 1
+
+
+class TestEZB:
+    def test_accuracy(self):
+        n = 100_000
+        pop = TagPopulation(uniform_ids(n, seed=1))
+        result = EZB(AccuracyRequirement(0.05, 0.05)).estimate(pop, seed=2)
+        assert result.relative_error(n) <= 0.05
+
+    def test_repeated_rounds_dependence(self):
+        """EZB's defining weakness per the paper: accuracy needs repeated
+        rounds; the round count must grow as ε tightens."""
+        pop = TagPopulation(uniform_ids(50_000, seed=3))
+        tight = EZB(AccuracyRequirement(0.03, 0.05)).estimate(pop, seed=4)
+        loose = EZB(AccuracyRequirement(0.2, 0.05)).estimate(pop, seed=4)
+        assert tight.rounds > loose.rounds
+
+    def test_diagnostics(self):
+        pop = TagPopulation(uniform_ids(10_000, seed=5))
+        result = EZB().estimate(pop, seed=6)
+        assert 0.0 < result.extra["zero_fraction"] < 1.0
+        assert result.extra["rho"] <= 1.0
+
+    def test_frame_size_validated(self):
+        with pytest.raises(ValueError):
+            EZB(frame_size=1)
+
+
+class TestCollisionMath:
+    def test_expected_fraction_range(self):
+        assert expected_collision_fraction(0.0) == 0.0
+        assert expected_collision_fraction(10.0) == pytest.approx(1.0, abs=1e-3)
+
+    def test_monotone(self):
+        grid = np.linspace(0.0, 5.0, 100)
+        vals = [expected_collision_fraction(l) for l in grid]
+        assert all(a <= b for a, b in zip(vals, vals[1:]))
+
+    def test_inversion_roundtrip(self):
+        for lam in [0.1, 0.5, 1.594, 3.0]:
+            c = expected_collision_fraction(lam)
+            assert invert_collision_fraction(c) == pytest.approx(lam, rel=1e-6)
+
+    def test_inversion_edges(self):
+        assert invert_collision_fraction(0.0) == 0.0
+        # Near-total collision maps to a large but finite load, capped at 50.
+        assert 20.0 < invert_collision_fraction(0.999999999) <= 50.0
+        assert invert_collision_fraction(float(np.nextafter(1.0, 0.0))) <= 50.0
+
+    def test_inversion_validated(self):
+        with pytest.raises(ValueError):
+            invert_collision_fraction(1.0)
+        with pytest.raises(ValueError):
+            invert_collision_fraction(-0.1)
+
+    def test_poisson_collision_fraction_matches_simulation(self):
+        """Simulated collision fraction at a known load matches the model."""
+        n, F, rho = 50_000, 1024, 0.03
+        pop = TagPopulation(uniform_ids(n, seed=7))
+        from repro.baselines.framedaloha import run_aloha_frame
+
+        fracs = [
+            run_aloha_frame(pop, frame_size=F, sampling_prob=rho, seed=s).collision_slots / F
+            for s in range(5)
+        ]
+        lam = rho * n / F
+        assert np.mean(fracs) == pytest.approx(expected_collision_fraction(lam), abs=0.03)
+
+
+class TestUPE:
+    def test_accuracy(self):
+        n = 100_000
+        pop = TagPopulation(uniform_ids(n, seed=8))
+        result = UPE(AccuracyRequirement(0.05, 0.05)).estimate(pop, seed=9)
+        assert result.relative_error(n) <= 0.05
+
+    def test_runs_more_rounds_than_ezb(self):
+        """The collision estimator pays a variance penalty vs zero-based."""
+        pop = TagPopulation(uniform_ids(50_000, seed=10))
+        req = AccuracyRequirement(0.05, 0.05)
+        upe = UPE(req).estimate(pop, seed=11)
+        ezb = EZB(req).estimate(pop, seed=11)
+        assert upe.rounds > ezb.rounds
+
+    def test_diagnostics(self):
+        pop = TagPopulation(uniform_ids(10_000, seed=12))
+        result = UPE().estimate(pop, seed=13)
+        assert 0.0 <= result.extra["collision_fraction"] <= 1.0
+
+    def test_frame_size_validated(self):
+        with pytest.raises(ValueError):
+            UPE(frame_size=0)

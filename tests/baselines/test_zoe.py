@@ -1,0 +1,95 @@
+"""Unit tests for the ZOE baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.zoe import ZOE, zoe_optimal_load, zoe_required_frames
+from repro.core.accuracy import AccuracyRequirement, normal_quantile_d
+from repro.rfid.ids import uniform_ids
+from repro.rfid.tags import TagPopulation
+
+
+class TestOptimalLoad:
+    def test_value_near_one_for_small_eps(self):
+        assert zoe_optimal_load(0.05) == pytest.approx(np.log(1.05) / 0.05)
+        assert 0.9 < zoe_optimal_load(0.05) < 1.0
+
+    def test_maximises_denominator(self):
+        """λ* must maximise e^{−λ}(1−e^{−ελ}) over λ."""
+        eps = 0.05
+        star = zoe_optimal_load(eps)
+        obj = lambda l: np.exp(-l) * (1 - np.exp(-eps * l))  # noqa: E731
+        grid = np.linspace(0.1, 5, 500)
+        assert obj(star) >= obj(grid).max() - 1e-9
+
+    def test_eps_validated(self):
+        with pytest.raises(ValueError):
+            zoe_optimal_load(0.0)
+
+
+class TestRequiredFrames:
+    def test_paper_scale_at_reference_point(self):
+        """At λ*, (ε, δ) = (0.05, 0.05): m ≈ 3000 frames (so ~5.5 s at
+        1831 µs/frame — the 'several seconds' of Fig. 10)."""
+        d = normal_quantile_d(0.05)
+        m = zoe_required_frames(zoe_optimal_load(0.05), 0.05, d)
+        assert 2_500 <= m <= 3_500
+
+    def test_off_optimal_load_needs_more_frames(self):
+        """A bad rough estimate (λ far from λ*) sharply inflates m — the
+        paper's explanation of ZOE's 18 s worst case."""
+        d = normal_quantile_d(0.05)
+        m_star = zoe_required_frames(zoe_optimal_load(0.05), 0.05, d)
+        m_low = zoe_required_frames(0.2, 0.05, d)
+        m_high = zoe_required_frames(4.0, 0.05, d)
+        assert m_low > 2 * m_star
+        assert m_high > 2 * m_star
+
+    def test_degenerate_load_hits_cap(self):
+        d = normal_quantile_d(0.05)
+        assert zoe_required_frames(0.0, 0.05, d) == 16384
+        assert zoe_required_frames(100.0, 0.05, d) == 16384
+
+    def test_looser_eps_needs_fewer(self):
+        d = normal_quantile_d(0.05)
+        assert zoe_required_frames(1.0, 0.2, d) < zoe_required_frames(1.0, 0.05, d)
+
+
+class TestZOEProtocol:
+    def test_accuracy_at_reference(self):
+        n = 100_000
+        pop = TagPopulation(uniform_ids(n, seed=1))
+        result = ZOE(AccuracyRequirement(0.05, 0.05)).estimate(pop, seed=2)
+        assert result.relative_error(n) <= 0.08  # mild slack: single run
+
+    def test_execution_time_seconds_scale(self):
+        """ZOE's per-slot seed broadcasts put it in whole-seconds territory
+        (vs BFCE's 0.19 s)."""
+        pop = TagPopulation(uniform_ids(100_000, seed=3))
+        result = ZOE(AccuracyRequirement(0.05, 0.05)).estimate(pop, seed=4)
+        assert 2.0 < result.elapsed_seconds < 20.0
+
+    def test_downlink_dominates(self):
+        """m×32 downlink bits vs m×1 uplink slots (Sec. I's observation)."""
+        pop = TagPopulation(uniform_ids(50_000, seed=5))
+        result = ZOE().estimate(pop, seed=6)
+        frames = result.extra["frames"]
+        assert result.downlink_bits >= 32 * frames
+        # uplink includes the LOF rough phase (320 slots) + m slots
+        assert result.uplink_slots == pytest.approx(frames + 320, abs=1)
+
+    def test_looser_requirement_is_faster(self):
+        pop = TagPopulation(uniform_ids(50_000, seed=7))
+        tight = ZOE(AccuracyRequirement(0.05, 0.05)).estimate(pop, seed=8)
+        loose = ZOE(AccuracyRequirement(0.3, 0.05)).estimate(pop, seed=8)
+        assert loose.elapsed_seconds < tight.elapsed_seconds
+
+    def test_diagnostics_present(self):
+        pop = TagPopulation(uniform_ids(10_000, seed=9))
+        result = ZOE().estimate(pop, seed=10)
+        for key in ("n_rough", "q", "frames", "idle_fraction"):
+            assert key in result.extra
+
+    def test_rough_rounds_validated(self):
+        with pytest.raises(ValueError):
+            ZOE(rough_rounds=0)

@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite.
+
+Populations are session-scoped: tagID generation at n = 100k dominates test
+wall time otherwise, and every fixture consumer treats them as read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rfid.ids import uniform_ids
+from repro.rfid.tags import TagPopulation
+
+
+@pytest.fixture(scope="session")
+def ids_small() -> np.ndarray:
+    """2 000 unique uniform tagIDs."""
+    return uniform_ids(2_000, seed=11)
+
+
+@pytest.fixture(scope="session")
+def ids_medium() -> np.ndarray:
+    """50 000 unique uniform tagIDs."""
+    return uniform_ids(50_000, seed=12)
+
+
+@pytest.fixture(scope="session")
+def pop_small(ids_small) -> TagPopulation:
+    return TagPopulation(ids_small.copy())
+
+
+@pytest.fixture(scope="session")
+def pop_medium(ids_medium) -> TagPopulation:
+    return TagPopulation(ids_medium.copy())

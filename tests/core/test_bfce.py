@@ -1,0 +1,136 @@
+"""Unit and integration tests for the full BFCE protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core.accuracy import AccuracyRequirement
+from repro.core.bfce import BFCE, bfce_estimate
+from repro.core.config import BFCEConfig
+from repro.rfid.channel import NoisyChannel
+from repro.rfid.ids import make_ids, uniform_ids
+from repro.rfid.tags import TagPopulation
+
+
+class TestEstimateAccuracy:
+    @pytest.mark.parametrize("n", [2_000, 20_000, 200_000])
+    def test_within_epsilon(self, n):
+        ids = uniform_ids(n, seed=n)
+        result = bfce_estimate(ids, eps=0.05, delta=0.05, seed=17)
+        assert result.relative_error(n) <= 0.05
+        assert result.guarantee_met
+
+    @pytest.mark.parametrize("dist", ["T1", "T2", "T3"])
+    def test_distribution_robustness(self, dist):
+        """Fig. 7: tagID distribution must not break accuracy."""
+        n = 50_000
+        ids = make_ids(dist, n, seed=23)
+        result = bfce_estimate(ids, seed=29)
+        assert result.relative_error(n) <= 0.05
+
+    def test_loose_requirement_still_estimates(self):
+        n = 30_000
+        result = bfce_estimate(uniform_ids(n, seed=1), eps=0.3, delta=0.3, seed=2)
+        assert result.relative_error(n) <= 0.3
+
+
+class TestProtocolStructure:
+    def test_result_fields_consistent(self, pop_medium):
+        result = BFCE().estimate(pop_medium, seed=3)
+        assert result.n_low == pytest.approx(0.5 * result.n_rough)
+        assert 1 <= result.pn_optimal <= 1023
+        assert 0.0 < result.rho_final < 1.0
+        assert result.probe_rounds >= 1
+
+    def test_phases_on_ledger(self, pop_medium):
+        result = BFCE().estimate(pop_medium, seed=4)
+        phases = {p.phase for p in result.ledger.phase_breakdown()}
+        assert phases == {"probe", "rough", "accurate"}
+
+    def test_constant_time_property(self):
+        """The headline claim: execution time is (near-)constant in n.
+
+        All sizes must land within the 0.19 s analytic bound plus probe
+        overhead (a few ms per probe round)."""
+        times = []
+        for n in [2_000, 50_000, 1_000_000]:
+            ids = uniform_ids(n, seed=n + 7)
+            result = bfce_estimate(ids, seed=5)
+            # Subtract probing (the paper's bound excludes it).
+            probe_s = next(
+                p.seconds for p in result.ledger.phase_breakdown() if p.phase == "probe"
+            )
+            times.append(result.elapsed_seconds - probe_s)
+        for t in times:
+            assert t < 0.19
+        assert max(times) - min(times) < 0.06  # retries may add one frame
+
+    def test_accurate_phase_uses_8192_slots(self, pop_medium):
+        result = BFCE().estimate(pop_medium, seed=6)
+        accurate = next(
+            p for p in result.ledger.phase_breakdown() if p.phase == "accurate"
+        )
+        assert accurate.uplink_slots == 8192
+
+    def test_deterministic_given_seed(self, pop_medium):
+        a = BFCE().estimate(pop_medium, seed=8)
+        b = BFCE().estimate(pop_medium, seed=8)
+        assert a.n_hat == b.n_hat
+        assert a.elapsed_seconds == b.elapsed_seconds
+
+    def test_different_seeds_differ(self, pop_medium):
+        a = BFCE().estimate(pop_medium, seed=8)
+        b = BFCE().estimate(pop_medium, seed=9)
+        assert a.n_hat != b.n_hat
+
+
+class TestEdgeCases:
+    def test_empty_population(self):
+        pop = TagPopulation(np.array([], dtype=np.uint64))
+        result = BFCE().estimate(pop, seed=1)
+        assert result.n_hat == 0.0
+        assert not result.guarantee_met
+
+    def test_tiny_population(self):
+        """Below the design floor (n < 1000) BFCE still returns something
+        sane, though the paper scopes it out."""
+        pop = TagPopulation(uniform_ids(50, seed=2))
+        result = BFCE().estimate(pop, seed=3)
+        assert 0 <= result.n_hat < 2_000
+
+    def test_beyond_design_range_flags_guarantee(self):
+        """n ≈ 5 M is estimable but the (0.05, 0.05) guarantee is
+        unattainable on the grid — result must say so, not fail."""
+        pop = TagPopulation(uniform_ids(5_000_000, seed=4))
+        result = BFCE().estimate(pop, seed=5)
+        assert result.n_hat > 0
+        # Estimate is still decent; guarantee flag reflects Theorem-4 check.
+        assert result.relative_error(5_000_000) < 0.5
+
+    def test_custom_config_small_w(self):
+        cfg = BFCEConfig(w=2048, rough_slots=256)
+        pop = TagPopulation(uniform_ids(10_000, seed=6))
+        result = BFCE(config=cfg).estimate(pop, seed=7)
+        assert result.relative_error(10_000) < 0.15
+
+    def test_noisy_channel_degrades_gracefully(self, pop_medium):
+        result = BFCE().estimate(
+            pop_medium, seed=8, channel=NoisyChannel(miss_prob=0.01, false_alarm_prob=0.01)
+        )
+        # 1% channel error shifts ρ̄ slightly; estimate stays in the ballpark.
+        assert result.relative_error(pop_medium.size) < 0.25
+
+    def test_relative_error_validates(self, pop_medium):
+        result = BFCE().estimate(pop_medium, seed=9)
+        with pytest.raises(ValueError):
+            result.relative_error(0)
+
+    def test_requirement_threading(self):
+        req = AccuracyRequirement(0.1, 0.2)
+        bfce = BFCE(requirement=req)
+        assert bfce.requirement.eps == 0.1
+
+    def test_convenience_wrapper_matches_class(self):
+        ids = uniform_ids(20_000, seed=10)
+        a = bfce_estimate(ids, seed=11)
+        b = BFCE().estimate(TagPopulation(ids.copy()), seed=11)
+        assert a.n_hat == b.n_hat

@@ -1,0 +1,64 @@
+"""Unit tests for BFCEConfig validation and defaults."""
+
+import pytest
+
+from repro.core.config import BFCEConfig, DEFAULT_CONFIG
+
+
+class TestDefaults:
+    def test_paper_values(self):
+        cfg = DEFAULT_CONFIG
+        assert cfg.w == 8192
+        assert cfg.k == 3
+        assert cfg.c == 0.5
+        assert cfg.rough_slots == 1024
+        assert cfg.probe_slots == 32
+        assert cfg.probe_start_pn == 8
+        assert cfg.probe_step_up == 2
+        assert cfg.probe_step_down == 1
+        assert cfg.pn_denom == 1024
+
+    def test_grid_bounds(self):
+        assert DEFAULT_CONFIG.pn_min == 1
+        assert DEFAULT_CONFIG.pn_max == 1023
+
+    def test_p_of(self):
+        assert DEFAULT_CONFIG.p_of(8) == pytest.approx(8 / 1024)
+        assert DEFAULT_CONFIG.p_of(0) == 0.0
+        with pytest.raises(ValueError):
+            DEFAULT_CONFIG.p_of(2000)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_CONFIG.w = 4096  # type: ignore[misc]
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"w": 1000},            # not a power of two
+            {"w": 0},
+            {"k": 0},
+            {"c": 0.0},
+            {"c": 1.5},
+            {"rough_slots": 0},
+            {"rough_slots": 8193},
+            {"probe_slots": 0},
+            {"pn_denom": 1000},     # not a power of two
+            {"probe_start_pn": 0},
+            {"probe_start_pn": 1024},
+            {"probe_step_up": 0},
+            {"probe_step_down": 0},
+            {"max_probe_rounds": 0},
+            {"seed_bits": 0},
+        ],
+    )
+    def test_invalid_configs(self, kwargs):
+        with pytest.raises(ValueError):
+            BFCEConfig(**kwargs)
+
+    def test_custom_valid_config(self):
+        cfg = BFCEConfig(w=4096, rough_slots=512, probe_slots=16)
+        assert cfg.w == 4096
+        assert cfg.p_of(cfg.pn_max) == pytest.approx(1023 / 1024)

@@ -1,0 +1,118 @@
+"""Unit tests for the estimator mathematics (Theorems 1–2, γ bounds)."""
+
+import numpy as np
+import pytest
+
+from repro.core.estmath import (
+    estimate_cardinality,
+    expected_rho,
+    gamma,
+    gamma_extrema,
+    gamma_grid,
+    lam,
+    max_estimable_cardinality,
+    rho_is_valid,
+    sigma_x,
+)
+
+
+class TestLambda:
+    def test_formula(self):
+        assert lam(8192, 8192, 3, 1 / 3) == pytest.approx(1.0)
+
+    def test_vectorized_over_n(self):
+        out = lam(np.array([1000.0, 2000.0]), 8192, 3, 0.1)
+        assert out.shape == (2,)
+        assert out[1] == pytest.approx(2 * out[0])
+
+    def test_invalid_w_k(self):
+        with pytest.raises(ValueError):
+            lam(1, 0, 3, 0.1)
+        with pytest.raises(ValueError):
+            lam(1, 8192, 0, 0.1)
+
+
+class TestExpectedRho:
+    def test_zero_tags_gives_one(self):
+        assert expected_rho(0, 8192, 3, 0.5) == pytest.approx(1.0)
+
+    def test_decreasing_in_n(self):
+        r = expected_rho(np.linspace(0, 1e6, 50), 8192, 3, 0.01)
+        assert np.all(np.diff(r) < 0)
+
+    def test_matches_exp(self):
+        assert expected_rho(10_000, 8192, 3, 0.1) == pytest.approx(
+            np.exp(-3 * 0.1 * 10_000 / 8192)
+        )
+
+
+class TestSigmaX:
+    def test_max_at_half(self):
+        # σ is maximal when e^{−λ} = 0.5, i.e. λ = ln 2, where σ = 0.5.
+        assert sigma_x(np.log(2)) == pytest.approx(0.5)
+
+    def test_extremes_vanish(self):
+        assert sigma_x(1e-12) == pytest.approx(0.0, abs=1e-5)
+        assert sigma_x(50.0) == pytest.approx(0.0, abs=1e-5)
+
+
+class TestEstimateCardinality:
+    def test_inverts_expected_rho(self):
+        """n̂(E[ρ̄]) = n exactly: Eq. 3 is the inverse of Theorem 1."""
+        for n in [1_000, 50_000, 500_000]:
+            rho = float(expected_rho(n, 8192, 3, 0.01))
+            assert estimate_cardinality(rho, 8192, 3, 0.01) == pytest.approx(n, rel=1e-9)
+
+    @pytest.mark.parametrize("rho", [0.0, 1.0, -0.1, 1.1])
+    def test_degenerate_rho_rejected(self, rho):
+        with pytest.raises(ValueError):
+            estimate_cardinality(rho, 8192, 3, 0.1)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            estimate_cardinality(0.5, 8192, 3, 0.0)
+        with pytest.raises(ValueError):
+            estimate_cardinality(0.5, 8192, 3, 1.5)
+
+    def test_rho_is_valid(self):
+        assert rho_is_valid(0.5)
+        assert not rho_is_valid(0.0)
+        assert not rho_is_valid(1.0)
+
+
+class TestGamma:
+    def test_paper_extrema(self):
+        """Sec. IV-B: 0.000326 ≤ γ ≤ 2365.9 on the 1/1024 grid."""
+        g_min, g_max = gamma_extrema(1024, k=3)
+        assert g_min == pytest.approx(0.000326, rel=0.01)
+        assert g_max == pytest.approx(2365.9, rel=0.001)
+
+    def test_max_cardinality_exceeds_19_million(self):
+        """Sec. IV-B: w = 8192 covers > 19 million tags."""
+        assert max_estimable_cardinality(8192) > 19e6
+
+    def test_gamma_scalar(self):
+        assert gamma(np.exp(-1.0), 1 / 3, k=3) == pytest.approx(1.0)
+
+    def test_gamma_grid_shape_and_extrema_consistency(self):
+        p, rho, g = gamma_grid(resolution=64, k=3)
+        assert g.shape == (63, 63)
+        g_min, g_max = gamma_extrema(64, k=3)
+        assert g.min() == pytest.approx(g_min)
+        assert g.max() == pytest.approx(g_max)
+
+    def test_gamma_validates_open_interval(self):
+        with pytest.raises(ValueError):
+            gamma(0.0, 0.5)
+        with pytest.raises(ValueError):
+            gamma(0.5, 1.0)
+
+    def test_resolution_validated(self):
+        with pytest.raises(ValueError):
+            gamma_grid(resolution=1)
+
+    def test_estimate_equals_gamma_times_w(self):
+        rho, p, w = 0.37, 0.01, 8192
+        assert estimate_cardinality(rho, w, 3, p) == pytest.approx(
+            float(gamma(rho, p, 3)) * w
+        )

@@ -1,0 +1,126 @@
+"""Unit tests for the continuous cardinality monitor."""
+
+import numpy as np
+import pytest
+
+from repro.core.accuracy import AccuracyRequirement
+from repro.core.monitor import CardinalityMonitor
+from repro.rfid.ids import uniform_ids
+from repro.rfid.tags import TagPopulation
+
+
+def _pop(n: int, seed: int) -> TagPopulation:
+    return TagPopulation(uniform_ids(n, seed=seed))
+
+
+class TestMonitorBasics:
+    def test_first_observation_seeds_smoothing(self):
+        mon = CardinalityMonitor()
+        update = mon.observe(_pop(50_000, 1), seed=1)
+        assert update.smoothed == update.estimate
+        assert update.innovation == 0.0
+        assert not update.change_detected
+
+    def test_smoothing_reduces_variance(self):
+        mon = CardinalityMonitor(alpha=0.3)
+        pop = _pop(100_000, 2)
+        raws, smooths = [], []
+        for i in range(10):
+            u = mon.observe(pop, seed=i)
+            raws.append(u.estimate)
+            smooths.append(u.smoothed)
+        assert np.std(smooths[3:]) < np.std(raws[3:])
+
+    def test_history_recorded(self):
+        mon = CardinalityMonitor()
+        pop = _pop(20_000, 3)
+        for i in range(3):
+            mon.observe(pop, seed=i)
+        assert len(mon.history) == 3
+        assert [u.round_index for u in mon.history] == [0, 1, 2]
+
+    def test_reset(self):
+        mon = CardinalityMonitor()
+        mon.observe(_pop(20_000, 4), seed=1)
+        mon.reset()
+        assert mon.smoothed is None
+        assert mon.history == []
+
+    def test_air_time_constant_per_survey(self):
+        mon = CardinalityMonitor()
+        times = [mon.observe(_pop(30_000, 5), seed=i).air_seconds for i in range(3)]
+        assert max(times) - min(times) < 0.02
+
+    @pytest.mark.parametrize("kwargs", [
+        {"alpha": 0.0}, {"alpha": 1.5},
+        {"cusum_threshold": 0.0}, {"cusum_drift": -1.0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            CardinalityMonitor(**kwargs)
+
+
+class TestChangeDetection:
+    def test_level_shift_detected_quickly(self):
+        """A 50% jump must raise the alarm within a couple of rounds."""
+        mon = CardinalityMonitor()
+        before, after = _pop(200_000, 6), _pop(300_000, 7)
+        for i in range(4):
+            assert not mon.observe(before, seed=i).change_detected
+        detected_at = None
+        for i in range(4, 8):
+            if mon.observe(after, seed=i).change_detected:
+                detected_at = i
+                break
+        assert detected_at is not None and detected_at <= 6
+
+    def test_no_false_alarms_under_stationarity(self):
+        """Sampling noise alone (≈1–3% per round) must not trip the CUSUM
+        over a long stationary run."""
+        mon = CardinalityMonitor()
+        pop = _pop(100_000, 8)
+        alarms = sum(mon.observe(pop, seed=i).change_detected for i in range(20))
+        assert alarms == 0
+
+    def test_reanchors_after_change(self):
+        """After an alarm the smoothed level must jump to the new regime."""
+        mon = CardinalityMonitor()
+        for i in range(3):
+            mon.observe(_pop(100_000, 9), seed=i)
+        after = _pop(250_000, 10)
+        for i in range(3, 8):
+            u = mon.observe(after, seed=i)
+            if u.change_detected:
+                assert abs(u.smoothed - 250_000) / 250_000 < 0.05
+                break
+        else:
+            pytest.fail("change never detected")
+
+    def test_gradual_drift_eventually_detected(self):
+        """Slow drift accumulates in the CUSUM even when each step is small."""
+        mon = CardinalityMonitor(cusum_threshold=4.0)
+        detected = False
+        n = 100_000
+        for i in range(15):
+            n = int(n * 1.04)  # +4% per survey, below the per-round alarm bar
+            if mon.observe(_pop(n, 20 + i), seed=i).change_detected:
+                detected = True
+                break
+        assert detected
+
+
+class TestWarmStart:
+    def test_probe_warm_start_reduces_rounds(self):
+        """After one survey the probe starts at the accepted numerator, so
+        a stationary population probes in one round."""
+        mon = CardinalityMonitor()
+        pop = _pop(1_000, 11)  # small n forces a multi-round cold probe
+        first = mon.observe(pop, seed=1)
+        second = mon.observe(pop, seed=2)
+        assert first.result.probe_rounds > 1
+        assert second.result.probe_rounds <= 2
+
+    def test_requirement_threading(self):
+        mon = CardinalityMonitor(requirement=AccuracyRequirement(0.1, 0.1))
+        u = mon.observe(_pop(50_000, 12), seed=1)
+        assert u.result.relative_error(50_000) <= 0.1

@@ -1,0 +1,75 @@
+"""Unit tests for the adaptive persistence probe (Sec. IV-C)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import BFCEConfig
+from repro.core.probe import probe_persistence
+from repro.rfid.ids import uniform_ids
+from repro.rfid.reader import Reader
+from repro.rfid.tags import TagPopulation
+
+
+def _probe(n: int, seed: int = 1, config: BFCEConfig | None = None):
+    pop = TagPopulation(uniform_ids(n, seed=seed)) if n else TagPopulation(
+        np.array([], dtype=np.uint64)
+    )
+    reader = Reader(pop, seed=seed + 100)
+    result = probe_persistence(reader, config or BFCEConfig())
+    return result, reader
+
+
+class TestProbe:
+    def test_moderate_population_mixed_quickly(self):
+        result, _ = _probe(100_000)
+        assert result.mixed
+        assert result.rounds <= 5
+        assert 1 <= result.pn <= 1023
+
+    def test_small_population_raises_pn(self):
+        """n = 1000 at p = 8/1024 yields λ ≈ 0.003 — nearly all idle, so the
+        probe must walk pn upward."""
+        result, _ = _probe(1_000)
+        assert result.pn > 8
+        assert result.history[0] == 8
+
+    def test_large_population_lowers_pn(self):
+        """n = 2 000 000 at p = 8/1024 saturates 32 slots — probe walks down."""
+        result, _ = _probe(2_000_000)
+        assert result.pn < 8
+
+    def test_empty_population_walks_up_until_round_cap(self):
+        """With nobody responding, every probe frame is all-idle: pn climbs
+        +2 per round until the round cap stops the walk."""
+        result, _ = _probe(0)
+        assert not result.mixed
+        assert result.rounds == BFCEConfig().max_probe_rounds
+        assert result.pn == 8 + 2 * (result.rounds - 1)
+
+    def test_history_steps_follow_rules(self):
+        """Consecutive history entries differ by +2 (all idle) or −1 (all
+        busy), clamped to the grid."""
+        result, _ = _probe(1_000)
+        for prev, cur in zip(result.history, result.history[1:]):
+            assert cur in (min(prev + 2, 1023), max(prev - 1, 1))
+
+    def test_each_round_metered(self):
+        result, reader = _probe(100_000)
+        # Every round: one 128-bit broadcast + one 32-slot frame.
+        assert reader.ledger.uplink_slots() == 32 * result.rounds
+        assert reader.ledger.downlink_bits() == 128 * result.rounds
+
+    def test_round_cap_respected(self):
+        config = BFCEConfig(max_probe_rounds=2)
+        result, _ = _probe(1_000, config=config)
+        assert result.rounds <= 2
+
+    def test_deterministic(self):
+        a, _ = _probe(50_000, seed=5)
+        b, _ = _probe(50_000, seed=5)
+        assert a == b
+
+    def test_custom_start(self):
+        config = BFCEConfig(probe_start_pn=100)
+        result, _ = _probe(100_000, config=config)
+        assert result.history[0] == 100

@@ -1,0 +1,98 @@
+"""Unit tests for the BFCE-ML joint refinement."""
+
+import numpy as np
+import pytest
+
+from repro.core.bfce import BFCE
+from repro.core.refine import FrameObservation, joint_mle, refine_result
+from repro.rfid.ids import uniform_ids
+from repro.rfid.tags import TagPopulation
+
+
+def _expected_frame(n: float, slots: int, p: float, w: int = 8192, k: int = 3):
+    rate = k * p / w
+    ones = int(round(slots * np.exp(-rate * n)))
+    return FrameObservation(ones=ones, slots=slots, rate=rate)
+
+
+class TestFrameObservation:
+    @pytest.mark.parametrize("kwargs", [
+        {"ones": -1, "slots": 10, "rate": 0.1},
+        {"ones": 11, "slots": 10, "rate": 0.1},
+        {"ones": 5, "slots": 0, "rate": 0.1},
+        {"ones": 5, "slots": 10, "rate": 0.0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            FrameObservation(**kwargs)
+
+
+class TestJointMLE:
+    def test_recovers_truth_from_expected_counts(self):
+        n_true = 250_000
+        frames = [
+            _expected_frame(n_true, 1024, 12 / 1024),
+            _expected_frame(n_true, 8192, 4 / 1024),
+        ]
+        result = joint_mle(frames, n0=50_000)
+        assert result.n_hat == pytest.approx(n_true, rel=0.002)
+
+    def test_single_frame_matches_closed_form(self):
+        """With one frame the MLE equals Eq. 3 applied to its idle ratio."""
+        n_true, slots, p = 100_000, 8192, 6 / 1024
+        frame = _expected_frame(n_true, slots, p)
+        result = joint_mle([frame], n0=10_000)
+        closed = -8192 * np.log(frame.ones / slots) / (3 * p)
+        assert result.n_hat == pytest.approx(closed, rel=1e-6)
+
+    def test_information_adds_across_frames(self):
+        n_true = 200_000
+        f1 = _expected_frame(n_true, 1024, 12 / 1024)
+        f2 = _expected_frame(n_true, 8192, 4 / 1024)
+        both = joint_mle([f1, f2], n0=n_true)
+        only2 = joint_mle([f2], n0=n_true)
+        assert both.fisher_information > only2.fisher_information
+        assert both.std_error < only2.std_error
+        assert len(both.frame_information) == 2
+        assert sum(both.information_share) == pytest.approx(1.0)
+
+    def test_far_start_converges(self):
+        n_true = 500_000
+        frames = [_expected_frame(n_true, 8192, 3 / 1024)]
+        assert joint_mle(frames, n0=100.0).n_hat == pytest.approx(n_true, rel=0.01)
+
+    def test_degenerate_frames_rejected(self):
+        all_idle = FrameObservation(ones=100, slots=100, rate=0.001)
+        with pytest.raises(ValueError, match="degenerate"):
+            joint_mle([all_idle], n0=10.0)
+        with pytest.raises(ValueError):
+            joint_mle([], n0=10.0)
+
+
+class TestRefineResult:
+    def test_refinement_close_to_plain(self):
+        pop = TagPopulation(uniform_ids(100_000, seed=1))
+        result = BFCE().estimate(pop, seed=2)
+        refined = refine_result(result)
+        # The refined estimate stays within a couple of std errors.
+        assert abs(refined.n_hat - result.n_hat) < 4 * refined.std_error
+
+    def test_refinement_reduces_rms_error(self):
+        """Over many seeds the joint MLE must not be worse than the plain
+        accurate-frame estimator (it strictly adds information)."""
+        n = 100_000
+        pop = TagPopulation(uniform_ids(n, seed=3))
+        plain, refined = [], []
+        for s in range(20):
+            res = BFCE().estimate(pop, seed=s)
+            plain.append((res.n_hat - n) / n)
+            refined.append((refine_result(res).n_hat - n) / n)
+        rms = lambda xs: float(np.sqrt(np.mean(np.square(xs))))  # noqa: E731
+        assert rms(refined) <= rms(plain) * 1.02
+
+    def test_rough_frame_contributes_information(self):
+        pop = TagPopulation(uniform_ids(50_000, seed=4))
+        refined = refine_result(BFCE().estimate(pop, seed=5))
+        shares = refined.information_share
+        assert shares[0] > 0.03   # rough frame is not negligible
+        assert shares[1] > 0.5    # accurate frame dominates

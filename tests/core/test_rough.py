@@ -1,0 +1,86 @@
+"""Unit tests for the rough lower-bound estimation phase (Sec. IV-C)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import BFCEConfig
+from repro.core.probe import probe_persistence
+from repro.core.rough import rough_estimate
+from repro.rfid.ids import uniform_ids
+from repro.rfid.reader import Reader
+from repro.rfid.tags import TagPopulation
+
+
+def _rough(n: int, seed: int = 1, config: BFCEConfig | None = None, pn: int | None = None):
+    config = config or BFCEConfig()
+    pop = (
+        TagPopulation(uniform_ids(n, seed=seed))
+        if n
+        else TagPopulation(np.array([], dtype=np.uint64))
+    )
+    reader = Reader(pop, seed=seed + 41)
+    if pn is None:
+        pn = probe_persistence(reader, config).pn
+    return rough_estimate(reader, pn, config), reader
+
+
+class TestRoughEstimate:
+    @pytest.mark.parametrize("n", [5_000, 50_000, 500_000])
+    def test_rough_estimate_in_right_ballpark(self, n):
+        result, _ = _rough(n)
+        # 1024 observed slots give a coarse estimate; factor-1.5 is ample.
+        assert result.n_rough == pytest.approx(n, rel=0.5)
+
+    def test_n_low_is_c_times_rough(self):
+        result, _ = _rough(100_000)
+        assert result.n_low == pytest.approx(0.5 * result.n_rough)
+
+    def test_lower_bound_holds(self):
+        """c = 0.5 should make n̂_low ≤ n essentially always at these sizes
+        (Sec. V-B claim)."""
+        for seed in range(5):
+            result, _ = _rough(100_000, seed=seed)
+            assert result.n_low <= 100_000
+
+    def test_custom_c(self):
+        config = BFCEConfig(c=0.25)
+        result, _ = _rough(100_000, config=config)
+        assert result.n_low == pytest.approx(0.25 * result.n_rough)
+
+    def test_observes_1024_slots(self):
+        _, reader = _rough(100_000)
+        rough_phase = [p for p in reader.ledger.phase_breakdown() if p.phase == "rough"]
+        assert rough_phase[0].uplink_slots == 1024
+
+    def test_empty_population_returns_zero(self):
+        result, _ = _rough(0, pn=1023)
+        assert result.n_rough == 0.0
+        assert result.n_low == 0.0
+        assert result.rho == 1.0
+
+    def test_all_idle_retry_raises_pn(self):
+        """Feeding a tiny pn for a tiny population makes an all-idle frame
+        almost certain (E[responses] = 50·3/1024 ≈ 0.15); the retry loop
+        must double pn until a mixed frame appears."""
+        result, _ = _rough(50, pn=1)
+        assert result.retries >= 1
+        assert result.pn > 1
+        assert 0.0 < result.rho < 1.0
+
+    def test_all_busy_retry_lowers_pn(self):
+        """A huge population at a huge pn saturates; retries must halve pn."""
+        result, _ = _rough(3_000_000, pn=1023)
+        assert result.retries >= 1
+        assert result.pn < 1023
+        assert 0.0 < result.rho < 1.0
+
+    def test_pn_validated(self):
+        with pytest.raises(ValueError):
+            _rough(1_000, pn=0)
+        with pytest.raises(ValueError):
+            _rough(1_000, pn=1024)
+
+    def test_deterministic(self):
+        a, _ = _rough(50_000, seed=3)
+        b, _ = _rough(50_000, seed=3)
+        assert a == b

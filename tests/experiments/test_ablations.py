@@ -1,0 +1,65 @@
+"""Unit tests for the ablation-sweep API (small parameters for speed)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    AblationPoint,
+    sweep_c,
+    sweep_channel,
+    sweep_k,
+    sweep_persistence_mode,
+    sweep_rn_source,
+    sweep_w,
+)
+
+
+class TestAblationPoint:
+    def test_as_row(self):
+        p = AblationPoint(
+            knob="k", value=3, mean_error=0.01, max_error=0.02,
+            mean_seconds=0.19, mean_estimate=1000.0, extra={},
+        )
+        row = p.as_row()
+        assert row["knob"] == "k" and row["value"] == 3
+        assert "mean_estimate" not in row  # row keeps the rendered columns
+
+
+class TestSweeps:
+    def test_sweep_k_small(self):
+        points = sweep_k(k_values=(1, 3), n=10_000, trials=2)
+        assert [p.value for p in points] == [1, 3]
+        assert all(p.knob == "k" for p in points)
+        assert all(p.mean_error < 0.2 for p in points)
+
+    def test_sweep_w_small(self):
+        points = sweep_w(w_values=(2048, 8192), n=10_000, trials=2)
+        by_w = {p.value: p for p in points}
+        assert by_w[8192].mean_seconds > by_w[2048].mean_seconds
+
+    def test_sweep_c_records_hold_rate(self):
+        points = sweep_c(c_values=(0.1,), n=10_000, trials=3)
+        assert points[0].extra["lower_bound_held"] == 1.0
+        assert points[0].extra["mean_pn"] > 0
+
+    def test_sweep_persistence_modes(self):
+        points = sweep_persistence_mode(modes=("event", "static"), n=10_000, trials=3)
+        assert {p.value for p in points} == {"event", "static"}
+
+    def test_sweep_rn_source_cross(self):
+        points = sweep_rn_source(
+            distributions=("T1",), sources=("tagid", "random"), n=10_000, trials=2
+        )
+        assert len(points) == 2
+        assert {p.extra["source"] for p in points} == {"tagid", "random"}
+
+    def test_sweep_channel_custom(self):
+        from repro.rfid.channel import PerfectChannel
+
+        points = sweep_channel({"only": PerfectChannel()}, n=10_000, trials=2)
+        assert len(points) == 1
+        assert points[0].value == "only"
+
+    def test_points_deterministic(self):
+        a = sweep_k(k_values=(3,), n=10_000, trials=2, base_seed=5)
+        b = sweep_k(k_values=(3,), n=10_000, trials=2, base_seed=5)
+        assert a[0].mean_estimate == b[0].mean_estimate

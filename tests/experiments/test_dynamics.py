@@ -1,0 +1,84 @@
+"""Unit tests for the dynamic population traces."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.dynamics import BatchEvent, PopulationTrace
+
+
+class TestBatchEvent:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchEvent(epoch=-1, delta=5)
+        with pytest.raises(ValueError):
+            BatchEvent(epoch=0, delta=0)
+
+
+class TestPopulationTrace:
+    def test_static_trace(self):
+        trace = PopulationTrace(initial_size=1_000)
+        pops = trace.run(3)
+        assert all(p.size == 1_000 for p in pops)
+        # Identical membership across epochs.
+        assert np.array_equal(pops[0].tag_ids, pops[2].tag_ids)
+
+    def test_batch_arrival_and_departure(self):
+        trace = PopulationTrace(
+            initial_size=1_000,
+            events=(BatchEvent(1, +500, "truck"), BatchEvent(2, -300, "orders")),
+        )
+        sizes = [trace.step().size for _ in range(3)]
+        assert sizes == [1_000, 1_500, 1_200]
+
+    def test_drift(self):
+        trace = PopulationTrace(initial_size=10_000, drift=1.1)
+        sizes = [trace.step().size for _ in range(3)]
+        assert sizes == [11_000, 12_100, 13_310]
+
+    def test_churn_preserves_level(self):
+        trace = PopulationTrace(initial_size=20_000, churn_rate=0.05, seed=1)
+        sizes = [trace.step().size for _ in range(10)]
+        # Arrivals and departures balance in expectation.
+        assert abs(np.mean(sizes) - 20_000) / 20_000 < 0.05
+
+    def test_churn_replaces_members(self):
+        trace = PopulationTrace(initial_size=10_000, churn_rate=0.1, seed=2)
+        first = set(trace.step().tag_ids.tolist())
+        for _ in range(5):
+            last = trace.step()
+        overlap = len(first & set(last.tag_ids.tolist())) / 10_000
+        assert overlap < 0.9  # meaningful turnover after 6 epochs
+
+    def test_ids_unique_after_churn(self):
+        trace = PopulationTrace(initial_size=5_000, churn_rate=0.2, seed=3)
+        for _ in range(5):
+            pop = trace.step()
+            assert np.unique(pop.tag_ids).size == pop.size
+
+    def test_deterministic(self):
+        a = PopulationTrace(initial_size=1_000, churn_rate=0.1, seed=7)
+        b = PopulationTrace(initial_size=1_000, churn_rate=0.1, seed=7)
+        for _ in range(4):
+            assert np.array_equal(a.step().tag_ids, b.step().tag_ids)
+
+    def test_departure_clamped_at_zero(self):
+        trace = PopulationTrace(initial_size=100, events=(BatchEvent(0, -500),))
+        assert trace.step().size == 0
+
+    def test_epoch_counter(self):
+        trace = PopulationTrace(initial_size=10)
+        trace.run(4)
+        assert trace.epoch == 4
+
+    @pytest.mark.parametrize("kwargs", [
+        {"initial_size": -1},
+        {"initial_size": 1, "churn_rate": 1.0},
+        {"initial_size": 1, "drift": 0.0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            PopulationTrace(**kwargs)
+
+    def test_run_validates_epochs(self):
+        with pytest.raises(ValueError):
+            PopulationTrace(initial_size=1).run(-1)

@@ -1,0 +1,154 @@
+"""Tests for the figure generators (reduced parameters for speed).
+
+The benchmark harness runs these at paper scale; here we verify the
+generators produce well-formed data and that the headline *shape* properties
+already show at small scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import (
+    fig3_linearity,
+    fig4_gamma_surface,
+    fig5_monotonicity,
+    fig6_distributions,
+    fig7_accuracy,
+    fig8_cdf,
+    fig9_fig10_comparison,
+    lower_bound_validity,
+)
+
+
+class TestFig3:
+    def test_linearity(self):
+        data = fig3_linearity(n_values=(10_000, 50_000, 100_000), trials=2)
+        for p in (0.1, 0.2):
+            rows = [r for r in data.rows if r["p"] == p]
+            ones = [r["ones_mean"] for r in rows]
+            zeros = [r["zeros_mean"] for r in rows]
+            assert ones[0] > ones[-1]     # idle count falls with n
+            assert zeros[0] < zeros[-1]   # busy count rises with n
+
+    def test_matches_theorem1_predictions(self):
+        data = fig3_linearity(n_values=(50_000,), p_values=(0.1,), trials=3)
+        row = data.rows[0]
+        assert row["ones_mean"] == pytest.approx(row["ones_pred"], rel=0.03)
+        assert row["zeros_mean"] == pytest.approx(row["zeros_pred"], rel=0.03)
+
+    def test_column_helper(self):
+        data = fig3_linearity(n_values=(10_000,), p_values=(0.1,), trials=1)
+        assert data.column("n") == [10_000]
+
+
+class TestFig4:
+    def test_extrema_match_paper(self):
+        data = fig4_gamma_surface(resolution=64)
+        assert data.meta["gamma_min"] == pytest.approx(0.000326, rel=0.01)
+        assert data.meta["gamma_max"] == pytest.approx(2365.9, rel=0.001)
+        assert data.meta["max_cardinality_w8192"] > 19e6
+
+    def test_rows_have_sane_gamma(self):
+        data = fig4_gamma_surface(resolution=64)
+        for row in data.rows:
+            assert row["gamma"] > 0
+
+
+class TestFig5:
+    def test_monotonicity_flags(self):
+        data = fig5_monotonicity()
+        assert data.meta["f1_monotone_decreasing"]
+        assert data.meta["f2_monotone_increasing"]
+
+    def test_custom_grid(self):
+        data = fig5_monotonicity(n_values=[10_000, 20_000, 40_000])
+        assert len(data.rows) == 3
+
+
+class TestFig6:
+    def test_shapes(self):
+        data = fig6_distributions(n=5_000, bins=20)
+        assert len(data.rows) == 3 * 20
+        for dist in ("T1", "T2", "T3"):
+            counts = [r["count"] for r in data.rows if r["distribution"] == dist]
+            assert sum(counts) == 5_000
+
+    def test_t1_flat_t3_peaked(self):
+        data = fig6_distributions(n=20_000, bins=20)
+
+        def peak_to_mean(dist: str) -> float:
+            counts = np.array(
+                [r["count"] for r in data.rows if r["distribution"] == dist], float
+            )
+            return counts.max() / counts.mean()
+
+        assert peak_to_mean("T1") < 1.5     # uniform: flat
+        assert peak_to_mean("T3") > 3.0     # normal: strongly peaked
+        assert peak_to_mean("T2") > 1.5     # approx normal: in between
+
+
+class TestFig7:
+    def test_small_scale_accuracy(self):
+        data = fig7_accuracy(
+            n_values=(10_000,), eps_values=(0.1,), delta_values=(0.1,),
+            reference_n=20_000, trials=2,
+        )
+        panels = {r["panel"] for r in data.rows}
+        assert panels == {"a", "b", "c"}
+        # Fig. 7's claim: errors stay below the requested ε.
+        for row in data.rows:
+            assert row["error_mean"] <= row["eps"]
+
+    def test_three_distributions_present(self):
+        data = fig7_accuracy(
+            n_values=(5_000,), eps_values=(), delta_values=(), trials=1
+        )
+        assert {r["distribution"] for r in data.rows} == {"T1", "T2", "T3"}
+
+
+class TestFig8:
+    def test_cdf_rows(self):
+        data = fig8_cdf(n=20_000, rounds=10)
+        t1 = [r for r in data.rows if r["distribution"] == "T1"]
+        assert len(t1) == 10
+        assert t1[-1]["cdf"] == pytest.approx(1.0)
+        # CDF values non-decreasing along sorted estimates
+        cdfs = [r["cdf"] for r in t1]
+        assert cdfs == sorted(cdfs)
+
+    def test_concentration_meta(self):
+        data = fig8_cdf(n=20_000, rounds=10)
+        for dist, rate in data.meta["within_eps_rate"].items():
+            assert rate >= 0.9  # (0.05, 0.05) ⇒ ≥ 95% expected; slack for 10 rounds
+
+
+class TestFig9Fig10:
+    def test_comparison_small_scale(self):
+        data = fig9_fig10_comparison(
+            n_values=(20_000,), eps_values=(0.1,), delta_values=(0.1,),
+            reference_n=20_000, trials=1,
+        )
+        estimators = {r["estimator"] for r in data.rows}
+        assert estimators == {"BFCE", "ZOE", "SRC"}
+        # Headline shape: ZOE slowest by an order of magnitude.
+        assert data.meta["zoe_over_bfce"] > 5.0
+        assert data.meta["bfce_mean_seconds"] < 0.25
+
+    def test_bfce_constant_time_across_panel_a(self):
+        data = fig9_fig10_comparison(
+            n_values=(10_000, 100_000), eps_values=(), delta_values=(), trials=1
+        )
+        bfce = [r["seconds_mean"] for r in data.rows if r["estimator"] == "BFCE"]
+        assert max(bfce) - min(bfce) < 0.05
+
+
+class TestLowerBoundValidity:
+    def test_small_c_always_holds(self):
+        data = lower_bound_validity(c_values=(0.1,), n_values=(10_000,), trials=5)
+        assert data.rows[0]["holds_rate"] == 1.0
+
+    def test_rate_decreases_with_c(self):
+        data = lower_bound_validity(c_values=(0.1, 0.9), n_values=(10_000,), trials=10)
+        lo = next(r for r in data.rows if r["c"] == 0.1)
+        hi = next(r for r in data.rows if r["c"] == 0.9)
+        assert lo["holds_rate"] >= hi["holds_rate"]

@@ -1,0 +1,21 @@
+"""Smoke test for the EXPERIMENTS.md generator (quick mode)."""
+
+from repro.experiments.paper_report import generate_experiments_md
+
+
+def test_generate_quick(tmp_path):
+    path = tmp_path / "EXPERIMENTS.md"
+    content = generate_experiments_md(str(path), trials=1, quick=True)
+    assert path.exists()
+    text = path.read_text(encoding="utf-8")
+    assert text == content
+    # One section per paper artifact plus the extensions.
+    for heading in (
+        "Fig. 1", "Fig. 3", "Fig. 4", "Fig. 5", "Fig. 6", "Fig. 7",
+        "Fig. 8", "Fig. 9", "Fig. 10", "Sec. IV-E.1", "Sec. V-B",
+        "guarantee region", "statistical premises",
+    ):
+        assert heading in text, heading
+    # Paper-vs-measured structure everywhere.
+    assert text.count("**Paper:**") == text.count("**Measured:**")
+    assert text.count("**Paper:**") >= 12

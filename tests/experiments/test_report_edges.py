@@ -1,0 +1,69 @@
+"""Edge-case tests for the report renderer and runner aggregation."""
+
+import pytest
+
+from repro.experiments.report import _format_cell, render_bars, render_table
+from repro.experiments.runner import sweep
+from repro.experiments.workloads import population
+from repro.experiments.runner import run_bfce_trials
+
+
+class TestFormatCell:
+    def test_bool_before_float(self):
+        # bool is an int subclass; must render as yes/no, not 1/0.
+        assert _format_cell(True) == "yes"
+        assert _format_cell(False) == "no"
+
+    def test_zero(self):
+        assert _format_cell(0.0) == "0"
+
+    def test_large_and_tiny_scientific(self):
+        assert "e" in _format_cell(1.23e7)
+        assert "e" in _format_cell(1.23e-5)
+
+    def test_mid_range_compact(self):
+        assert _format_cell(0.12345) == "0.1234" or _format_cell(0.12345) == "0.1235"
+
+    def test_strings_pass_through(self):
+        assert _format_cell("abc") == "abc"
+
+
+class TestRenderEdges:
+    def test_table_missing_keys_fill_blank(self):
+        out = render_table([{"a": 1}, {"b": 2}], columns=["a", "b"])
+        lines = out.splitlines()
+        assert len(lines) == 4
+
+    def test_bars_single_item(self):
+        out = render_bars(["only"], [3.5], width=10)
+        assert out.count("#") == 10
+
+    def test_bars_all_zero(self):
+        out = render_bars(["a", "b"], [0.0, 0.0])
+        assert "#" not in out
+
+    def test_table_unicode_labels(self):
+        out = render_table([{"ε": 0.05, "δ": 0.05}])
+        assert "ε" in out and "δ" in out
+
+
+class TestSweepCoords:
+    def test_coords_echoed_not_aliased(self):
+        pop = population("T1", 5_000, seed=1)
+
+        def runner(eps: float):
+            return run_bfce_trials(pop, trials=1, eps=eps, base_seed=2)
+
+        grid = [{"eps": 0.1}, {"eps": 0.2}]
+        points = sweep(runner, grid)
+        # Mutating the input grid must not change the recorded coords.
+        grid[0]["eps"] = 999
+        assert points[0].coords == {"eps": 0.1}
+
+    def test_records_tuple_immutable_view(self):
+        pop = population("T1", 5_000, seed=1)
+        points = sweep(
+            lambda: run_bfce_trials(pop, trials=2, base_seed=3), [{}]
+        )
+        assert isinstance(points[0].records, tuple)
+        assert len(points[0].records) == 2

@@ -1,0 +1,103 @@
+"""Tests for the analytic tables and the ASCII report renderer."""
+
+import pytest
+
+from repro.experiments.figures import FigureData
+from repro.experiments.report import render_bars, render_figure, render_table
+from repro.experiments.tables import analytic_overhead, design_space
+from repro.timing.c1g2 import C1G2Timing
+
+
+class TestDesignSpace:
+    def test_bfce_unique_quadrant(self):
+        rows = design_space()
+        winners = [r for r in rows if r["constant_slots"] and r["single_round_accuracy"]]
+        assert len(winners) == 1
+        assert winners[0]["estimator"] == "BFCE"
+
+    def test_all_families_present(self):
+        names = " ".join(r["estimator"] for r in design_space())
+        for fam in ("UPE", "EZB", "LOF", "FNEB", "ZOE", "SRC", "BFCE"):
+            assert fam in names
+
+
+class TestAnalyticOverhead:
+    def test_paper_bound(self):
+        """Sec. IV-E.1: t = t₁ + t₂ < 0.19 s with 32-bit fields."""
+        b = analytic_overhead()
+        assert b.total_seconds < 0.19
+        assert b.total_seconds == pytest.approx(0.1846, abs=0.001)
+
+    def test_components(self):
+        b = analytic_overhead()
+        assert b.t1_seconds + b.t2_seconds == pytest.approx(b.total_seconds)
+        assert b.downlink_bits == 2 * (3 * 32 + 32)   # (6·l_R + 2·l_p) bits
+        assert b.uplink_slots == 1024 + 8192
+        assert b.intervals == 3
+
+    def test_matches_paper_formula(self):
+        """t = (6·l_R + 2·l_p)·t_{r→t} + 3·t_int + 9216·t_{t→r}."""
+        b = analytic_overhead()
+        expected = (6 * 32 + 2 * 32) * 37.76e-6 + 3 * 302e-6 + 9216 * 18.88e-6
+        assert b.total_seconds == pytest.approx(expected)
+
+    def test_custom_timing_scales(self):
+        slow = analytic_overhead(timing=C1G2Timing(tag_to_reader_us_per_bit=37.76))
+        assert slow.total_seconds > analytic_overhead().total_seconds
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        out = render_table([{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, separator, 2 rows
+        assert "a" in lines[0] and "b" in lines[0]
+        assert "22" in lines[3]
+
+    def test_empty(self):
+        assert render_table([]) == "(no rows)"
+
+    def test_column_selection(self):
+        out = render_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in out.splitlines()[0]
+
+    def test_float_formatting(self):
+        out = render_table([{"x": 0.000123456}])
+        assert "1.235e-04" in out or "1.234e-04" in out
+
+    def test_bool_formatting(self):
+        out = render_table([{"ok": True}])
+        assert "yes" in out
+
+
+class TestRenderBars:
+    def test_scaling(self):
+        out = render_bars(["a", "b"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_zero_values(self):
+        out = render_bars(["a"], [0.0])
+        assert "#" not in out
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            render_bars(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert render_bars([], []) == "(no data)"
+
+
+class TestRenderFigure:
+    def test_truncation(self):
+        data = FigureData(
+            figure="t", title="T", rows=[{"i": i} for i in range(100)], meta={"m": 1}
+        )
+        out = render_figure(data, max_rows=10)
+        assert "90 more rows" in out
+        assert "m = 1" in out
+
+    def test_title_present(self):
+        data = FigureData(figure="fx", title="My Title", rows=[{"a": 1}])
+        assert "My Title" in render_figure(data)

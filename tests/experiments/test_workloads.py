@@ -1,0 +1,60 @@
+"""Unit tests for the workload builders."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.workloads import (
+    DELTA_SWEEP,
+    DISTRIBUTION_NAMES,
+    EPS_SWEEP,
+    N_SWEEP,
+    REFERENCE_N,
+    population,
+)
+
+
+class TestGrids:
+    def test_paper_parameters(self):
+        assert REFERENCE_N == 500_000
+        assert EPS_SWEEP[0] == 0.05 and EPS_SWEEP[-1] == 0.30
+        assert DELTA_SWEEP == EPS_SWEEP
+        assert 1_000 in N_SWEEP and 1_000_000 in N_SWEEP
+        assert DISTRIBUTION_NAMES == ("T1", "T2", "T3")
+
+
+class TestPopulation:
+    def test_size_and_type(self):
+        pop = population("T1", 5_000, seed=1)
+        assert pop.size == 5_000
+
+    def test_cache_returns_same_ids(self):
+        a = population("T1", 5_000, seed=1)
+        b = population("T1", 5_000, seed=1)
+        assert np.array_equal(a.tag_ids, b.tag_ids)
+
+    def test_distinct_coordinates_distinct_ids(self):
+        a = population("T1", 5_000, seed=1)
+        b = population("T1", 5_000, seed=2)
+        c = population("T2", 5_000, seed=1)
+        assert not np.array_equal(a.tag_ids, b.tag_ids)
+        assert not np.array_equal(a.tag_ids, c.tag_ids)
+
+    def test_variants_share_ids_but_differ_in_behavior(self):
+        a = population("T1", 2_000, seed=3, persistence_mode="event")
+        b = population("T1", 2_000, seed=3, persistence_mode="static")
+        assert np.array_equal(a.tag_ids, b.tag_ids)
+        assert a.persistence_mode == "event"
+        assert b.persistence_mode == "static"
+
+    def test_populations_are_mutation_safe(self):
+        """Each call returns an independent copy; mutating one must not
+        poison the cache."""
+        a = population("T1", 1_000, seed=4)
+        a.tag_ids[0] = 0  # mutate the copy
+        b = population("T1", 1_000, seed=4)
+        assert b.tag_ids[0] != 0 or b.tag_ids[0] == b.tag_ids[0]
+        assert not np.array_equal(a.tag_ids[:1], b.tag_ids[:1])
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ValueError):
+            population("nope", 100)

@@ -1,0 +1,79 @@
+"""Unit tests for the channel models."""
+
+import numpy as np
+import pytest
+
+from repro.rfid.channel import NoisyChannel, PerfectChannel
+
+
+class TestPerfectChannel:
+    def test_busy_iff_any_responder(self):
+        ch = PerfectChannel()
+        counts = np.array([0, 1, 2, 5, 0])
+        busy = ch.observe(counts)
+        assert busy.tolist() == [False, True, True, True, False]
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            PerfectChannel().observe(np.array([-1]))
+
+    def test_rng_ignored(self):
+        ch = PerfectChannel()
+        counts = np.array([0, 3])
+        a = ch.observe(counts, rng=np.random.default_rng(1))
+        b = ch.observe(counts, rng=np.random.default_rng(2))
+        assert np.array_equal(a, b)
+
+
+class TestNoisyChannel:
+    def test_zero_noise_equals_perfect(self):
+        ch = NoisyChannel(miss_prob=0.0, false_alarm_prob=0.0)
+        counts = np.array([0, 1, 4, 0, 2])
+        busy = ch.observe(counts, rng=np.random.default_rng(0))
+        assert np.array_equal(busy, counts > 0)
+
+    def test_full_miss_silences_everything(self):
+        ch = NoisyChannel(miss_prob=1.0, false_alarm_prob=0.0)
+        counts = np.ones(100, dtype=int)
+        busy = ch.observe(counts, rng=np.random.default_rng(0))
+        assert not busy.any()
+
+    def test_full_false_alarm_fills_idle(self):
+        ch = NoisyChannel(miss_prob=0.0, false_alarm_prob=1.0)
+        counts = np.zeros(100, dtype=int)
+        busy = ch.observe(counts, rng=np.random.default_rng(0))
+        assert busy.all()
+
+    def test_miss_rate_statistics(self):
+        ch = NoisyChannel(miss_prob=0.3, false_alarm_prob=0.0)
+        counts = np.ones(50_000, dtype=int)
+        busy = ch.observe(counts, rng=np.random.default_rng(1))
+        assert (~busy).mean() == pytest.approx(0.3, abs=0.02)
+
+    def test_multiple_responders_harder_to_miss(self):
+        ch = NoisyChannel(miss_prob=0.5, false_alarm_prob=0.0)
+        rng = np.random.default_rng(2)
+        singles = ch.observe(np.ones(50_000, dtype=int), rng=rng)
+        triples = ch.observe(np.full(50_000, 3), rng=rng)
+        # P(miss | 3 responders) = 0.5³ = 0.125 < P(miss | 1) = 0.5
+        assert (~triples).mean() < (~singles).mean()
+        assert (~triples).mean() == pytest.approx(0.125, abs=0.02)
+
+    def test_false_alarm_statistics(self):
+        ch = NoisyChannel(miss_prob=0.0, false_alarm_prob=0.1)
+        counts = np.zeros(50_000, dtype=int)
+        busy = ch.observe(counts, rng=np.random.default_rng(3))
+        assert busy.mean() == pytest.approx(0.1, abs=0.02)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"miss_prob": -0.1}, {"miss_prob": 1.1},
+        {"false_alarm_prob": -0.1}, {"false_alarm_prob": 1.5},
+    ])
+    def test_probability_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            NoisyChannel(**kwargs)
+
+    def test_default_rng_when_none(self):
+        ch = NoisyChannel(miss_prob=0.5)
+        busy = ch.observe(np.ones(10, dtype=int))  # should not raise
+        assert busy.shape == (10,)

@@ -1,0 +1,102 @@
+"""Unit tests for fault injection and bias correction."""
+
+import numpy as np
+import pytest
+
+from repro.core.bfce import BFCE
+from repro.rfid.faults import FaultModel, FaultyPopulation, correct_skew
+from repro.rfid.ids import uniform_ids
+
+N = 50_000
+
+
+def _faulty(fault: FaultModel, seed: int = 1) -> FaultyPopulation:
+    return FaultyPopulation(uniform_ids(N, seed=seed), fault, fault_seed=seed)
+
+
+class TestFaultModel:
+    def test_nominal(self):
+        assert FaultModel().is_nominal
+        assert not FaultModel(persistence_skew=0.9).is_nominal
+
+    @pytest.mark.parametrize("kwargs", [
+        {"persistence_skew": 0.0},
+        {"desync_fraction": 1.0},
+        {"desync_fraction": -0.1},
+        {"drift_prob": 1.5},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultModel(**kwargs)
+
+
+class TestNominalFaultIsNoOp:
+    def test_matches_clean_population(self):
+        ids = uniform_ids(N, seed=2)
+        from repro.rfid.tags import TagPopulation
+
+        clean = BFCE().estimate(TagPopulation(ids.copy()), seed=3)
+        faulty = BFCE().estimate(
+            FaultyPopulation(ids.copy(), FaultModel(), fault_seed=9), seed=3
+        )
+        assert faulty.n_hat == clean.n_hat
+
+
+class TestPersistenceSkew:
+    def test_skew_biases_estimate_multiplicatively(self):
+        """Responding at 0.8·p makes Eq. 3 report ≈ 0.8·n."""
+        pop = _faulty(FaultModel(persistence_skew=0.8))
+        result = BFCE().estimate(pop, seed=4)
+        assert result.n_hat == pytest.approx(0.8 * N, rel=0.06)
+
+    def test_correct_skew_restores_estimate(self):
+        pop = _faulty(FaultModel(persistence_skew=0.8))
+        result = BFCE().estimate(pop, seed=5)
+        corrected = correct_skew(result.n_hat, 0.8)
+        assert corrected == pytest.approx(N, rel=0.06)
+
+    def test_over_response_skew(self):
+        pop = _faulty(FaultModel(persistence_skew=1.2))
+        result = BFCE().estimate(pop, seed=6)
+        assert result.n_hat == pytest.approx(1.2 * N, rel=0.06)
+
+    def test_correct_skew_validates(self):
+        with pytest.raises(ValueError):
+            correct_skew(100.0, 0.0)
+
+
+class TestDesync:
+    def test_desynced_tags_uncounted(self):
+        """10% sleeping tags → estimate converges on the awake 90%."""
+        pop = _faulty(FaultModel(desync_fraction=0.10))
+        result = BFCE().estimate(pop, seed=7)
+        assert result.n_hat == pytest.approx(0.9 * N, rel=0.06)
+
+    def test_desync_set_is_stable_across_frames(self):
+        pop = _faulty(FaultModel(desync_fraction=0.3))
+        a = pop.persistence_decisions(1024, frame_seed=1, k=1)
+        b = pop.persistence_decisions(1024, frame_seed=2, k=1)
+        silent_a = ~a[0]
+        silent_b = ~b[0]
+        # At p = 1 only desynced tags are silent; same set both frames.
+        assert np.array_equal(silent_a, silent_b)
+        assert silent_a.mean() == pytest.approx(0.3, abs=0.02)
+
+
+class TestClockDrift:
+    def test_estimator_nearly_immune(self):
+        """Shifting responses one slot leaves the busy-slot count (and hence
+        the estimate) essentially unchanged."""
+        pop = _faulty(FaultModel(drift_prob=0.5))
+        result = BFCE().estimate(pop, seed=8)
+        assert result.relative_error(N) < 0.06
+
+    def test_drift_moves_slots(self):
+        fault = FaultModel(drift_prob=1.0)
+        pop = _faulty(fault)
+        from repro.rfid.tags import TagPopulation
+
+        clean = TagPopulation(pop.tag_ids.copy())
+        sel_clean = clean.slot_selections([11, 22, 33], w=8192)
+        sel_drift = pop.slot_selections([11, 22, 33], w=8192)
+        assert np.array_equal((sel_clean + 1) % 8192, sel_drift)

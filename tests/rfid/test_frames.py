@@ -1,0 +1,95 @@
+"""Unit tests for BFCE bit-slot frame execution."""
+
+import numpy as np
+import pytest
+
+from repro.rfid.channel import NoisyChannel
+from repro.rfid.frames import run_bfce_frame, slot_response_counts
+from repro.rfid.ids import uniform_ids
+from repro.rfid.tags import TagPopulation
+
+W = 8192
+SEEDS = [101, 202, 303]
+
+
+class TestSlotResponseCounts:
+    def test_shape(self, pop_small):
+        counts = slot_response_counts(pop_small, w=W, seeds=SEEDS, p_n=512)
+        assert counts.shape == (W,)
+
+    def test_pn_zero_silent(self, pop_small):
+        counts = slot_response_counts(pop_small, w=W, seeds=SEEDS, p_n=0)
+        assert counts.sum() == 0
+
+    def test_total_responses_match_expectation(self):
+        pop = TagPopulation(uniform_ids(20_000, seed=1))
+        counts = slot_response_counts(pop, w=W, seeds=SEEDS, p_n=256)
+        # E[responses] = n·k·p = 20000·3·0.25 = 15000
+        assert counts.sum() == pytest.approx(15_000, rel=0.05)
+
+    def test_deterministic(self, pop_small):
+        a = slot_response_counts(pop_small, w=W, seeds=SEEDS, p_n=512)
+        b = slot_response_counts(pop_small, w=W, seeds=SEEDS, p_n=512)
+        assert np.array_equal(a, b)
+
+
+class TestRunBfceFrame:
+    def test_polarity_one_means_idle(self, pop_small):
+        frame = run_bfce_frame(pop_small, w=W, seeds=SEEDS, p_n=1024)
+        counts = slot_response_counts(pop_small, w=W, seeds=SEEDS, p_n=1024)
+        assert np.array_equal(frame.bloom == 1, counts == 0)
+
+    def test_rho_is_idle_fraction(self, pop_small):
+        frame = run_bfce_frame(pop_small, w=W, seeds=SEEDS, p_n=512)
+        assert frame.rho == pytest.approx(frame.bloom.mean())
+        assert frame.ones + frame.zeros == W
+
+    def test_empty_population_all_idle(self):
+        pop = TagPopulation(np.array([], dtype=np.uint64))
+        frame = run_bfce_frame(pop, w=W, seeds=SEEDS, p_n=1024)
+        assert frame.rho == 1.0
+
+    def test_rho_matches_theorem1(self):
+        """E[ρ̄] = e^{−kpn/w} (Theorem 1), within CLT tolerance."""
+        n, pn = 50_000, 102  # p ≈ 0.0996
+        pop = TagPopulation(uniform_ids(n, seed=2))
+        p = pn / 1024
+        expected = np.exp(-3 * p * n / W)
+        rhos = []
+        for t in range(5):
+            seeds = np.random.default_rng(t).integers(0, 1 << 32, 3, dtype=np.uint64)
+            rhos.append(run_bfce_frame(pop, w=W, seeds=seeds, p_n=pn).rho)
+        assert np.mean(rhos) == pytest.approx(expected, rel=0.02)
+
+    def test_truncated_frame(self, pop_small):
+        frame = run_bfce_frame(pop_small, w=W, seeds=SEEDS, p_n=512, observe_slots=1024)
+        assert frame.bloom.size == 1024
+        assert frame.observed_slots == 1024
+        assert frame.w == W
+
+    def test_truncation_is_prefix(self, pop_small):
+        full = run_bfce_frame(pop_small, w=W, seeds=SEEDS, p_n=512)
+        trunc = run_bfce_frame(pop_small, w=W, seeds=SEEDS, p_n=512, observe_slots=100)
+        assert np.array_equal(full.bloom[:100], trunc.bloom)
+
+    def test_observe_slots_validated(self, pop_small):
+        with pytest.raises(ValueError):
+            run_bfce_frame(pop_small, w=W, seeds=SEEDS, p_n=512, observe_slots=0)
+        with pytest.raises(ValueError):
+            run_bfce_frame(pop_small, w=W, seeds=SEEDS, p_n=512, observe_slots=W + 1)
+
+    def test_noisy_channel_changes_observation(self, pop_small):
+        clean = run_bfce_frame(pop_small, w=W, seeds=SEEDS, p_n=512)
+        noisy = run_bfce_frame(
+            pop_small, w=W, seeds=SEEDS, p_n=512,
+            channel=NoisyChannel(miss_prob=0.5, false_alarm_prob=0.1),
+            channel_rng=np.random.default_rng(1),
+        )
+        assert not np.array_equal(clean.bloom, noisy.bloom)
+
+    def test_responses_counted_in_observed_window(self, pop_small):
+        full = run_bfce_frame(pop_small, w=W, seeds=SEEDS, p_n=1024)
+        trunc = run_bfce_frame(pop_small, w=W, seeds=SEEDS, p_n=1024, observe_slots=512)
+        assert trunc.responses <= full.responses
+        # With p=1 every tag responds k times somewhere in the full frame.
+        assert full.responses == 3 * len(pop_small)

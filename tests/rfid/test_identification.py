@@ -1,0 +1,118 @@
+"""Unit tests for the C1G2 Q-algorithm inventory and hybrid counter."""
+
+import numpy as np
+import pytest
+
+from repro.core.accuracy import AccuracyRequirement
+from repro.rfid.identification import HybridCounter, QInventory
+from repro.rfid.ids import uniform_ids
+from repro.rfid.tags import TagPopulation
+
+
+class TestQInventory:
+    @pytest.mark.parametrize("n", [1, 37, 500, 2_000])
+    def test_exact_count(self, n):
+        pop = TagPopulation(uniform_ids(n, seed=n))
+        result = QInventory().run(pop, seed=1)
+        assert result.complete
+        assert result.count == n
+
+    def test_empty_population(self):
+        pop = TagPopulation(np.array([], dtype=np.uint64))
+        result = QInventory().run(pop, seed=1)
+        assert result.count == 0
+        assert result.complete
+        assert result.rounds == 0
+
+    def test_slot_efficiency(self):
+        """Q-tuned framed ALOHA singulates with ≈ e slots per tag; allow a
+        generous factor for the frame-level retune."""
+        n = 1_000
+        pop = TagPopulation(uniform_ids(n, seed=3))
+        result = QInventory().run(pop, seed=2)
+        assert result.slots < 8 * n
+
+    def test_slower_than_bfce_at_scale(self):
+        """The paper's motivation: identification time grows linearly with n
+        while BFCE stays constant."""
+        t = {}
+        for n in (200, 2_000):
+            pop = TagPopulation(uniform_ids(n, seed=n))
+            t[n] = QInventory().run(pop, seed=4).elapsed_seconds
+        assert t[2_000] > 5 * t[200]
+
+    def test_deterministic(self):
+        pop = TagPopulation(uniform_ids(500, seed=5))
+        a = QInventory().run(pop, seed=6)
+        b = QInventory().run(pop, seed=6)
+        assert a.elapsed_seconds == b.elapsed_seconds
+        assert a.rounds == b.rounds
+
+    def test_ledger_message_mix(self):
+        """An inventory must contain queries, query-reps, ACKs and EPCs."""
+        pop = TagPopulation(uniform_ids(100, seed=7))
+        result = QInventory().run(pop, seed=8)
+        labels = {m.label for m in result.ledger}
+        assert {"query", "query-rep", "ack", "epc"} <= labels
+        # One ACK + one EPC per identified tag.
+        acks = sum(m.count for m in result.ledger if m.label == "ack")
+        epcs = sum(m.count for m in result.ledger if m.label == "epc")
+        assert acks == epcs == 100
+
+    def test_round_cap(self):
+        pop = TagPopulation(uniform_ids(5_000, seed=9))
+        result = QInventory(max_rounds=2).run(pop, seed=10)
+        assert result.rounds == 2
+        assert not result.complete
+        assert result.count < 5_000
+
+    @pytest.mark.parametrize("kwargs", [
+        {"q_initial": -1}, {"q_initial": 16}, {"q_initial": 8, "q_max": 7},
+        {"max_rounds": 0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            QInventory(**kwargs)
+
+
+class TestHybridCounter:
+    def test_small_population_exact(self):
+        n = 200
+        pop = TagPopulation(uniform_ids(n, seed=11))
+        result = HybridCounter(threshold=1_000).count(pop, seed=1)
+        assert result.method == "inventory"
+        assert result.exact
+        assert result.count == n
+
+    def test_large_population_estimated(self):
+        n = 50_000
+        pop = TagPopulation(uniform_ids(n, seed=12))
+        result = HybridCounter(threshold=1_000).count(pop, seed=2)
+        assert result.method == "bfce"
+        assert not result.exact
+        assert abs(result.count - n) / n <= 0.05
+
+    def test_bfce_branch_respects_requirement(self):
+        n = 50_000
+        pop = TagPopulation(uniform_ids(n, seed=13))
+        result = HybridCounter(
+            threshold=1_000, requirement=AccuracyRequirement(0.1, 0.1)
+        ).count(pop, seed=3)
+        assert result.detail.relative_error(n) <= 0.1
+
+    def test_probe_cost_included(self):
+        n = 20_000
+        pop = TagPopulation(uniform_ids(n, seed=14))
+        result = HybridCounter().count(pop, seed=4)
+        # Total includes the regime probe on top of the BFCE run.
+        assert result.elapsed_seconds > result.detail.elapsed_seconds
+
+    def test_empty_population(self):
+        pop = TagPopulation(np.array([], dtype=np.uint64))
+        result = HybridCounter().count(pop, seed=5)
+        assert result.method == "inventory"
+        assert result.count == 0
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            HybridCounter(threshold=0)

@@ -1,0 +1,115 @@
+"""Unit tests for the synchronized multi-reader subsystem."""
+
+import numpy as np
+import pytest
+
+from repro.core.bfce import BFCE
+from repro.rfid.ids import uniform_ids
+from repro.rfid.multireader import (
+    CoverageMap,
+    MultiReaderSystem,
+    naive_sum_estimate,
+)
+from repro.rfid.tags import TagPopulation
+
+
+def _coverage(n=50_000, readers=3, overlap=0.25, seed=1) -> CoverageMap:
+    return CoverageMap.random_overlap(
+        uniform_ids(n, seed=seed), readers, overlap=overlap, seed=seed + 1
+    )
+
+
+class TestCoverageMap:
+    def test_every_tag_covered(self):
+        cov = _coverage()
+        assert cov.memberships.any(axis=0).all()
+
+    def test_overlap_fraction(self):
+        cov = _coverage(overlap=0.4)
+        multi = (cov.memberships.sum(axis=0) >= 2).mean()
+        assert multi == pytest.approx(0.4, abs=0.03)
+
+    def test_reader_population(self):
+        cov = _coverage()
+        sizes = [cov.reader_population(r).size for r in range(cov.n_readers)]
+        # Σ per-reader sizes = union + duplicated coverage.
+        assert sum(sizes) == cov.memberships.sum()
+        assert sum(sizes) > cov.union_size
+
+    def test_uncovered_tag_rejected(self):
+        ids = np.array([1, 2, 3], dtype=np.uint64)
+        mem = np.array([[True, True, False]])
+        with pytest.raises(ValueError, match="covered"):
+            CoverageMap(tag_ids=ids, memberships=mem)
+
+    def test_shape_validation(self):
+        ids = np.array([1, 2], dtype=np.uint64)
+        with pytest.raises(ValueError):
+            CoverageMap(tag_ids=ids, memberships=np.ones((2, 3), dtype=bool))
+
+    def test_zero_readers_rejected(self):
+        with pytest.raises(ValueError):
+            CoverageMap.random_overlap(np.array([1], dtype=np.uint64), 0)
+
+    def test_overlap_validated(self):
+        with pytest.raises(ValueError):
+            CoverageMap.random_overlap(np.array([1], dtype=np.uint64), 2, overlap=1.5)
+
+
+class TestMultiReaderSystem:
+    def test_union_estimate_accurate(self):
+        cov = _coverage(n=100_000, readers=4, overlap=0.3)
+        result = MultiReaderSystem(cov).estimate(seed=5)
+        assert result.relative_error(100_000) <= 0.05
+        assert result.guarantee_met
+
+    def test_or_merge_equals_single_reader(self):
+        """The OR-merge theorem: synchronized readers over a partition
+        reproduce exactly the single-reader execution on the union."""
+        ids = uniform_ids(30_000, seed=3)
+        cov = CoverageMap.random_overlap(ids, 3, overlap=0.5, seed=4)
+        multi = MultiReaderSystem(cov).estimate(seed=9)
+        single = BFCE().estimate(TagPopulation(ids.copy()), seed=9)
+        assert multi.n_hat == pytest.approx(single.n_hat, rel=1e-12)
+
+    def test_wallclock_constant_in_reader_count(self):
+        ids = uniform_ids(50_000, seed=5)
+        times = []
+        for readers in (1, 4):
+            cov = CoverageMap.random_overlap(ids, readers, overlap=0.2, seed=6)
+            times.append(MultiReaderSystem(cov).estimate(seed=7).wallclock_seconds)
+        assert abs(times[0] - times[1]) < 0.01
+
+    def test_total_air_scales_with_readers(self):
+        cov = _coverage(readers=4)
+        result = MultiReaderSystem(cov).estimate(seed=8)
+        assert result.total_air_seconds == pytest.approx(
+            4 * result.wallclock_seconds
+        )
+
+    def test_empty_union(self):
+        cov = CoverageMap(
+            tag_ids=np.array([], dtype=np.uint64),
+            memberships=np.zeros((2, 0), dtype=bool),
+        )
+        result = MultiReaderSystem(cov).estimate(seed=1)
+        assert result.n_hat == 0.0
+        assert not result.guarantee_met
+
+
+class TestNaiveSum:
+    def test_overcounts_by_overlap(self):
+        """Summing per-reader estimates over-counts the overlap region —
+        the bias the coordinated design removes."""
+        n, overlap = 80_000, 0.4
+        cov = _coverage(n=n, overlap=overlap, seed=9)
+        naive = naive_sum_estimate(cov, seed=10)
+        coordinated = MultiReaderSystem(cov).estimate(seed=10).n_hat
+        expected_naive = n * (1 + overlap)
+        assert naive == pytest.approx(expected_naive, rel=0.06)
+        assert abs(coordinated - n) < abs(naive - n)
+
+    def test_no_overlap_no_bias(self):
+        cov = _coverage(n=50_000, overlap=0.0, seed=11)
+        naive = naive_sum_estimate(cov, seed=12)
+        assert naive == pytest.approx(50_000, rel=0.05)

@@ -1,0 +1,76 @@
+"""Unit tests for pairwise coverage-overlap estimation."""
+
+import numpy as np
+import pytest
+
+from repro.rfid.ids import uniform_ids
+from repro.rfid.multireader import (
+    CoverageMap,
+    OverlapEstimate,
+    estimate_pairwise_overlap,
+)
+
+
+def _two_reader_coverage(n_a_only: int, n_b_only: int, n_both: int, seed: int = 1):
+    total = n_a_only + n_b_only + n_both
+    ids = uniform_ids(total, seed=seed)
+    mem = np.zeros((2, total), dtype=bool)
+    mem[0, : n_a_only + n_both] = True                 # A = a-only + both
+    mem[1, n_a_only:] = True                            # B = both + b-only
+    return CoverageMap(tag_ids=ids, memberships=mem)
+
+
+class TestOverlapEstimate:
+    def test_inclusion_exclusion(self):
+        est = OverlapEstimate(n_a=100.0, n_b=80.0, n_union=150.0)
+        assert est.n_intersection == pytest.approx(30.0)
+        assert est.jaccard == pytest.approx(30.0 / 150.0)
+
+    def test_clamped_nonnegative(self):
+        est = OverlapEstimate(n_a=10.0, n_b=10.0, n_union=25.0)
+        assert est.n_intersection == 0.0
+
+    def test_empty_union(self):
+        assert OverlapEstimate(0.0, 0.0, 0.0).jaccard == 0.0
+
+
+class TestEstimatePairwiseOverlap:
+    def test_recovers_known_overlap(self):
+        cov = _two_reader_coverage(40_000, 30_000, 20_000)
+        est = estimate_pairwise_overlap(cov, 0, 1, seed=5)
+        assert est.n_a == pytest.approx(60_000, rel=0.06)
+        assert est.n_b == pytest.approx(50_000, rel=0.06)
+        assert est.n_union == pytest.approx(90_000, rel=0.06)
+        # Intersection is a difference of noisy quantities: wider tolerance.
+        assert est.n_intersection == pytest.approx(20_000, rel=0.35)
+
+    def test_disjoint_readers(self):
+        cov = _two_reader_coverage(30_000, 30_000, 0)
+        est = estimate_pairwise_overlap(cov, 0, 1, seed=6)
+        assert est.n_intersection < 0.15 * 30_000
+
+    def test_identical_readers(self):
+        total = 40_000
+        ids = uniform_ids(total, seed=7)
+        mem = np.ones((2, total), dtype=bool)
+        cov = CoverageMap(tag_ids=ids, memberships=mem)
+        est = estimate_pairwise_overlap(cov, 0, 1, seed=8)
+        # A = B = union ⇒ Jaccard ≈ 1.
+        assert est.jaccard > 0.85
+
+    def test_explicit_pn(self):
+        cov = _two_reader_coverage(20_000, 20_000, 10_000)
+        est = estimate_pairwise_overlap(cov, 0, 1, pn=20, seed=9)
+        assert est.n_union == pytest.approx(50_000, rel=0.08)
+
+    def test_reader_indices_validated(self):
+        cov = _two_reader_coverage(100, 100, 0)
+        with pytest.raises(ValueError):
+            estimate_pairwise_overlap(cov, 0, 0)
+        with pytest.raises(ValueError):
+            estimate_pairwise_overlap(cov, 0, 5)
+
+    def test_pn_validated(self):
+        cov = _two_reader_coverage(100, 100, 0)
+        with pytest.raises(ValueError):
+            estimate_pairwise_overlap(cov, 0, 1, pn=0)

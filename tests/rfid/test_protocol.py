@@ -1,0 +1,60 @@
+"""Unit tests for the reader→tag message formats."""
+
+import pytest
+
+from repro.rfid.protocol import (
+    ESTIMATE_COMMAND,
+    FieldSpec,
+    MessageSpec,
+    bfce_phase_message,
+)
+
+
+class TestFieldSpec:
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            FieldSpec("x", -1)
+
+
+class TestMessageSpec:
+    def test_bits_sum(self):
+        msg = MessageSpec("m", (FieldSpec("a", 8), FieldSpec("b", 24)))
+        assert msg.bits == 32
+
+    def test_field_lookup(self):
+        msg = MessageSpec("m", (FieldSpec("a", 8),))
+        assert msg.field_bits("a") == 8
+        with pytest.raises(KeyError):
+            msg.field_bits("zzz")
+
+    def test_estimate_command_is_zero_length(self):
+        assert ESTIMATE_COMMAND.bits == 0
+
+
+class TestBfcePhaseMessage:
+    def test_paper_default_is_128_bits(self):
+        """With w, k preloaded: 3 seeds × 32 + p_n 32 = 128 bits (Sec. IV-E.1)."""
+        msg = bfce_phase_message(3)
+        assert msg.bits == 128
+
+    def test_without_preloading_adds_w_and_k(self):
+        msg = bfce_phase_message(3, preloaded_constants=False)
+        assert msg.bits == 128 + 16 + 8
+        assert msg.field_bits("w") == 16
+        assert msg.field_bits("k") == 8
+
+    def test_seed_count_scales(self):
+        assert bfce_phase_message(5).bits == 5 * 32 + 32
+
+    def test_custom_field_widths(self):
+        msg = bfce_phase_message(3, seed_bits=16, p_bits=10)
+        assert msg.bits == 3 * 16 + 10
+
+    def test_k_validated(self):
+        with pytest.raises(ValueError):
+            bfce_phase_message(0)
+
+    def test_field_names(self):
+        msg = bfce_phase_message(2)
+        names = [f.name for f in msg.fields]
+        assert names == ["seed_0", "seed_1", "p_n"]

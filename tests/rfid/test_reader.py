@@ -1,0 +1,79 @@
+"""Unit tests for the Reader runtime."""
+
+import numpy as np
+import pytest
+
+from repro.rfid.protocol import bfce_phase_message
+from repro.rfid.reader import Reader
+
+
+class TestSeeds:
+    def test_fresh_seeds_shape_and_range(self, pop_small):
+        reader = Reader(pop_small, seed=1)
+        seeds = reader.fresh_seeds(3)
+        assert seeds.shape == (3,)
+        assert seeds.max() < (1 << 32)
+
+    def test_seed_stream_deterministic(self, pop_small):
+        a = Reader(pop_small, seed=5).fresh_seeds(4)
+        b = Reader(pop_small, seed=5).fresh_seeds(4)
+        assert np.array_equal(a, b)
+
+    def test_seed_stream_advances(self, pop_small):
+        reader = Reader(pop_small, seed=5)
+        assert not np.array_equal(reader.fresh_seeds(4), reader.fresh_seeds(4))
+
+    def test_k_validated(self, pop_small):
+        with pytest.raises(ValueError):
+            Reader(pop_small).fresh_seeds(0)
+
+
+class TestMetering:
+    def test_broadcast_meters_downlink(self, pop_small):
+        reader = Reader(pop_small)
+        reader.broadcast(bfce_phase_message(3), phase="x")
+        assert reader.ledger.downlink_bits() == 128
+        assert reader.elapsed_seconds() > 0
+
+    def test_sense_frame_meters_observed_slots_only(self, pop_small):
+        reader = Reader(pop_small, seed=2)
+        seeds = reader.fresh_seeds(3)
+        reader.sense_frame(w=8192, seeds=seeds, p_n=512, observe_slots=1024, phase="rough")
+        assert reader.ledger.uplink_slots() == 1024
+
+    def test_sense_frame_returns_frame_result(self, pop_small):
+        reader = Reader(pop_small, seed=3)
+        seeds = reader.fresh_seeds(3)
+        frame = reader.sense_frame(w=8192, seeds=seeds, p_n=512)
+        assert frame.bloom.size == 8192
+        assert 0.0 <= frame.rho <= 1.0
+
+    def test_full_execution_deterministic(self, pop_small):
+        def run() -> float:
+            reader = Reader(pop_small, seed=9)
+            seeds = reader.fresh_seeds(3)
+            return reader.sense_frame(w=8192, seeds=seeds, p_n=512).rho
+
+        assert run() == run()
+
+    def test_reset_ledger(self, pop_small):
+        reader = Reader(pop_small, seed=1)
+        reader.broadcast_bits(64)
+        assert reader.elapsed_seconds() > 0
+        reader.reset_ledger()
+        assert reader.elapsed_seconds() == 0.0
+
+    def test_sense_slots_raw(self, pop_small):
+        reader = Reader(pop_small)
+        reader.sense_slots(np.zeros(77, dtype=bool), phase="b")
+        assert reader.ledger.uplink_slots() == 77
+
+    def test_phase_attribution(self, pop_small):
+        reader = Reader(pop_small, seed=4)
+        reader.broadcast_bits(32, phase="probe")
+        seeds = reader.fresh_seeds(3)
+        reader.sense_frame(w=8192, seeds=seeds, p_n=8, observe_slots=32, phase="probe")
+        phases = reader.ledger.phase_breakdown()
+        assert len(phases) == 1
+        assert phases[0].phase == "probe"
+        assert phases[0].uplink_slots == 32

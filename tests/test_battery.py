@@ -1,0 +1,63 @@
+"""Cross-protocol battery: every estimator × every distribution, plus a
+variance-calibration check of the delta-method theory against simulation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import A3, ART, EZB, LOF, MLE, PET, SRC, UPE, ZOE
+from repro.core.accuracy import AccuracyRequirement
+from repro.core.bfce import BFCE
+from repro.experiments.workloads import population
+
+N = 50_000
+
+#: (estimator factory, its configured requirement, max acceptable mean error)
+BATTERY = [
+    ("BFCE", lambda req: None, AccuracyRequirement(0.05, 0.05), 0.05),
+    ("ZOE", ZOE, AccuracyRequirement(0.05, 0.05), 0.075),
+    ("SRC", SRC, AccuracyRequirement(0.05, 0.05), 0.06),
+    ("A3", A3, AccuracyRequirement(0.05, 0.05), 0.075),
+    ("EZB", EZB, AccuracyRequirement(0.05, 0.05), 0.09),
+    ("UPE", UPE, AccuracyRequirement(0.05, 0.05), 0.06),
+    ("MLE", MLE, AccuracyRequirement(0.05, 0.05), 0.06),
+    ("ART", ART, AccuracyRequirement(0.05, 0.05), 0.08),
+    ("PET", PET, AccuracyRequirement(0.25, 0.2), 0.30),
+    ("LOF", lambda req: LOF(rounds=10), None, 1.00),  # rough estimator
+]
+
+
+@pytest.mark.parametrize("dist", ["T1", "T2", "T3"])
+@pytest.mark.parametrize("name,factory,req,bound", BATTERY, ids=[b[0] for b in BATTERY])
+def test_battery(name, factory, req, bound, dist):
+    """Mean error over 3 rounds within each protocol's acceptance bound,
+    on every tagID distribution."""
+    pop = population(dist, N, seed=17)
+    errors = []
+    for seed in range(3):
+        if name == "BFCE":
+            result = BFCE(requirement=req).estimate(pop, seed=seed)
+        else:
+            est = factory(req) if req is not None else factory(None)
+            result = est.estimate(pop, seed=seed)
+        errors.append(result.relative_error(N))
+    assert float(np.mean(errors)) <= bound, (name, dist, errors)
+
+
+class TestVarianceCalibration:
+    def test_bfce_spread_matches_delta_method(self):
+        """End-to-end variance check: standardizing each run's error by its
+        own delta-method prediction σ(n̂)/n = sqrt((e^λ−1)/w)/λ (λ from that
+        run's chosen persistence) must give unit-scale z-scores."""
+        pop = population("T1", N, seed=18)
+        zs = []
+        for s in range(40):
+            r = BFCE().estimate(pop, seed=s)
+            p = r.pn_optimal / 1024
+            lam = 3 * p * N / 8192
+            predicted_rel_std = float(np.sqrt(np.expm1(lam) / 8192) / lam)
+            zs.append((r.n_hat - N) / (predicted_rel_std * N))
+        z_std = float(np.std(zs, ddof=1))
+        # 40 samples ⇒ the sample std of a unit normal sits in ~[0.75, 1.3]
+        # with overwhelming probability; a broken variance theory would put
+        # it far outside.
+        assert 0.6 < z_std < 1.6, z_std

@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_known_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+    def test_experiment_registry_covers_all_paper_figures(self):
+        for fig in ("fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"):
+            assert fig in EXPERIMENTS
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out and "design-space" in out
+
+    def test_overhead(self, capsys):
+        assert main(["overhead"]) == 0
+        out = capsys.readouterr().out
+        assert "190 ms" in out
+        assert "t1" in out and "t2" in out
+
+    def test_estimate(self, capsys):
+        assert main(["estimate", "--n", "20000", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "estimate" in out
+        assert "air time" in out
+
+    def test_run_design_space(self, capsys):
+        assert main(["run", "design-space"]) == 0
+        assert "BFCE" in capsys.readouterr().out
+
+    def test_run_fig4_quick(self, capsys):
+        assert main(["run", "fig4", "--quick"]) == 0
+        assert "gamma" in capsys.readouterr().out
+
+    def test_run_fig5(self, capsys):
+        assert main(["run", "fig5", "--max-rows", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "f1_monotone_decreasing" in out
+        assert "more rows" in out
+
+    def test_run_with_trials_override(self, capsys):
+        assert main(["run", "sec5b", "--quick", "--trials", "2"]) == 0
+        assert "holds_rate" in capsys.readouterr().out

@@ -1,0 +1,68 @@
+"""Tests for the extended CLI commands (plan / inventory / monitor)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestPlan:
+    def test_default(self, capsys):
+        assert main(["plan"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem-4 guarantee" in out
+
+    def test_with_target(self, capsys):
+        assert main(["plan", "--n-max", "19000000"]) == 0
+        out = capsys.readouterr().out
+        assert "required w" in out
+        assert "16384" in out
+
+    def test_loose_requirement(self, capsys):
+        assert main(["plan", "--eps", "0.2", "--delta", "0.2"]) == 0
+        assert "max cardinality" in capsys.readouterr().out
+
+
+class TestInventory:
+    def test_exact_count(self, capsys):
+        assert main(["inventory", "--n", "150"]) == 0
+        out = capsys.readouterr().out
+        assert "identified 150/150" in out
+        assert "complete = True" in out
+
+
+class TestMonitor:
+    def test_shift_detected(self, capsys):
+        assert main([
+            "monitor", "--initial", "60000", "--epochs", "6",
+            "--shift", "40000",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "CHANGE" in out
+
+    def test_epoch_rows_printed(self, capsys):
+        assert main(["monitor", "--initial", "30000", "--epochs", "4"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") >= 5  # header + 4 epochs
+
+
+class TestAblate:
+    def test_ablate_k(self, capsys):
+        assert main(["ablate", "k", "--trials", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "mean_error" in out
+        assert out.count("k    |") >= 5  # one row per k value
+
+    def test_unknown_knob_rejected(self):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main(["ablate", "nope"])
+
+
+class TestTrace:
+    def test_trace_prints_messages(self, capsys):
+        assert main(["estimate", "--n", "5000", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "air-interface trace" in out
+        assert "reader->tags" in out and "tags->reader" in out
+        assert "[accurate] frame" in out

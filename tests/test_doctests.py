@@ -1,0 +1,22 @@
+"""Run the executable examples embedded in module docstrings.
+
+Keeps the documentation honest: every `>>>` block in the public modules
+must actually produce its shown output.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.core.bfce
+import repro.timing.accounting
+
+MODULES = [repro.timing.accounting]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False, raise_on_error=False)
+    assert results.failed == 0, f"{module.__name__}: {results.failed} doctest failures"
+    assert results.attempted > 0, f"{module.__name__} has no doctests to run"

@@ -1,0 +1,36 @@
+"""Smoke tests: every example script must run end-to-end and print its
+headline output.  Keeps the examples from rotting as the API evolves."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+CASES = {
+    "quickstart.py": ["estimated cardinality", "guarantee met"],
+    "warehouse_inventory.py": ["DISCREPANCY", "constant in stock size"],
+    "protocol_comparison.py": ["BFCE", "ZOE", "Overall execution time"],
+    "conveyor_monitoring.py": ["fits?", "graceful degradation"],
+    "continuous_monitoring.py": ["CHANGE DETECTED", "no false alarms"],
+    "multi_reader_warehouse.py": ["Coordinated", "over-counts"],
+    "dock_audit.py": ["proven absent", "estimated shortfall"],
+    "capacity_planning.py": ["Guarantee region", "to guarantee", "profile-specific"],
+}
+
+
+@pytest.mark.parametrize("script,expected", sorted(CASES.items()))
+def test_example_runs(script, expected):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    args = [sys.executable, str(path)]
+    if script == "protocol_comparison.py":
+        args.append("30000")  # keep the comparison quick
+    proc = subprocess.run(
+        args, capture_output=True, text=True, timeout=600
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    for needle in expected:
+        assert needle in proc.stdout, f"{script}: {needle!r} not in output"

@@ -1,0 +1,100 @@
+"""Unit tests for the execution-time ledger."""
+
+import pytest
+
+from repro.timing.accounting import Message, TimeLedger
+from repro.timing.c1g2 import C1G2Timing
+
+
+class TestMessage:
+    def test_direction_validation(self):
+        with pytest.raises(ValueError):
+            Message("sideways", 8)
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            Message("down", -1)
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValueError):
+            Message("up", 8, count=0)
+
+    def test_total_bits_scales_with_count(self):
+        assert Message("down", 32, count=10).total_bits == 320
+
+    def test_cost_down_vs_up(self):
+        t = C1G2Timing()
+        down = Message("down", 32).cost_seconds(t)
+        up = Message("up", 32).cost_seconds(t)
+        assert down == pytest.approx(t.downlink_s(32))
+        assert up == pytest.approx(t.uplink_s(32))
+        assert down > up  # downlink is per-bit slower
+
+    def test_count_multiplies_cost_including_interval(self):
+        t = C1G2Timing()
+        single = Message("down", 32).cost_seconds(t)
+        repeated = Message("down", 32, count=5).cost_seconds(t)
+        assert repeated == pytest.approx(5 * single)
+
+
+class TestTimeLedger:
+    def test_empty_ledger(self):
+        ledger = TimeLedger()
+        assert ledger.total_seconds() == 0.0
+        assert ledger.downlink_bits() == 0
+        assert ledger.uplink_slots() == 0
+        assert len(ledger) == 0
+
+    def test_total_is_sum_of_messages(self):
+        ledger = TimeLedger()
+        ledger.record_downlink(32)
+        ledger.record_uplink(1024)
+        expected = ledger.timing.downlink_s(32) + ledger.timing.uplink_s(1024)
+        assert ledger.total_seconds() == pytest.approx(expected)
+
+    def test_direction_totals(self):
+        ledger = TimeLedger()
+        ledger.record_downlink(32, count=3)
+        ledger.record_downlink(16)
+        ledger.record_uplink(8, count=2)
+        assert ledger.downlink_bits() == 112
+        assert ledger.uplink_slots() == 16
+        assert ledger.message_count() == 6
+
+    def test_phase_breakdown_order_and_totals(self):
+        ledger = TimeLedger()
+        ledger.record_downlink(32, phase="rough")
+        ledger.record_uplink(1024, phase="rough")
+        ledger.record_downlink(32, phase="accurate")
+        ledger.record_uplink(8192, phase="accurate")
+        phases = ledger.phase_breakdown()
+        assert [p.phase for p in phases] == ["rough", "accurate"]
+        assert phases[0].uplink_slots == 1024
+        assert phases[1].uplink_slots == 8192
+        total = sum(p.seconds for p in phases)
+        assert total == pytest.approx(ledger.total_seconds())
+
+    def test_merge_appends(self):
+        a, b = TimeLedger(), TimeLedger()
+        a.record_downlink(8)
+        b.record_uplink(8)
+        a.merge(b)
+        assert len(a) == 2
+        assert a.uplink_slots() == 8
+
+    def test_iteration_yields_messages(self):
+        ledger = TimeLedger()
+        ledger.record_downlink(1, label="x")
+        msgs = list(ledger)
+        assert len(msgs) == 1 and msgs[0].label == "x"
+
+    def test_bfce_analytic_bound(self):
+        """The paper's Sec. IV-E.1 ledger: < 0.19 s for 256 downlink bits,
+        3 intervals, 9216 uplink slots."""
+        ledger = TimeLedger()
+        ledger.record_downlink(128, phase="rough")      # 3 seeds + p_n
+        ledger.record_uplink(1024, phase="rough")
+        ledger.record_downlink(128, phase="accurate")
+        ledger.record_uplink(8192, phase="accurate")
+        # 4 messages = 4 intervals here vs the paper's 3 — still under bound.
+        assert ledger.total_seconds() < 0.19

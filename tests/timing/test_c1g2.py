@@ -1,0 +1,71 @@
+"""Unit tests for the C1G2 timing constants and message-cost model."""
+
+import pytest
+
+from repro.timing.c1g2 import (
+    C1G2Timing,
+    DEFAULT_TIMING,
+    INTERVAL_US,
+    READER_TO_TAG_US_PER_BIT,
+    TAG_TO_READER_US_PER_BIT,
+)
+
+
+class TestConstants:
+    def test_paper_values(self):
+        assert READER_TO_TAG_US_PER_BIT == pytest.approx(37.76)
+        assert TAG_TO_READER_US_PER_BIT == pytest.approx(18.88)
+        assert INTERVAL_US == pytest.approx(302.0)
+
+    def test_downlink_rate_matches_26_5_kbps(self):
+        # 26.5 kb/s → 1/26500 s per bit ≈ 37.7 µs
+        assert READER_TO_TAG_US_PER_BIT == pytest.approx(1e6 / 26_500, rel=0.01)
+
+    def test_uplink_rate_matches_53_kbps(self):
+        assert TAG_TO_READER_US_PER_BIT == pytest.approx(1e6 / 53_000, rel=0.01)
+
+
+class TestC1G2Timing:
+    def test_seed_broadcast_is_1510_us(self):
+        # Sec. V-A: "it totally takes 1,510 µs ... to broadcast a 32-bits
+        # random seed" (32·37.76 + 302).
+        assert DEFAULT_TIMING.seed_broadcast_s(32) == pytest.approx(1510.32e-6, rel=1e-6)
+
+    def test_uplink_frame_formula(self):
+        # "time for tags to transmit l bits ... 18.88·l + 302 µs"
+        assert DEFAULT_TIMING.uplink_s(1024) == pytest.approx(
+            (1024 * 18.88 + 302) * 1e-6
+        )
+
+    def test_zero_bits_costs_only_interval(self):
+        assert DEFAULT_TIMING.downlink_s(0) == pytest.approx(302e-6)
+        assert DEFAULT_TIMING.uplink_s(0) == pytest.approx(302e-6)
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_TIMING.downlink_s(-1)
+        with pytest.raises(ValueError):
+            DEFAULT_TIMING.uplink_s(-1)
+
+    def test_custom_timing(self):
+        t = C1G2Timing(reader_to_tag_us_per_bit=10.0, tag_to_reader_us_per_bit=5.0,
+                       interval_us=100.0)
+        assert t.downlink_s(10) == pytest.approx(200e-6)
+        assert t.uplink_s(10) == pytest.approx(150e-6)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"reader_to_tag_us_per_bit": 0.0},
+            {"reader_to_tag_us_per_bit": -1.0},
+            {"tag_to_reader_us_per_bit": 0.0},
+            {"interval_us": -0.1},
+        ],
+    )
+    def test_invalid_constants_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            C1G2Timing(**kwargs)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_TIMING.interval_us = 1.0  # type: ignore[misc]

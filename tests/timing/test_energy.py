@@ -1,0 +1,67 @@
+"""Unit tests for the per-tag energy model."""
+
+import pytest
+
+from repro.timing.accounting import TimeLedger
+from repro.timing.energy import EnergyModel, EnergyReport
+
+
+def _ledger(down_bits: int, up_slots: int) -> TimeLedger:
+    ledger = TimeLedger()
+    if down_bits:
+        ledger.record_downlink(down_bits)
+    if up_slots:
+        ledger.record_uplink(up_slots)
+    return ledger
+
+
+class TestEnergyModel:
+    def test_defaults_are_positive(self):
+        m = EnergyModel()
+        assert m.rx_nj_per_bit > 0 and m.tx_nj_per_bit > 0
+
+    def test_negative_coefficients_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel(rx_nj_per_bit=-1.0)
+        with pytest.raises(ValueError):
+            EnergyModel(tx_nj_per_bit=-0.1)
+        with pytest.raises(ValueError):
+            EnergyModel(idle_nj_per_slot=-0.1)
+
+    def test_rx_charged_for_all_downlink_bits(self):
+        m = EnergyModel(rx_nj_per_bit=2.0, tx_nj_per_bit=0.0, idle_nj_per_slot=0.0)
+        rep = m.per_tag_report(_ledger(100, 0), mean_tx_bits_per_tag=0.0)
+        assert rep.rx_nj == pytest.approx(200.0)
+        assert rep.total_nj == pytest.approx(200.0)
+
+    def test_tx_charged_for_transmitted_bits(self):
+        m = EnergyModel(rx_nj_per_bit=0.0, tx_nj_per_bit=5.0, idle_nj_per_slot=0.0)
+        rep = m.per_tag_report(_ledger(0, 100), mean_tx_bits_per_tag=3.0)
+        assert rep.tx_nj == pytest.approx(15.0)
+
+    def test_idle_slots_exclude_transmitting_slots(self):
+        m = EnergyModel(rx_nj_per_bit=0.0, tx_nj_per_bit=0.0, idle_nj_per_slot=1.0)
+        rep = m.per_tag_report(_ledger(0, 100), mean_tx_bits_per_tag=10.0)
+        assert rep.idle_nj == pytest.approx(90.0)
+
+    def test_idle_never_negative(self):
+        m = EnergyModel(idle_nj_per_slot=1.0)
+        rep = m.per_tag_report(_ledger(0, 5), mean_tx_bits_per_tag=50.0)
+        assert rep.idle_nj == 0.0
+
+    def test_negative_tx_bits_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel().per_tag_report(_ledger(0, 1), mean_tx_bits_per_tag=-1.0)
+
+    def test_report_total_and_units(self):
+        rep = EnergyReport(rx_nj=100.0, tx_nj=50.0, idle_nj=25.0)
+        assert rep.total_nj == pytest.approx(175.0)
+        assert rep.total_uj == pytest.approx(0.175)
+
+    def test_bfce_cheaper_than_zoe_per_tag(self):
+        """BFCE's constant downlink should cost tags far less RX energy than
+        ZOE's per-slot seed broadcasts."""
+        m = EnergyModel()
+        bfce = m.per_tag_report(_ledger(384, 9248), mean_tx_bits_per_tag=0.02)
+        zoe = m.per_tag_report(_ledger(3000 * 32, 3000), mean_tx_bits_per_tag=3.0)
+        assert bfce.total_nj < zoe.total_nj

@@ -1,0 +1,70 @@
+"""Unit tests for the C1G2 link-budget derivations."""
+
+import pytest
+
+from repro.timing.c1g2 import DEFAULT_TIMING
+from repro.timing.link_budget import (
+    FAST_PROFILE,
+    PAPER_PROFILE,
+    SLOW_PROFILE,
+    LinkProfile,
+)
+
+
+class TestPaperProfile:
+    def test_reproduces_paper_downlink(self):
+        """Tari = 25 µs with data1 ≈ 2.02·Tari gives the paper's 37.76 µs/bit
+        (26.5 kb/s)."""
+        assert PAPER_PROFILE.downlink_us_per_bit == pytest.approx(37.76, rel=0.002)
+        assert PAPER_PROFILE.downlink_kbps == pytest.approx(26.5, rel=0.005)
+
+    def test_reproduces_paper_uplink(self):
+        """FM0 at BLF = 53 kHz gives 18.87 µs/bit (53 kb/s)."""
+        assert PAPER_PROFILE.uplink_us_per_bit == pytest.approx(18.88, rel=0.002)
+        assert PAPER_PROFILE.uplink_kbps == pytest.approx(53.0, rel=0.002)
+
+    def test_to_timing_matches_default_constants(self):
+        t = PAPER_PROFILE.to_timing()
+        assert t.reader_to_tag_us_per_bit == pytest.approx(
+            DEFAULT_TIMING.reader_to_tag_us_per_bit, rel=0.002
+        )
+        assert t.tag_to_reader_us_per_bit == pytest.approx(
+            DEFAULT_TIMING.tag_to_reader_us_per_bit, rel=0.002
+        )
+        assert t.interval_us == DEFAULT_TIMING.interval_us
+
+
+class TestProfileSpace:
+    def test_fast_profile_is_faster(self):
+        assert FAST_PROFILE.downlink_us_per_bit < PAPER_PROFILE.downlink_us_per_bit
+        assert FAST_PROFILE.uplink_us_per_bit < PAPER_PROFILE.uplink_us_per_bit
+
+    def test_slow_profile_is_slower(self):
+        assert SLOW_PROFILE.uplink_us_per_bit > PAPER_PROFILE.uplink_us_per_bit
+
+    def test_miller_scales_uplink(self):
+        fm0 = LinkProfile(miller_m=1)
+        m4 = LinkProfile(miller_m=4)
+        assert m4.uplink_us_per_bit == pytest.approx(4 * fm0.uplink_us_per_bit)
+
+    def test_bfce_constant_time_under_any_profile(self):
+        """BFCE's execution time scales with the profile but stays constant
+        in n under every profile — recompute the Sec. IV-E.1 bound."""
+        from repro.experiments.tables import analytic_overhead
+
+        for profile in (PAPER_PROFILE, FAST_PROFILE, SLOW_PROFILE):
+            t = analytic_overhead(timing=profile.to_timing()).total_seconds
+            assert t > 0
+        fast = analytic_overhead(timing=FAST_PROFILE.to_timing()).total_seconds
+        slow = analytic_overhead(timing=SLOW_PROFILE.to_timing()).total_seconds
+        assert fast < 0.19 < slow  # the 0.19 s bound is profile-specific
+
+    @pytest.mark.parametrize("kwargs", [
+        {"tari_us": 5.0}, {"tari_us": 30.0},
+        {"data1_ratio": 1.0}, {"data1_ratio": 3.0},
+        {"blf_khz": 30.0}, {"blf_khz": 700.0},
+        {"miller_m": 3}, {"turnaround_us": -1.0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            LinkProfile(**kwargs)
