@@ -5,7 +5,6 @@ Paper shape: single-round accuracy "very close to 0" at every cardinality
 varies (panel c); the tagID distribution has no visible effect.
 """
 
-import numpy as np
 from conftest import run_once
 
 from repro.experiments.figures import fig7_accuracy

@@ -7,7 +7,6 @@ rough phase and the δ-driven round count; BFCE is constant at < 0.19 s
 on average over the sweep set.
 """
 
-import numpy as np
 from conftest import run_once
 
 from repro.experiments.figures import fig9_fig10_comparison

@@ -4,7 +4,6 @@ Paper claim: t = (6·l_R + 2·l_p)·t_{r→t} + 3·t_int + 9216·t_{t→r} < 0.1
 independent of the cardinality and the accuracy requirement.
 """
 
-import numpy as np
 from conftest import run_once
 
 from repro.core.accuracy import AccuracyRequirement

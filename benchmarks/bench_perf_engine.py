@@ -1,0 +1,157 @@
+"""Perf-regression harness: serial vs. batched vs. process-parallel trials.
+
+Unlike the figure benches (which regenerate paper results), this harness
+tracks the *simulator's own* throughput trajectory.  It times the three
+trial engines on an identical workload — by default n = 10⁵ tags,
+T = 50 Monte-Carlo trials, perfect channel — and writes ``BENCH_engine.json``
+at the repo root with trials/sec per engine, the speedup over serial, and
+the maximum |Δn̂| of each engine versus the serial reference (which must be
+exactly 0.0: batching and parallelism claim bit-equivalence, not
+statistical agreement).
+
+Run as a script or module::
+
+    PYTHONPATH=src python benchmarks/bench_perf_engine.py
+    PYTHONPATH=src python -m bench_perf_engine          # from benchmarks/
+
+Knobs (environment variables):
+
+* ``REPRO_BENCH_N``        population size          (default 100000)
+* ``REPRO_BENCH_TRIALS``   Monte-Carlo trials       (default 50)
+* ``REPRO_BENCH_REPEATS``  timing repetitions, best-of (default 3)
+* ``REPRO_BENCH_WORKERS``  process-parallel workers (default min(4, cpus))
+* ``REPRO_BENCH_OUT``      output path              (default <repo>/BENCH_engine.json)
+
+The harness is also importable: ``run_engine_bench()`` returns the result
+dict without touching the filesystem, which is how the tier-2 smoke test
+exercises it at a reduced scale.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_SRC = _REPO_ROOT / "src"
+if str(_SRC) not in sys.path:  # script-mode convenience; no-op under PYTHONPATH=src
+    sys.path.insert(0, str(_SRC))
+
+from repro.experiments.parallel import run_bfce_trials_parallel  # noqa: E402
+from repro.experiments.runner import run_bfce_trials  # noqa: E402
+from repro.rfid.ids import uniform_ids  # noqa: E402
+from repro.rfid.tags import TagPopulation  # noqa: E402
+
+BASE_SEED = 2015  # ICPP'15 — fixed so every engine replays the same seeds
+
+
+def _time_best_of(fn, repeats: int):
+    """Best-of-N wall time; returns (seconds, last_records)."""
+    best = float("inf")
+    records = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        records = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, records
+
+
+def run_engine_bench(
+    *,
+    n: int = 100_000,
+    trials: int = 50,
+    repeats: int = 3,
+    workers: int | None = None,
+) -> dict:
+    """Time all three engines on one workload and return the report dict."""
+    if workers is None:
+        workers = min(4, os.cpu_count() or 1)
+    population = TagPopulation(uniform_ids(n, seed=1))
+
+    engines = {
+        "serial": lambda: run_bfce_trials(
+            population, trials=trials, base_seed=BASE_SEED, engine="serial"
+        ),
+        "batched": lambda: run_bfce_trials(
+            population, trials=trials, base_seed=BASE_SEED, engine="batched"
+        ),
+        "parallel": lambda: run_bfce_trials_parallel(
+            population, trials=trials, base_seed=BASE_SEED, max_workers=workers
+        ),
+    }
+
+    results = {}
+    reference = None
+    for name, fn in engines.items():
+        fn()  # warm-up: page in buffers / fork worker pool outside the clock
+        seconds, records = _time_best_of(fn, repeats)
+        n_hats = [r.n_hat for r in records]
+        if reference is None:
+            reference = n_hats
+        results[name] = {
+            "seconds": round(seconds, 4),
+            "trials_per_sec": round(trials / seconds, 2),
+            "max_abs_dn_hat_vs_serial": max(
+                abs(a - b) for a, b in zip(n_hats, reference)
+            ),
+        }
+
+    serial_tps = results["serial"]["trials_per_sec"]
+    for name in results:
+        results[name]["speedup_vs_serial"] = round(
+            results[name]["trials_per_sec"] / serial_tps, 2
+        )
+
+    return {
+        "benchmark": "engine_throughput",
+        "workload": {
+            "n": n,
+            "trials": trials,
+            "base_seed": BASE_SEED,
+            "channel": "perfect",
+            "repeats_best_of": repeats,
+            "parallel_workers": workers,
+        },
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpus": os.cpu_count(),
+        },
+        "engines": results,
+    }
+
+
+def main() -> int:
+    n = int(os.environ.get("REPRO_BENCH_N", 100_000))
+    trials = int(os.environ.get("REPRO_BENCH_TRIALS", 50))
+    repeats = int(os.environ.get("REPRO_BENCH_REPEATS", 3))
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", 0)) or None
+    out = Path(os.environ.get("REPRO_BENCH_OUT", _REPO_ROOT / "BENCH_engine.json"))
+
+    report = run_engine_bench(n=n, trials=trials, repeats=repeats, workers=workers)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+
+    for name, stats in report["engines"].items():
+        print(
+            f"{name:>8}: {stats['seconds']:.3f}s  "
+            f"{stats['trials_per_sec']:7.1f} trials/s  "
+            f"{stats['speedup_vs_serial']:5.2f}x  "
+            f"max|dn_hat|={stats['max_abs_dn_hat_vs_serial']}"
+        )
+    print(f"wrote {out}")
+
+    drift = max(
+        s["max_abs_dn_hat_vs_serial"] for s in report["engines"].values()
+    )
+    if drift != 0.0:
+        print(f"FAIL: engines drifted from serial (max |dn_hat| = {drift})")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

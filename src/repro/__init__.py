@@ -44,6 +44,7 @@ from .rfid import (
     make_ids,
     normal_ids,
     run_bfce_frame,
+    run_bfce_frame_batch,
     uniform_ids,
 )
 from .timing import C1G2Timing, EnergyModel, TimeLedger
@@ -78,6 +79,7 @@ __all__ = [
     "make_ids",
     "normal_ids",
     "run_bfce_frame",
+    "run_bfce_frame_batch",
     "uniform_ids",
     "C1G2Timing",
     "EnergyModel",

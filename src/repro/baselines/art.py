@@ -25,7 +25,6 @@ from .base import CardinalityEstimator, EstimationResult
 from .ezb import ezb_required_rounds
 from .framedaloha import mean_run_length_of_ones, run_aloha_frame
 from .lof import FM_PHI
-from .src_protocol import SRC_OPTIMAL_LOAD
 
 __all__ = ["ART"]
 

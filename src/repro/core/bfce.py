@@ -32,7 +32,7 @@ from ..timing.accounting import TimeLedger
 from .accuracy import AccuracyRequirement
 from .config import BFCEConfig, DEFAULT_CONFIG
 from .estmath import estimate_cardinality, rho_is_valid
-from .optimal_p import OptimalPResult, find_optimal_pn
+from .optimal_p import find_optimal_pn
 from .probe import ProbeResult, probe_persistence
 from .rough import RoughResult, rough_estimate
 
@@ -183,6 +183,15 @@ class BFCE:
             if frame.rho == 1.0 and pn == cfg.pn_max:
                 # Saturated idle even at max persistence: effectively empty.
                 return 0.0, frame.rho, pn, retries
+            if frame.rho == 0.0 and pn == cfg.pn_min:
+                # Stuck at the grid floor: halving can no longer move pn, so
+                # every retry would re-run a full w-slot frame with identical
+                # parameters against a population that saturates even at
+                # p = 1/1024.  Fail fast instead of burning the retry budget.
+                raise RuntimeError(
+                    f"accurate phase stuck all-busy at pn_min={pn} (rho=0.0); "
+                    f"population exceeds the estimable range for w={cfg.w}"
+                )
             if retries >= _MAX_ACCURATE_RETRIES:
                 raise RuntimeError(
                     f"accurate phase degenerate after {retries} retries "

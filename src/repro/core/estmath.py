@@ -88,8 +88,12 @@ def gamma(rho: float | np.ndarray, p: float | np.ndarray, k: int = 3):
     p = np.asarray(p, dtype=np.float64)
     if np.any((rho <= 0) | (rho >= 1)):
         raise ValueError("rho must be strictly inside (0, 1)")
-    if np.any((p <= 0) | (p >= 1)):
-        raise ValueError("p must be strictly inside (0, 1)")
+    if np.any((p <= 0) | (p > 1)):
+        # Closed upper end: p = 1 (always-respond) is a valid persistence
+        # probability, and γ(ρ̄, 1)·w must agree with estimate_cardinality's
+        # accepted domain p ∈ (0, 1].  Only ρ̄ carries the open-interval
+        # restriction (the log diverges at its endpoints).
+        raise ValueError("p must be in the half-open interval (0, 1]")
     return -np.log(rho) / (k * p)
 
 

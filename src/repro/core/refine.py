@@ -27,7 +27,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..timing.accounting import TimeLedger
 from .bfce import BFCEResult
 
 __all__ = ["FrameObservation", "JointMLEResult", "joint_mle", "refine_result"]

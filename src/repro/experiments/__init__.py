@@ -22,6 +22,7 @@ from .figures import (
     fig9_fig10_comparison,
     lower_bound_validity,
 )
+from .batch import BatchBFCE, batching_is_sound, run_bfce_trials_batched
 from .parallel import run_bfce_trials_parallel
 from .persistence import (
     load_figure_json,
@@ -50,6 +51,9 @@ from .workloads import (
 
 __all__ = [
     "run_bfce_trials_parallel",
+    "BatchBFCE",
+    "batching_is_sound",
+    "run_bfce_trials_batched",
     "AblationPoint",
     "sweep_c",
     "sweep_channel",

@@ -278,11 +278,14 @@ def fig7_accuracy(
     reference_n: int = REFERENCE_N,
     trials: int = 5,
     base_seed: int = 0,
+    engine: str = "batched",
 ) -> FigureData:
     """BFCE accuracy versus n (panel a), ε (panel b) and δ (panel c).
 
     Every row is one sweep point of one panel under one tagID distribution,
     reporting the mean/max relative error over ``trials`` single-round runs.
+    Trials at each point execute through the batched lockstep engine by
+    default (bit-identical to ``engine="serial"``, just faster).
     """
     rows: list[dict] = []
 
@@ -295,6 +298,7 @@ def fig7_accuracy(
             delta=delta,
             base_seed=base_seed + 7_000,
             distribution=dist,
+            engine=engine,
         )
         errors = np.array([r.error for r in recs])
         rows.append(
@@ -335,18 +339,21 @@ def fig8_cdf(
     eps: float = 0.05,
     delta: float = 0.05,
     base_seed: int = 0,
+    engine: str = "batched",
 ) -> FigureData:
     """Empirical CDF of 100 single-round estimates at n = 500 000.
 
     The paper reports estimates tightly concentrated around the true
-    cardinality under all three distributions.
+    cardinality under all three distributions.  The 100 rounds per
+    distribution run through the batched lockstep engine by default.
     """
     rows: list[dict] = []
     concentration: dict[str, float] = {}
     for dist in DISTRIBUTION_NAMES:
         pop = population(dist, n, seed=base_seed)
         recs = run_bfce_trials(
-            pop, trials=rounds, eps=eps, delta=delta, base_seed=base_seed + 31, distribution=dist
+            pop, trials=rounds, eps=eps, delta=delta, base_seed=base_seed + 31,
+            distribution=dist, engine=engine,
         )
         estimates = np.array([r.n_hat for r in recs])
         values, probs = ecdf(estimates)
@@ -375,11 +382,14 @@ def fig9_fig10_comparison(
     distribution: str = "T2",
     trials: int = 3,
     base_seed: int = 0,
+    engine: str = "batched",
 ) -> FigureData:
     """Accuracy (Fig. 9) and execution time (Fig. 10) of BFCE/ZOE/SRC.
 
     One generator produces both figures' data (same runs): each row is one
     (panel, estimator, sweep point) with mean error and mean/max seconds.
+    BFCE trials run through the batched lockstep engine by default; the
+    baselines keep their serial per-trial paths.
     """
     rows: list[dict] = []
 
@@ -390,6 +400,7 @@ def fig9_fig10_comparison(
             "BFCE": run_bfce_trials(
                 pop, trials=trials, eps=eps, delta=delta,
                 base_seed=base_seed + 101, distribution=distribution,
+                engine=engine,
             ),
             "ZOE": run_trials(
                 ZOE(req), pop, trials=trials,

@@ -3,7 +3,7 @@
 Monte-Carlo sweeps are embarrassingly parallel across (seed, sweep-point)
 pairs, and the simulator releases no GIL benefit from threads (NumPy kernels
 are short); processes are the right tool.  :func:`run_bfce_trials_parallel`
-fans a trial batch over a ``ProcessPoolExecutor`` and returns records
+fans the trial range over a ``ProcessPoolExecutor`` and returns records
 identical — including order — to the serial
 :func:`~repro.experiments.runner.run_bfce_trials`.
 
@@ -11,21 +11,29 @@ Design notes
 ------------
 * Workers receive the raw tagID array plus scalar parameters (picklable;
   ~8 MB per million tags) and rebuild the :class:`TagPopulation` locally —
-  cheaper than pickling populations with derived RN state.
-* Each task carries its own seed, so results are bit-identical to the
-  serial path regardless of scheduling order.
+  cheaper than pickling populations with derived RN state.  **Every** field
+  that shapes the rebuilt population travels with the task: ``rn_source``,
+  ``rn_seed`` and ``persistence_mode`` (dropping ``rn_seed`` silently
+  diverged parallel results from serial for ``rn_source="random"``
+  populations with a non-default seed).
+* Trials ship as contiguous *chunks*, not single trials: each worker runs
+  its chunk through the batched lockstep engine
+  (:func:`~repro.experiments.batch.run_bfce_trials_batched`), so the
+  per-task overhead (population rebuild, process hop, pickling) is paid per
+  chunk while the frames inside the chunk amortise into batched kernels.
+* Each chunk carries its own base seed, so results are bit-identical to the
+  serial path regardless of scheduling order or chunk boundaries.
 * ``max_workers=None`` lets the executor pick CPU count; passing 0 or 1
-  falls back to the serial path (useful under profilers and in tests).
+  runs in-process (useful under profilers and in tests).
 """
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
-from ..core.accuracy import AccuracyRequirement
-from ..core.bfce import BFCE
 from ..core.config import BFCEConfig, DEFAULT_CONFIG
 from ..rfid.tags import TagPopulation
 from .runner import TrialRecord
@@ -33,33 +41,64 @@ from .runner import TrialRecord
 __all__ = ["run_bfce_trials_parallel"]
 
 
-def _one_trial(args: tuple) -> TrialRecord:
-    """Worker: one BFCE execution (module-level for picklability)."""
-    tag_ids, rn_source, persistence_mode, eps, delta, seed, distribution, config = args
+def _run_chunk(args: tuple) -> list[TrialRecord]:
+    """Worker: one contiguous chunk of trials (module-level for picklability)."""
+    (
+        tag_ids,
+        rn_source,
+        rn_seed,
+        persistence_mode,
+        eps,
+        delta,
+        chunk_seed,
+        chunk_trials,
+        distribution,
+        config,
+        engine,
+    ) = args
+    from .batch import run_bfce_trials_batched
+    from .runner import run_bfce_trials
+
     population = TagPopulation(
         np.asarray(tag_ids, dtype=np.uint64),
         rn_source=rn_source,
+        rn_seed=rn_seed,
         persistence_mode=persistence_mode,
     )
-    bfce = BFCE(config=config, requirement=AccuracyRequirement(eps, delta))
-    result = bfce.estimate(population, seed=seed)
-    n_true = population.size
-    return TrialRecord(
-        estimator="BFCE",
-        n_true=n_true,
-        n_hat=result.n_hat,
-        error=result.relative_error(n_true),
-        seconds=result.elapsed_seconds,
-        seed=seed,
+    if engine == "serial":
+        factory = None
+        if config != DEFAULT_CONFIG:
+            from ..core.bfce import BFCE
+
+            def factory(req):
+                return BFCE(config=config, requirement=req)
+
+        return run_bfce_trials(
+            population,
+            trials=chunk_trials,
+            eps=eps,
+            delta=delta,
+            base_seed=chunk_seed,
+            distribution=distribution,
+            estimator_factory=factory,
+            engine="serial",
+        )
+    return run_bfce_trials_batched(
+        population,
+        trials=chunk_trials,
         eps=eps,
         delta=delta,
+        base_seed=chunk_seed,
         distribution=distribution,
-        extra={
-            "n_low": result.n_low,
-            "pn_optimal": result.pn_optimal,
-            "guarantee_met": result.guarantee_met,
-        },
+        config=config,
     )
+
+
+def _chunk_sizes(trials: int, workers: int) -> list[int]:
+    """Contiguous chunk sizes: balanced, ≤ 2 chunks per worker for stealing."""
+    n_chunks = min(trials, max(1, workers * 2))
+    base, extra = divmod(trials, n_chunks)
+    return [base + (1 if i < extra else 0) for i in range(n_chunks)]
 
 
 def run_bfce_trials_parallel(
@@ -72,6 +111,7 @@ def run_bfce_trials_parallel(
     distribution: str = "",
     config: BFCEConfig = DEFAULT_CONFIG,
     max_workers: int | None = None,
+    engine: str = "batched",
 ) -> list[TrialRecord]:
     """Parallel equivalent of :func:`run_bfce_trials` (same records, same
     order, bit-identical results).
@@ -79,25 +119,39 @@ def run_bfce_trials_parallel(
     Parameters
     ----------
     max_workers:
-        Process count; ``None`` = CPU count, ``0``/``1`` = run serially in
-        this process.
+        Process count; ``None`` = CPU count, ``0``/``1`` = run in-process.
+    engine:
+        Engine used inside each worker: ``"batched"`` (default) runs every
+        chunk through the lockstep batch engine, ``"serial"`` executes one
+        protocol per trial.  Both produce identical records.
     """
     if trials <= 0:
         raise ValueError("trials must be positive")
-    tasks = [
-        (
-            population.tag_ids,
-            population.rn_source,
-            population.persistence_mode,
-            eps,
-            delta,
-            base_seed + t,
-            distribution,
-            config,
+    if engine not in ("auto", "batched", "serial"):
+        raise ValueError(f"engine must be 'auto', 'batched' or 'serial', got {engine!r}")
+    workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+    tasks = []
+    offset = 0
+    for size in _chunk_sizes(trials, max(1, workers)):
+        tasks.append(
+            (
+                population.tag_ids,
+                population.rn_source,
+                population.rn_seed,
+                population.persistence_mode,
+                eps,
+                delta,
+                base_seed + offset,
+                size,
+                distribution,
+                config,
+                engine,
+            )
         )
-        for t in range(trials)
-    ]
-    if max_workers is not None and max_workers <= 1:
-        return [_one_trial(task) for task in tasks]
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        return list(pool.map(_one_trial, tasks))
+        offset += size
+    if workers <= 1:
+        chunks = [_run_chunk(task) for task in tasks]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            chunks = list(pool.map(_run_chunk, tasks))
+    return [record for chunk in chunks for record in chunk]

@@ -53,8 +53,34 @@ def run_bfce_trials(
     base_seed: int = 0,
     distribution: str = "",
     estimator_factory: Callable[[AccuracyRequirement], BFCE] | None = None,
+    engine: str = "auto",
 ) -> list[TrialRecord]:
-    """Run BFCE ``trials`` times with distinct reader seeds."""
+    """Run BFCE ``trials`` times with distinct reader seeds.
+
+    Parameters
+    ----------
+    engine:
+        ``"batched"`` executes all trials through the lockstep batch engine
+        (:mod:`repro.experiments.batch`), ``"serial"`` runs one full
+        protocol per trial, and ``"auto"`` (default) picks the batched
+        engine whenever no custom ``estimator_factory`` is in play.  The two
+        engines are bit-identical; the choice only affects throughput.
+    """
+    if engine not in ("auto", "batched", "serial"):
+        raise ValueError(f"engine must be 'auto', 'batched' or 'serial', got {engine!r}")
+    if engine == "batched" and estimator_factory is not None:
+        raise ValueError("estimator_factory requires the serial engine")
+    if engine != "serial" and estimator_factory is None:
+        from .batch import run_bfce_trials_batched  # deferred: batch imports us
+
+        return run_bfce_trials_batched(
+            population,
+            trials=trials,
+            eps=eps,
+            delta=delta,
+            base_seed=base_seed,
+            distribution=distribution,
+        )
     req = AccuracyRequirement(eps, delta)
     bfce = estimator_factory(req) if estimator_factory else BFCE(requirement=req)
     n_true = population.size

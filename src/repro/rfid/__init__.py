@@ -3,7 +3,13 @@
 from .channel import Channel, NoisyChannel, PerfectChannel
 from .epc import Sgtin96, decode_sgtin96, encode_sgtin96, sgtin_population
 from .faults import FaultModel, FaultyPopulation, correct_skew
-from .frames import FrameResult, run_bfce_frame, slot_response_counts
+from .frames import (
+    BatchFrameResult,
+    FrameResult,
+    run_bfce_frame,
+    run_bfce_frame_batch,
+    slot_response_counts,
+)
 from .hashing import (
     chi2_uniformity,
     derive_rn_from_ids,
@@ -63,6 +69,8 @@ __all__ = [
     "PerfectChannel",
     "FrameResult",
     "run_bfce_frame",
+    "run_bfce_frame_batch",
+    "BatchFrameResult",
     "slot_response_counts",
     "chi2_uniformity",
     "derive_rn_from_ids",

@@ -23,6 +23,7 @@ import numpy as np
 
 __all__ = [
     "mix64",
+    "mix64_into",
     "derive_rn_from_ids",
     "xor_bitget_hash",
     "uniform_hash",
@@ -50,6 +51,29 @@ def mix64(x: np.ndarray | int) -> np.ndarray:
         z = (z ^ (z >> np.uint64(30))) * _MIX1
         z = (z ^ (z >> np.uint64(27))) * _MIX2
         return z ^ (z >> np.uint64(31))
+
+
+def mix64_into(x: np.ndarray, out: np.ndarray, tmp: np.ndarray) -> np.ndarray:
+    """Allocation-free :func:`mix64` into preallocated uint64 buffers.
+
+    Bit-identical to ``mix64(x)`` but runs the whole avalanche pipeline with
+    ``out=`` kernels: the only arrays touched are ``out`` and the scratch
+    buffer ``tmp`` (same shape/dtype as ``x``; ``out`` may alias ``x``).
+    ``mix64`` proper materialises ~9 full-size temporaries per call, which
+    for the batched frame kernel's multi-megabyte operands means page faults
+    and DRAM traffic; keeping two resident buffers makes the mixing pipeline
+    cache-bound instead.  Returns ``out``.
+    """
+    np.add(x, _GOLDEN, out=out)
+    np.right_shift(out, np.uint64(30), out=tmp)
+    np.bitwise_xor(out, tmp, out=out)
+    np.multiply(out, _MIX1, out=out)
+    np.right_shift(out, np.uint64(27), out=tmp)
+    np.bitwise_xor(out, tmp, out=out)
+    np.multiply(out, _MIX2, out=out)
+    np.right_shift(out, np.uint64(31), out=tmp)
+    np.bitwise_xor(out, tmp, out=out)
+    return out
 
 
 def derive_rn_from_ids(tag_ids: np.ndarray) -> np.ndarray:

@@ -8,6 +8,7 @@ output, populations near the floor/ceiling).
 import pytest
 
 from repro.core.bfce import BFCE
+from repro.core.config import BFCEConfig
 from repro.rfid.ids import uniform_ids
 from repro.rfid.reader import Reader
 from repro.rfid.tags import TagPopulation
@@ -55,6 +56,20 @@ class TestAccurateFrameRetries:
         result = BFCE().estimate(pop, seed=7)
         if result.accurate_retries > 0:
             assert not result.guarantee_met
+
+    def test_stuck_all_busy_at_pn_min_fails_fast(self):
+        """A population that saturates even at p = pn_min/1024 cannot be
+        rescued by retries (halving can't move pn below the floor), so the
+        accurate phase must raise immediately instead of burning the whole
+        8-retry budget on identical full-w frames."""
+        cfg = BFCEConfig(w=64, rough_slots=64, probe_slots=32)
+        pop = TagPopulation(uniform_ids(200_000, seed=10))
+        reader = Reader(pop, seed=11)
+        with pytest.raises(RuntimeError, match="stuck all-busy at pn_min"):
+            BFCE(config=cfg)._accurate_frame(reader, cfg.pn_min)
+        phases = {p.phase: p for p in reader.ledger.phase_breakdown()}
+        # Fail-fast contract: exactly one frame was aired, not 1 + 8 retries.
+        assert phases["accurate"].uplink_slots == cfg.w
 
     def test_retry_costs_metered(self):
         """Every retry adds one broadcast + one full frame to the ledger."""

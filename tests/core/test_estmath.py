@@ -101,11 +101,34 @@ class TestGamma:
         assert g.min() == pytest.approx(g_min)
         assert g.max() == pytest.approx(g_max)
 
-    def test_gamma_validates_open_interval(self):
+    def test_gamma_validates_rho_open_interval(self):
         with pytest.raises(ValueError):
             gamma(0.0, 0.5)
         with pytest.raises(ValueError):
-            gamma(0.5, 1.0)
+            gamma(1.0, 0.5)
+
+    def test_gamma_validates_p_half_open_interval(self):
+        """p ∈ (0, 1]: the closed upper end matches estimate_cardinality."""
+        with pytest.raises(ValueError):
+            gamma(0.5, 0.0)
+        with pytest.raises(ValueError):
+            gamma(0.5, -0.2)
+        with pytest.raises(ValueError):
+            gamma(0.5, 1.0000001)
+
+    def test_gamma_accepts_p_equal_one(self):
+        """p = 1 (always-respond) is inside the estimator's domain."""
+        assert gamma(0.5, 1.0, k=3) == pytest.approx(-np.log(0.5) / 3)
+        arr = gamma(np.array([0.3, 0.5]), np.array([1.0, 0.5]), k=3)
+        assert arr.shape == (2,)
+
+    def test_gamma_p_one_consistent_with_estimate_cardinality(self):
+        """γ(ρ̄, 1)·w must equal n̂(ρ̄, w, k, 1): the two domains agree at
+        the boundary the old open-interval check used to reject."""
+        rho, w, k = 0.42, 8192, 3
+        assert estimate_cardinality(rho, w, k, 1.0) == pytest.approx(
+            float(gamma(rho, 1.0, k)) * w
+        )
 
     def test_resolution_validated(self):
         with pytest.raises(ValueError):

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.config import BFCEConfig
-from repro.core.membership import CensusFilter, MissingTagReport, take_census
+from repro.core.membership import MissingTagReport, take_census
 from repro.rfid.ids import uniform_ids
 from repro.rfid.tags import TagPopulation
 
@@ -46,7 +46,7 @@ class TestTakeCensus:
     def test_common_class_collision_hits_all_k_slots(self, census_setup):
         """A present tag sharing a query's low-13 RN bits busies ALL k of
         the query's slots (the seed-independent offset property)."""
-        from repro.rfid.hashing import derive_rn_from_ids, xor_bitget_hash
+        from repro.rfid.hashing import derive_rn_from_ids
 
         ids, census = census_setup
         rn_present = derive_rn_from_ids(ids)

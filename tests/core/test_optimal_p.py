@@ -1,6 +1,5 @@
 """Unit tests for the optimal persistence search (Theorem 4)."""
 
-import numpy as np
 import pytest
 
 from repro.core.accuracy import AccuracyRequirement, meets_requirement

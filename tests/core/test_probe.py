@@ -1,7 +1,6 @@
 """Unit tests for the adaptive persistence probe (Sec. IV-C)."""
 
 import numpy as np
-import pytest
 
 from repro.core.config import BFCEConfig
 from repro.core.probe import probe_persistence

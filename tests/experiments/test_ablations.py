@@ -1,6 +1,5 @@
 """Unit tests for the ablation-sweep API (small parameters for speed)."""
 
-import pytest
 
 from repro.experiments.ablations import (
     AblationPoint,

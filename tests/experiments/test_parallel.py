@@ -41,3 +41,42 @@ class TestParallelRunner:
         # The static-mode population round-trips through the worker; the
         # record is still a sane estimate.
         assert records[0].error < 0.3
+
+    def test_rn_seed_preserved_through_workers(self):
+        """Regression: workers rebuild the population from its raw fields,
+        and dropping ``rn_seed`` silently re-rolled every tag's RN from the
+        default stream — parallel results diverged from serial for
+        ``rn_source="random"`` populations with a non-default seed.  The
+        rebuilt population must be bit-identical, so the parallel records
+        must be too."""
+        from repro.rfid.ids import uniform_ids
+        from repro.rfid.tags import TagPopulation
+
+        pop = TagPopulation(
+            uniform_ids(15_000, seed=21), rn_source="random", rn_seed=1234
+        )
+        serial = run_bfce_trials(pop, trials=4, base_seed=17, engine="serial")
+        parallel = run_bfce_trials_parallel(pop, trials=4, base_seed=17, max_workers=2)
+        assert [r.n_hat for r in parallel] == [r.n_hat for r in serial]
+        assert [r.seconds for r in parallel] == [r.seconds for r in serial]
+        assert [r.extra for r in parallel] == [r.extra for r in serial]
+
+    def test_rn_seed_regression_would_catch_default_seed(self):
+        """The same population rebuilt with the default rn_seed produces
+        different RNs — the vector genuinely discriminates the old bug."""
+        from repro.rfid.ids import uniform_ids
+        from repro.rfid.tags import TagPopulation
+
+        ids = uniform_ids(1_000, seed=22)
+        custom = TagPopulation(ids, rn_source="random", rn_seed=1234)
+        default = TagPopulation(ids, rn_source="random")
+        assert not (custom.rn == default.rn).all()
+
+    def test_batched_and_serial_worker_engines_agree(self, pop):
+        batched = run_bfce_trials_parallel(
+            pop, trials=3, base_seed=13, max_workers=2, engine="batched"
+        )
+        serial = run_bfce_trials_parallel(
+            pop, trials=3, base_seed=13, max_workers=2, engine="serial"
+        )
+        assert batched == serial

@@ -1,6 +1,5 @@
 """Edge-case tests for the report renderer and runner aggregation."""
 
-import pytest
 
 from repro.experiments.report import _format_cell, render_bars, render_table
 from repro.experiments.runner import sweep
