@@ -12,9 +12,13 @@ statistical agreement).
 Run as a script or module::
 
     PYTHONPATH=src python benchmarks/bench_perf_engine.py
+    PYTHONPATH=src python benchmarks/bench_perf_engine.py --smoke
     PYTHONPATH=src python -m bench_perf_engine          # from benchmarks/
 
-Knobs (environment variables):
+``--smoke`` shrinks the workload (n = 5000, T = 6, best-of-1, 2 workers) so
+CI can exercise the full harness — including the drift gate — in seconds.
+
+Knobs (environment variables, overridden by ``--smoke``):
 
 * ``REPRO_BENCH_N``        population size          (default 100000)
 * ``REPRO_BENCH_TRIALS``   Monte-Carlo trials       (default 50)
@@ -125,11 +129,18 @@ def run_engine_bench(
     }
 
 
-def main() -> int:
-    n = int(os.environ.get("REPRO_BENCH_N", 100_000))
-    trials = int(os.environ.get("REPRO_BENCH_TRIALS", 50))
-    repeats = int(os.environ.get("REPRO_BENCH_REPEATS", 3))
-    workers = int(os.environ.get("REPRO_BENCH_WORKERS", 0)) or None
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    unknown = [a for a in argv if a != "--smoke"]
+    if unknown:
+        print(f"unknown argument(s): {' '.join(unknown)}", file=sys.stderr)
+        print("usage: bench_perf_engine.py [--smoke]", file=sys.stderr)
+        return 2
+    smoke = "--smoke" in argv
+    n = 5_000 if smoke else int(os.environ.get("REPRO_BENCH_N", 100_000))
+    trials = 6 if smoke else int(os.environ.get("REPRO_BENCH_TRIALS", 50))
+    repeats = 1 if smoke else int(os.environ.get("REPRO_BENCH_REPEATS", 3))
+    workers = 2 if smoke else int(os.environ.get("REPRO_BENCH_WORKERS", 0)) or None
     out = Path(os.environ.get("REPRO_BENCH_OUT", _REPO_ROOT / "BENCH_engine.json"))
 
     report = run_engine_bench(n=n, trials=trials, repeats=repeats, workers=workers)

@@ -11,6 +11,13 @@ paper names is runnable against the same substrate.
 from .a3 import A3
 from .art import ART
 from .base import CardinalityEstimator, EstimationResult
+from .batch import (
+    baseline_batchable,
+    run_baseline_trials_batched,
+    run_lof_batch,
+    run_src_batch,
+    run_zoe_batch,
+)
 from .ezb import EZB, ezb_required_rounds, variance_factor_g
 from .fneb import FNEB, fneb_required_rounds
 from .framedaloha import AlohaFrame, mean_run_length_of_ones, run_aloha_frame
@@ -28,6 +35,11 @@ __all__ = [
     "pet_required_rounds",
     "CardinalityEstimator",
     "EstimationResult",
+    "baseline_batchable",
+    "run_baseline_trials_batched",
+    "run_lof_batch",
+    "run_src_batch",
+    "run_zoe_batch",
     "EZB",
     "ezb_required_rounds",
     "variance_factor_g",

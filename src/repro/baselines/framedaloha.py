@@ -19,10 +19,19 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..rfid.hashing import uniform_hash, uniform_unit
+from ..rfid import _native
+from ..rfid.hashing import mix64, mix64_into, uniform_hash, uniform_unit
 from ..rfid.tags import TagPopulation
 
-__all__ = ["AlohaFrame", "run_aloha_frame", "mean_run_length_of_ones"]
+__all__ = [
+    "AlohaFrame",
+    "run_aloha_frame",
+    "aloha_empty_counts_batch",
+    "mean_run_length_of_ones",
+]
+
+#: 2⁵³ — the scaling between `uniform_unit`'s 53-bit mantissa and [0, 1).
+_UNIT_SCALE = float(1 << 53)
 
 
 @dataclass(frozen=True)
@@ -112,6 +121,77 @@ def run_aloha_frame(
     slots = uniform_hash(ids[joins], seed=seed, modulus=frame_size)
     counts = np.bincount(slots, minlength=frame_size)
     return AlohaFrame(counts=counts)
+
+
+def aloha_empty_counts_batch(
+    population: TagPopulation,
+    *,
+    frame_size: int,
+    sampling_probs: np.ndarray,
+    seeds: np.ndarray,
+    chunk_events: int = 300_000,
+) -> np.ndarray:
+    """Empty-slot counts of many independent ALOHA frames in one pass.
+
+    Frame ``i`` uses ``seeds[i]`` and join probability ``sampling_probs[i]``;
+    the returned int64 array holds each frame's ``empty_slots``, equal to
+    ``run_aloha_frame(population, frame_size=f, sampling_prob=ρᵢ,
+    seed=seedᵢ).empty_slots`` bit-for-bit.  Exactness of the join decision
+    rests on ``uniform_unit``'s output being an exact 53-bit dyadic: scaling
+    both sides of ``u < ρ`` by 2⁵³ is exact in float64, so the comparison
+    collapses to the integer test ``(h >> 11) < ⌈ρ·2⁵³⌉`` — no float
+    conversion of the hash matrix at all.  Slot hashes are then evaluated
+    only for the ~ρ·n joining tags of each frame.
+
+    Frames are processed in chunks bounded by ``chunk_events`` (frames ×
+    tags) elements to keep the two scratch buffers cache-resident.  When
+    the optional C kernel (:mod:`repro.rfid._native`) is available it
+    replaces the pass-structured NumPy pipeline with one fused pass per
+    event — same integer arithmetic, same counts.
+    """
+    if frame_size <= 0:
+        raise ValueError("frame_size must be positive")
+    probs = np.asarray(sampling_probs, dtype=np.float64)
+    seeds = np.asarray(seeds, dtype=np.uint64)
+    if probs.shape != seeds.shape:
+        raise ValueError("sampling_probs and seeds must have matching shapes")
+    if probs.size and (probs.min() < 0 or probs.max() > 1):
+        raise ValueError("sampling_probs must be in [0, 1]")
+    ids = np.ascontiguousarray(population.tag_ids, dtype=np.uint64)
+    empty = np.full(seeds.size, frame_size, dtype=np.int64)
+    if ids.size == 0 or seeds.size == 0:
+        return empty
+    # u < ρ  ⇔  (h >> 11) < ⌈ρ·2⁵³⌉ (see docstring); ρ = 1 ⇒ all join.
+    thresholds = np.ceil(probs * _UNIT_SCALE).astype(np.uint64)
+    join_mix = mix64(seeds ^ np.uint64(0x5EED))
+    slot_mix = mix64(seeds)
+    if _native.get_lib() is not None:
+        return _native.aloha_empty_native(
+            ids,
+            np.ascontiguousarray(join_mix),
+            np.ascontiguousarray(slot_mix),
+            np.ascontiguousarray(thresholds),
+            frame_size,
+        )
+    rows = max(1, min(seeds.size, chunk_events // ids.size))
+    buf = np.empty((rows, ids.size), dtype=np.uint64)
+    tmp = np.empty_like(buf)
+    for start in range(0, seeds.size, rows):
+        stop = min(start + rows, seeds.size)
+        c = stop - start
+        b, t = buf[:c], tmp[:c]
+        np.bitwise_xor(ids[None, :], join_mix[start:stop, None], out=b)
+        mix64_into(b, out=b, tmp=t)
+        np.right_shift(b, np.uint64(11), out=b)
+        joins = b < thresholds[start:stop, None]
+        frame_idx, tag_idx = np.nonzero(joins)
+        keys = ids[tag_idx] ^ slot_mix[start:stop][frame_idx]
+        slots = (mix64(keys) % np.uint64(frame_size)).astype(np.int64)
+        counts = np.bincount(
+            frame_idx * frame_size + slots, minlength=c * frame_size
+        ).reshape(c, frame_size)
+        empty[start:stop] = (counts == 0).sum(axis=1)
+    return empty
 
 
 def mean_run_length_of_ones(bits: np.ndarray) -> float:

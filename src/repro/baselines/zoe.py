@@ -63,6 +63,17 @@ def zoe_optimal_load(eps: float) -> float:
     return float(np.log1p(eps) / eps)
 
 
+def _clamped_idle_fraction(idle: int, frames: int) -> float:
+    """z̄ = idle/frames clamped to [0.5/frames, 1 − 0.5/frames].
+
+    The half-observation continuity correction keeps ``ln z̄`` finite when a
+    frame batch comes back all-idle or all-busy; both the re-planning loop
+    and the final estimate apply it identically.
+    """
+    z_bar = idle / frames
+    return min(max(z_bar, 0.5 / frames), 1.0 - 0.5 / frames)
+
+
 def zoe_required_frames(lmbda: float, eps: float, d: float) -> int:
     """m = ⌈(d·σmax/(e^{−λ}(1−e^{−ελ})))²⌉, clamped to [1, _MAX_FRAMES]."""
     if lmbda <= 0:
@@ -126,13 +137,11 @@ class ZOE(CardinalityEstimator):
             idle += int((responders == 0).sum())
             frames += batch
             # Update believed λ from the data seen so far and re-plan m.
-            z_bar = idle / frames
-            z_bar = min(max(z_bar, 0.5 / frames), 1.0 - 0.5 / frames)
+            z_bar = _clamped_idle_fraction(idle, frames)
             believed_lam = -float(np.log(z_bar))
             m_target = max(frames, zoe_required_frames(believed_lam, req.eps, d))
 
-        z_bar = idle / frames
-        z_bar = min(max(z_bar, 0.5 / frames), 1.0 - 0.5 / frames)
+        z_bar = _clamped_idle_fraction(idle, frames)
         n_hat = -float(np.log(z_bar)) / q
         return self._result(
             n_hat,

@@ -22,13 +22,19 @@ The whole search is a single vectorized evaluation over the 1023-point grid.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
 from .accuracy import AccuracyRequirement, f1, f2, guarantee_margin
 from .config import BFCEConfig, DEFAULT_CONFIG
 
-__all__ = ["OptimalPResult", "find_optimal_pn"]
+__all__ = [
+    "OptimalPResult",
+    "find_optimal_pn",
+    "planner_cache_info",
+    "planner_cache_clear",
+]
 
 
 @dataclass(frozen=True)
@@ -61,12 +67,33 @@ class OptimalPResult:
         return self.pn / self.pn_denom
 
 
+@lru_cache(maxsize=64)
+def _persistence_grid(config: BFCEConfig) -> tuple[np.ndarray, np.ndarray]:
+    """The (pn, p) search grid of ``config``, built once per configuration.
+
+    The grids are shared across every search under the same config, so they
+    are frozen (``writeable=False``) to keep a stray in-place edit from
+    corrupting later searches.
+    """
+    pn_grid = np.arange(config.pn_min, config.pn_max + 1, dtype=np.int64)
+    p_grid = pn_grid / config.pn_denom
+    pn_grid.setflags(write=False)
+    p_grid.setflags(write=False)
+    return pn_grid, p_grid
+
+
 def find_optimal_pn(
     n_low: float,
     req: AccuracyRequirement,
     config: BFCEConfig = DEFAULT_CONFIG,
 ) -> OptimalPResult:
     """Brute-force the minimal feasible persistence numerator at ``n_low``.
+
+    Pure in its inputs, so results are memoised: Monte-Carlo sweeps re-plan
+    with recurring ``(n_low, ε, δ, config)`` tuples (rough estimates are
+    quantised by the observed slot counts), and a cache hit skips the whole
+    1023-point grid evaluation.  Use :func:`planner_cache_info` /
+    :func:`planner_cache_clear` to inspect or reset the memo.
 
     Parameters
     ----------
@@ -81,9 +108,26 @@ def find_optimal_pn(
     """
     if n_low <= 0:
         raise ValueError(f"n_low must be positive, got {n_low}")
+    return _find_optimal_pn_cached(float(n_low), req.eps, req.delta, config)
+
+
+def planner_cache_info():
+    """Hit/miss statistics of the optimal-p memo (``functools`` format)."""
+    return _find_optimal_pn_cached.cache_info()
+
+
+def planner_cache_clear() -> None:
+    """Drop all memoised optimal-p searches (grids stay cached per config)."""
+    _find_optimal_pn_cached.cache_clear()
+
+
+@lru_cache(maxsize=4096)
+def _find_optimal_pn_cached(
+    n_low: float, eps: float, delta: float, config: BFCEConfig
+) -> OptimalPResult:
+    req = AccuracyRequirement(eps, delta)
     d = req.d
-    pn_grid = np.arange(config.pn_min, config.pn_max + 1, dtype=np.int64)
-    p_grid = pn_grid / config.pn_denom
+    pn_grid, p_grid = _persistence_grid(config)
     lo = f1(n_low, config.w, config.k, p_grid, req.eps)
     hi = f2(n_low, config.w, config.k, p_grid, req.eps)
     ok = (lo <= -d) & (hi >= d)

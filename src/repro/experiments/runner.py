@@ -115,8 +115,34 @@ def run_trials(
     trials: int,
     base_seed: int = 0,
     distribution: str = "",
+    engine: str = "auto",
 ) -> list[TrialRecord]:
-    """Run any baseline estimator ``trials`` times with distinct seeds."""
+    """Run any baseline estimator ``trials`` times with distinct seeds.
+
+    Parameters
+    ----------
+    engine:
+        ``"batched"`` executes all trials through the lockstep baseline
+        engine (:mod:`repro.baselines.batch`), ``"serial"`` runs one full
+        protocol per trial, and ``"auto"`` (default) picks the batched
+        engine whenever the estimator supports it.  The engines are
+        bit-identical; configurations the batch engine cannot replicate
+        (estimator subclasses, >64-slot lottery frames) silently fall back
+        to the serial path, which is always sound.
+    """
+    if engine not in ("auto", "batched", "serial"):
+        raise ValueError(f"engine must be 'auto', 'batched' or 'serial', got {engine!r}")
+    if engine != "serial" and trials > 0:
+        from ..baselines.batch import baseline_batchable, run_baseline_trials_batched
+
+        if baseline_batchable(estimator):
+            return run_baseline_trials_batched(
+                estimator,
+                population,
+                trials=trials,
+                base_seed=base_seed,
+                distribution=distribution,
+            )
     n_true = population.size
     req = estimator.requirement
     records: list[TrialRecord] = []

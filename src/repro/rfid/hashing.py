@@ -21,6 +21,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from . import _native
+
 __all__ = [
     "mix64",
     "mix64_into",
@@ -29,6 +31,8 @@ __all__ = [
     "uniform_hash",
     "uniform_unit",
     "geometric_hash",
+    "geometric_occupancy_batch",
+    "first_idle_from_occupancy",
     "chi2_uniformity",
 ]
 
@@ -183,6 +187,89 @@ def geometric_hash(keys: np.ndarray, seed: int, max_bits: int = 32) -> np.ndarra
     nz = low != 0
     pos[nz] = np.log2(low[nz].astype(np.float64)).astype(np.int64)
     return np.minimum(pos, max_bits - 1)
+
+
+def geometric_occupancy_batch(
+    keys: np.ndarray,
+    seeds: np.ndarray,
+    max_bits: int = 32,
+    *,
+    chunk_events: int = 300_000,
+) -> np.ndarray:
+    """Bucket-occupancy bitmasks of :func:`geometric_hash` for many seeds.
+
+    For each seed ``s`` the returned uint64 has bit ``j`` set iff some key
+    hashes to bucket ``j`` under ``geometric_hash(keys, s, max_bits)`` —
+    i.e. exactly the slots a lottery frame would observe busy.  Lottery-frame
+    estimators (LOF, SRC's rough phase) only consume the busy/idle pattern,
+    so batching the occupancy avoids materialising per-key bucket indices
+    (and the float ``log2`` they require) entirely: the isolated lowest set
+    bit of each masked hash *is* the bucket's one-hot mask, and an
+    ``bitwise_or.reduce`` over keys collapses a frame to one word.
+
+    Work proceeds in seed-chunks bounded by ``chunk_events`` (seeds × keys)
+    elements so the two scratch buffers stay cache-resident; the hash values
+    are bit-identical to per-seed :func:`geometric_hash` calls.  When the
+    optional C kernel (:mod:`repro.rfid._native`) is available it replaces
+    the pass-structured NumPy reduction with one fused pass per event —
+    same integer arithmetic, same results.
+    """
+    if not 1 <= max_bits <= 64:
+        raise ValueError("max_bits must be in [1, 64]")
+    keys = np.ascontiguousarray(keys, dtype=np.uint64)
+    seeds = np.asarray(seeds, dtype=np.uint64)
+    occupancy = np.zeros(seeds.size, dtype=np.uint64)
+    if keys.size == 0 or seeds.size == 0:
+        return occupancy
+    seed_mix = mix64(seeds)
+    top_bit = np.uint64(1) << np.uint64(max_bits - 1)
+    mask = _U64_MASK if max_bits == 64 else np.uint64((1 << max_bits) - 1)
+    if _native.get_lib() is not None:
+        return _native.occupancy_native(
+            keys, np.ascontiguousarray(seed_mix), int(mask), int(top_bit)
+        )
+    rows = max(1, min(seeds.size, chunk_events // keys.size))
+    buf = np.empty((rows, keys.size), dtype=np.uint64)
+    tmp = np.empty_like(buf)
+    with np.errstate(over="ignore"):
+        for start in range(0, seeds.size, rows):
+            stop = min(start + rows, seeds.size)
+            b, t = buf[: stop - start], tmp[: stop - start]
+            np.bitwise_xor(keys[None, :], seed_mix[start:stop, None], out=b)
+            mix64_into(b, out=b, tmp=t)
+            if max_bits < 64:
+                np.bitwise_and(b, mask, out=b)
+            # Keys whose masked hash is zero belong in the final bucket
+            # (geometric_hash maps them to max_bits − 1).
+            zero_any = (b == 0).any(axis=1)
+            # Isolate the lowest set bit: b & (~b + 1); zeros stay zero.
+            np.bitwise_not(b, out=t)
+            np.add(t, np.uint64(1), out=t)
+            np.bitwise_and(b, t, out=b)
+            chunk = np.bitwise_or.reduce(b, axis=1)
+            chunk[zero_any] |= top_bit
+            occupancy[start:stop] = chunk
+    return occupancy
+
+
+def first_idle_from_occupancy(occupancy: np.ndarray, max_bits: int) -> np.ndarray:
+    """Index of the first idle bucket per occupancy mask (LOF's statistic).
+
+    Equals ``argmax(~busy)`` of the corresponding lottery frame, or
+    ``max_bits`` when every bucket is busy — matching the serial LOF/SRC
+    rough-phase extraction exactly.
+    """
+    if not 1 <= max_bits <= 64:
+        raise ValueError("max_bits must be in [1, 64]")
+    occ = np.asarray(occupancy, dtype=np.uint64)
+    mask = _U64_MASK if max_bits == 64 else np.uint64((1 << max_bits) - 1)
+    with np.errstate(over="ignore"):
+        idle = ~occ & mask
+        low = idle & (~idle + np.uint64(1))
+    out = np.full(occ.shape, max_bits, dtype=np.int64)
+    nz = low != 0
+    out[nz] = np.log2(low[nz].astype(np.float64)).astype(np.int64)
+    return out
 
 
 def chi2_uniformity(samples: np.ndarray, bins: int) -> float:

@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.baselines.zoe import ZOE, zoe_optimal_load, zoe_required_frames
+from repro.baselines.zoe import (
+    ZOE,
+    _clamped_idle_fraction,
+    zoe_optimal_load,
+    zoe_required_frames,
+)
 from repro.core.accuracy import AccuracyRequirement, normal_quantile_d
 from repro.rfid.ids import uniform_ids
 from repro.rfid.tags import TagPopulation
@@ -93,3 +98,27 @@ class TestZOEProtocol:
     def test_rough_rounds_validated(self):
         with pytest.raises(ValueError):
             ZOE(rough_rounds=0)
+
+
+class TestClampedIdleFraction:
+    """The shared z̄ clamp (used by both the re-planning loop and the final
+    estimate, serial and batched alike)."""
+
+    def test_all_idle_batch_clamps_below_one(self):
+        m = 256
+        z = _clamped_idle_fraction(m, m)
+        assert z == 1.0 - 0.5 / m
+        assert np.isfinite(np.log(z))
+
+    def test_all_busy_batch_clamps_above_zero(self):
+        m = 256
+        z = _clamped_idle_fraction(0, m)
+        assert z == 0.5 / m
+        assert np.isfinite(np.log(z))
+
+    def test_interior_fraction_untouched(self):
+        assert _clamped_idle_fraction(100, 256) == 100 / 256
+
+    def test_single_frame_boundaries(self):
+        assert _clamped_idle_fraction(0, 1) == 0.5
+        assert _clamped_idle_fraction(1, 1) == 0.5

@@ -4,7 +4,11 @@ import pytest
 
 from repro.core.accuracy import AccuracyRequirement, meets_requirement
 from repro.core.config import BFCEConfig, DEFAULT_CONFIG
-from repro.core.optimal_p import find_optimal_pn
+from repro.core.optimal_p import (
+    find_optimal_pn,
+    planner_cache_clear,
+    planner_cache_info,
+)
 
 REQ = AccuracyRequirement(0.05, 0.05)
 
@@ -85,3 +89,40 @@ class TestFindOptimalPn:
                 break
         result = find_optimal_pn(n_low, REQ, DEFAULT_CONFIG)
         assert result.pn == expected
+
+
+class TestPlannerCache:
+    def test_cache_hit_returns_identical_result(self):
+        """Repeat searches with the same (n_low, ε, δ, config) key must be
+        served from the memo — same object, not merely an equal one."""
+        planner_cache_clear()
+        r1 = find_optimal_pn(123_456, REQ)
+        before = planner_cache_info()
+        r2 = find_optimal_pn(123_456, REQ)
+        after = planner_cache_info()
+        assert r2 is r1
+        assert after.hits == before.hits + 1
+        assert after.misses == before.misses
+
+    def test_distinct_keys_miss(self):
+        planner_cache_clear()
+        find_optimal_pn(10_000, REQ)
+        find_optimal_pn(10_001, REQ)
+        find_optimal_pn(10_000, AccuracyRequirement(0.1, 0.05))
+        find_optimal_pn(10_000, REQ, BFCEConfig(pn_denom=256))
+        assert planner_cache_info().misses >= 4
+
+    def test_int_and_float_n_low_share_an_entry(self):
+        """n_low is normalised to float before keying the memo."""
+        planner_cache_clear()
+        r1 = find_optimal_pn(50_000, REQ)
+        r2 = find_optimal_pn(50_000.0, REQ)
+        assert r2 is r1
+
+    def test_clear_forces_recompute(self):
+        planner_cache_clear()
+        r1 = find_optimal_pn(42_000, REQ)
+        planner_cache_clear()
+        r2 = find_optimal_pn(42_000, REQ)
+        assert r2 is not r1
+        assert r2 == r1

@@ -1,0 +1,107 @@
+"""Equivalence tests for the optional C kernel fast paths.
+
+:mod:`repro.rfid._native` fuses the batched occupancy and ALOHA kernels
+into single-pass C loops.  Its contract is bit-identical output to the
+pure-NumPy implementations, which these tests pin directly: each kernel
+runs once with the native library active and once with ``REPRO_NATIVE=0``
+(forcing the NumPy path) on the same inputs.  On machines without a C
+compiler the native half is skipped and the NumPy path is the only one —
+still covered by the serial-equivalence suites.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.framedaloha import aloha_empty_counts_batch
+from repro.rfid import _native
+from repro.rfid.hashing import geometric_occupancy_batch
+from repro.rfid.ids import uniform_ids
+from repro.rfid.tags import TagPopulation
+
+needs_native = pytest.mark.skipif(
+    _native.get_lib() is None, reason="no C compiler / native build failed"
+)
+
+
+@pytest.fixture
+def numpy_only(monkeypatch):
+    monkeypatch.setenv("REPRO_NATIVE", "0")
+
+
+class TestNativeAvailability:
+    def test_env_opt_out(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        assert not _native.native_enabled()
+        assert _native.get_lib() is None
+
+    def test_default_enabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NATIVE", raising=False)
+        assert _native.native_enabled()
+
+
+@needs_native
+class TestNativeMatchesNumpy:
+    @pytest.mark.parametrize("max_bits", [1, 16, 32, 64])
+    def test_occupancy_kernel(self, max_bits, monkeypatch):
+        keys = uniform_ids(5_000, seed=1)
+        seeds = np.random.default_rng(2).integers(0, 1 << 32, 40, dtype=np.uint64)
+        native = geometric_occupancy_batch(keys, seeds, max_bits=max_bits)
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        reference = geometric_occupancy_batch(keys, seeds, max_bits=max_bits)
+        assert np.array_equal(native, reference)
+
+    @pytest.mark.parametrize("rho", [0.0, 0.01, 0.5, 1.0])
+    def test_aloha_kernel(self, rho, monkeypatch):
+        pop = TagPopulation(uniform_ids(5_000, seed=3))
+        seeds = np.random.default_rng(4).integers(0, 1 << 32, 20, dtype=np.uint64)
+        probs = np.full(seeds.size, rho)
+        native = aloha_empty_counts_batch(
+            pop, frame_size=257, sampling_probs=probs, seeds=seeds
+        )
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        reference = aloha_empty_counts_batch(
+            pop, frame_size=257, sampling_probs=probs, seeds=seeds
+        )
+        assert np.array_equal(native, reference)
+
+    def test_aloha_mixed_probabilities(self, monkeypatch):
+        pop = TagPopulation(uniform_ids(2_000, seed=5))
+        rng = np.random.default_rng(6)
+        seeds = rng.integers(0, 1 << 32, 33, dtype=np.uint64)
+        probs = rng.uniform(0.0, 1.0, seeds.size)
+        native = aloha_empty_counts_batch(
+            pop, frame_size=100, sampling_probs=probs, seeds=seeds
+        )
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        reference = aloha_empty_counts_batch(
+            pop, frame_size=100, sampling_probs=probs, seeds=seeds
+        )
+        assert np.array_equal(native, reference)
+
+    def test_empty_population(self):
+        pop = TagPopulation(np.array([], dtype=np.uint64))
+        seeds = np.arange(5, dtype=np.uint64)
+        empty = aloha_empty_counts_batch(
+            pop, frame_size=64, sampling_probs=np.full(5, 0.5), seeds=seeds
+        )
+        assert np.array_equal(empty, np.full(5, 64))
+        occ = geometric_occupancy_batch(np.array([], dtype=np.uint64), seeds)
+        assert np.array_equal(occ, np.zeros(5, dtype=np.uint64))
+
+
+class TestNumpyFallbackEndToEnd:
+    def test_batched_engine_matches_serial_without_native(self, numpy_only):
+        """The pure-NumPy batch engine must stay serial-identical even on
+        hosts where the C kernels normally mask it."""
+        from repro.baselines import SRC, ZOE
+        from repro.baselines.batch import run_src_batch, run_zoe_batch
+        from repro.core.accuracy import AccuracyRequirement
+
+        pop = TagPopulation(uniform_ids(8_000, seed=7))
+        req = AccuracyRequirement(0.1, 0.1)
+        for est, runner in ((ZOE(req), run_zoe_batch), (SRC(req), run_src_batch)):
+            batched = runner(est, pop, [1, 2])
+            for seed, got in zip([1, 2], batched):
+                ref = est.estimate(pop, seed=seed)
+                assert got.n_hat == ref.n_hat
+                assert got.elapsed_seconds == ref.elapsed_seconds
