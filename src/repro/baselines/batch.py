@@ -378,7 +378,9 @@ def run_baseline_trials_batched(
 
     Returns the same :class:`~repro.experiments.runner.TrialRecord` list —
     same order, bit-identical estimates, errors, diagnostics and metered
-    seconds — for any estimator :func:`baseline_batchable` accepts.
+    seconds — for any estimator :func:`baseline_batchable` accepts.  Each
+    record carries ``extra["engine"] = "batched"`` so callers (and the sweep
+    cache key) can tell which engine actually ran.
     """
     from ..experiments.runner import TrialRecord  # local import: runner routes here
 
@@ -403,7 +405,7 @@ def run_baseline_trials_batched(
             eps=req.eps,
             delta=req.delta,
             distribution=distribution,
-            extra=dict(result.extra),
+            extra={**result.extra, "engine": "batched"},
         )
         for t, result in enumerate(results)
     ]

@@ -96,6 +96,13 @@ def build_parser() -> argparse.ArgumentParser:
     mon.add_argument("--shift", type=int, default=50_000,
                      help="batch arrival injected at the midpoint epoch")
     mon.add_argument("--seed", type=int, default=0)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the sweep result cache (.repro_cache/)"
+    )
+    cache.add_argument("action", choices=("stats", "clear"))
+    cache.add_argument("--dir", default=None,
+                       help="cache directory (default: $REPRO_CACHE_DIR or .repro_cache)")
     return parser
 
 
@@ -232,6 +239,23 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .experiments.sweep import TrialCache, cache_enabled
+
+    cache = TrialCache(args.dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cache entries from {cache.directory}")
+        return 0
+    stats = cache.stats()
+    print(f"cache directory : {stats['directory']}")
+    print(f"engine token    : {stats['token']}")
+    print(f"entries         : {stats['entries']}")
+    print(f"size            : {stats['bytes'] / 1024:.1f} KiB")
+    print(f"caching enabled : {cache_enabled()} (REPRO_CACHE=0 disables)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -250,6 +274,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_inventory(args)
     if args.command == "monitor":
         return _cmd_monitor(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

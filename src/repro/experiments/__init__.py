@@ -38,6 +38,16 @@ from .validation import (
 )
 from .runner import SweepPoint, TrialRecord, run_bfce_trials, run_trials, sweep
 from .stats import ErrorSummary, ecdf, guarantee_rate, relative_error, summarize_errors
+from .sweep import (
+    TrialCache,
+    cache_enabled,
+    cached_call,
+    default_cache_dir,
+    engine_version_token,
+    records_from_payload,
+    run_record_sweep,
+    run_sweep,
+)
 from .tables import OverheadBreakdown, analytic_overhead, design_space
 from .workloads import (
     DELTA_SWEEP,
@@ -47,7 +57,15 @@ from .workloads import (
     N_SWEEP_SMALL,
     REFERENCE_N,
     population,
+    population_cache_info,
+    population_cache_clear,
 )
+
+# NOTE: `repro.experiments.sweep.SweepPoint` (the declarative point spec of
+# the sweep scheduler) deliberately stays module-qualified here because the
+# package-level name `SweepPoint` predates it (the aggregated grid result of
+# `runner.sweep`).  Import the spec class as `from repro.experiments.sweep
+# import SweepPoint` or via `repro.experiments.sweep`.
 
 __all__ = [
     "run_bfce_trials_parallel",
@@ -88,6 +106,14 @@ __all__ = [
     "run_bfce_trials",
     "run_trials",
     "sweep",
+    "TrialCache",
+    "cache_enabled",
+    "cached_call",
+    "default_cache_dir",
+    "engine_version_token",
+    "records_from_payload",
+    "run_record_sweep",
+    "run_sweep",
     "ErrorSummary",
     "ecdf",
     "guarantee_rate",
@@ -103,4 +129,6 @@ __all__ = [
     "N_SWEEP_SMALL",
     "REFERENCE_N",
     "population",
+    "population_cache_info",
+    "population_cache_clear",
 ]

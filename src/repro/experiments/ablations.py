@@ -8,7 +8,10 @@ one choice with everything else at paper defaults and returns uniform
 shape on these, and the CLI can print them.
 
 All sweeps share trial mechanics: ``trials`` independent single-round BFCE
-executions per point, mean relative error and mean air time reported.
+executions per point, mean relative error and mean air time reported.  The
+points route through :mod:`repro.experiments.sweep`, so they are cached in
+``.repro_cache/``, deduped against the figure grids and fanned out over
+worker processes — with results bit-identical to the old serial loops.
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ import numpy as np
 from ..core.bfce import BFCE
 from ..core.config import BFCEConfig
 from ..rfid.channel import Channel, NoisyChannel, PerfectChannel
+from .sweep import SweepPoint, run_record_sweep
 from .workloads import population
 
 __all__ = [
@@ -57,30 +61,17 @@ class AblationPoint:
         }
 
 
-def _run_point(
-    knob: str,
-    value: object,
-    bfce: BFCE,
-    pop,
-    *,
-    trials: int,
-    base_seed: int,
-    channel: Channel | None = None,
-    extra: dict | None = None,
+def _point_from_records(
+    knob: str, value: object, records, *, extra: dict | None = None
 ) -> AblationPoint:
-    results = [
-        bfce.estimate(pop, seed=base_seed + t, channel=channel)
-        for t in range(trials)
-    ]
-    n_true = pop.size
-    errors = np.array([r.relative_error(n_true) for r in results])
+    errors = np.array([r.error for r in records])
     return AblationPoint(
         knob=knob,
         value=value,
         mean_error=float(errors.mean()),
         max_error=float(errors.max()),
-        mean_seconds=float(np.mean([r.elapsed_seconds for r in results])),
-        mean_estimate=float(np.mean([r.n_hat for r in results])),
+        mean_seconds=float(np.mean([r.seconds for r in records])),
+        mean_estimate=float(np.mean([r.n_hat for r in records])),
         extra=extra or {},
     )
 
@@ -91,15 +82,23 @@ def sweep_k(
     n: int = 100_000,
     trials: int = 8,
     base_seed: int = 0,
+    max_workers: int | None = None,
 ) -> list[AblationPoint]:
     """Number of hash functions (paper: k = 3 'empirically')."""
-    pop = population("T1", n, seed=base_seed + 2)
-    return [
-        _run_point(
-            "k", k, BFCE(config=BFCEConfig(k=k)), pop,
-            trials=trials, base_seed=base_seed + 1000 * k,
+    points = [
+        SweepPoint.bfce_trials(
+            distribution="T1",
+            n=n,
+            trials=trials,
+            base_seed=base_seed + 1000 * k,
+            pop_seed=base_seed + 2,
+            config=BFCEConfig(k=k),
         )
         for k in k_values
+    ]
+    return [
+        _point_from_records("k", k, recs)
+        for k, recs in zip(k_values, run_record_sweep(points, max_workers=max_workers))
     ]
 
 
@@ -109,19 +108,24 @@ def sweep_w(
     n: int = 100_000,
     trials: int = 8,
     base_seed: int = 0,
+    max_workers: int | None = None,
 ) -> list[AblationPoint]:
     """Bloom vector length (paper: w = 8192)."""
-    pop = population("T1", n, seed=base_seed + 3)
-    out = []
-    for w in w_values:
-        cfg = BFCEConfig(w=w, rough_slots=min(1024, w // 2))
-        out.append(
-            _run_point(
-                "w", w, BFCE(config=cfg), pop,
-                trials=trials, base_seed=base_seed + 2000 + w,
-            )
+    points = [
+        SweepPoint.bfce_trials(
+            distribution="T1",
+            n=n,
+            trials=trials,
+            base_seed=base_seed + 2000 + w,
+            pop_seed=base_seed + 3,
+            config=BFCEConfig(w=w, rough_slots=min(1024, w // 2)),
         )
-    return out
+        for w in w_values
+    ]
+    return [
+        _point_from_records("w", w, recs)
+        for w, recs in zip(w_values, run_record_sweep(points, max_workers=max_workers))
+    ]
 
 
 def sweep_c(
@@ -130,25 +134,32 @@ def sweep_c(
     n: int = 100_000,
     trials: int = 10,
     base_seed: int = 0,
+    max_workers: int | None = None,
 ) -> list[AblationPoint]:
     """Lower-bound coefficient (paper: c = 0.5), with hold-rate diagnostics."""
-    pop = population("T1", n, seed=base_seed + 4)
+    points = [
+        SweepPoint.bfce_trials(
+            distribution="T1",
+            n=n,
+            trials=trials,
+            base_seed=base_seed + 3000,
+            pop_seed=base_seed + 4,
+            config=BFCEConfig(c=float(c)),
+        )
+        for c in c_values
+    ]
     out = []
-    for c in c_values:
-        bfce = BFCE(config=BFCEConfig(c=float(c)))
-        results = [bfce.estimate(pop, seed=base_seed + 3000 + t) for t in range(trials)]
-        errors = np.array([r.relative_error(n) for r in results])
+    for c, recs in zip(c_values, run_record_sweep(points, max_workers=max_workers)):
         out.append(
-            AblationPoint(
-                knob="c",
-                value=float(c),
-                mean_error=float(errors.mean()),
-                max_error=float(errors.max()),
-                mean_seconds=float(np.mean([r.elapsed_seconds for r in results])),
-                mean_estimate=float(np.mean([r.n_hat for r in results])),
+            _point_from_records(
+                "c",
+                float(c),
+                recs,
                 extra={
-                    "lower_bound_held": float(np.mean([r.n_low <= n for r in results])),
-                    "mean_pn": float(np.mean([r.pn_optimal for r in results])),
+                    "lower_bound_held": float(
+                        np.mean([r.extra["n_low"] <= n for r in recs])
+                    ),
+                    "mean_pn": float(np.mean([r.extra["pn_optimal"] for r in recs])),
                 },
             )
         )
@@ -161,15 +172,25 @@ def sweep_persistence_mode(
     n: int = 50_000,
     trials: int = 12,
     base_seed: int = 0,
+    max_workers: int | None = None,
 ) -> list[AblationPoint]:
     """Persistence sampling: idealised vs hardware-faithful vs degraded."""
-    return [
-        _run_point(
-            "persistence_mode", mode, BFCE(),
-            population("T1", n, seed=base_seed + 5, persistence_mode=mode),
-            trials=trials, base_seed=base_seed + 4000,
+    points = [
+        SweepPoint.bfce_trials(
+            distribution="T1",
+            n=n,
+            trials=trials,
+            base_seed=base_seed + 4000,
+            pop_seed=base_seed + 5,
+            persistence_mode=mode,
         )
         for mode in modes
+    ]
+    return [
+        _point_from_records("persistence_mode", mode, recs)
+        for mode, recs in zip(
+            modes, run_record_sweep(points, max_workers=max_workers)
+        )
     ]
 
 
@@ -180,20 +201,32 @@ def sweep_rn_source(
     n: int = 50_000,
     trials: int = 8,
     base_seed: int = 0,
+    max_workers: int | None = None,
 ) -> list[AblationPoint]:
     """Prestored-RN derivation, crossed with the tagID distributions."""
-    out = []
-    for dist in distributions:
-        for source in sources:
-            pop = population(dist, n, seed=base_seed + 6, rn_source=source)
-            out.append(
-                _run_point(
-                    "rn_source", f"{dist}/{source}", BFCE(), pop,
-                    trials=trials, base_seed=base_seed + 5000,
-                    extra={"distribution": dist, "source": source},
-                )
-            )
-    return out
+    coords = [(dist, source) for dist in distributions for source in sources]
+    points = [
+        SweepPoint.bfce_trials(
+            distribution=dist,
+            n=n,
+            trials=trials,
+            base_seed=base_seed + 5000,
+            pop_seed=base_seed + 6,
+            rn_source=source,
+        )
+        for dist, source in coords
+    ]
+    return [
+        _point_from_records(
+            "rn_source",
+            f"{dist}/{source}",
+            recs,
+            extra={"distribution": dist, "source": source},
+        )
+        for (dist, source), recs in zip(
+            coords, run_record_sweep(points, max_workers=max_workers)
+        )
+    ]
 
 
 def sweep_channel(
@@ -202,8 +235,14 @@ def sweep_channel(
     n: int = 50_000,
     trials: int = 8,
     base_seed: int = 0,
+    max_workers: int | None = None,
 ) -> list[AblationPoint]:
-    """Channel imperfection (extension beyond the paper's perfect channel)."""
+    """Channel imperfection (extension beyond the paper's perfect channel).
+
+    Channels that cannot be expressed as a sweep spec (custom
+    :class:`~repro.rfid.channel.Channel` subclasses) run in-process on the
+    serial path instead of through the cache/scheduler.
+    """
     if channels is None:
         channels = {
             "perfect": PerfectChannel(),
@@ -211,11 +250,51 @@ def sweep_channel(
             "miss_heavy": NoisyChannel(miss_prob=0.10, false_alarm_prob=0.0),
             "alarm_heavy": NoisyChannel(miss_prob=0.0, false_alarm_prob=0.10),
         }
-    pop = population("T1", n, seed=base_seed + 7)
-    return [
-        _run_point(
-            "channel", name, BFCE(), pop,
-            trials=trials, base_seed=base_seed + 6000, channel=channel,
+    names: list[str] = []
+    points: list[SweepPoint] = []
+    direct: dict[str, Channel] = {}
+    for name, channel in channels.items():
+        try:
+            point = SweepPoint.bfce_trials(
+                distribution="T1",
+                n=n,
+                trials=trials,
+                base_seed=base_seed + 6000,
+                pop_seed=base_seed + 7,
+                channel=channel,
+            )
+        except ValueError:
+            direct[name] = channel
+            continue
+        names.append(name)
+        points.append(point)
+    by_name = {
+        name: recs
+        for name, recs in zip(
+            names, run_record_sweep(points, max_workers=max_workers)
         )
-        for name, channel in channels.items()
-    ]
+    }
+    out: list[AblationPoint] = []
+    for name, channel in channels.items():
+        if name in by_name:
+            out.append(_point_from_records("channel", name, by_name[name]))
+        else:
+            pop = population("T1", n, seed=base_seed + 7)
+            bfce = BFCE()
+            results = [
+                bfce.estimate(pop, seed=base_seed + 6000 + t, channel=channel)
+                for t in range(trials)
+            ]
+            errors = np.array([r.relative_error(n) for r in results])
+            out.append(
+                AblationPoint(
+                    knob="channel",
+                    value=name,
+                    mean_error=float(errors.mean()),
+                    max_error=float(errors.max()),
+                    mean_seconds=float(np.mean([r.elapsed_seconds for r in results])),
+                    mean_estimate=float(np.mean([r.n_hat for r in results])),
+                    extra={},
+                )
+            )
+    return out

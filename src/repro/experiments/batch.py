@@ -34,6 +34,7 @@ Serial/batched/parallel decision matrix (see DESIGN.md §6):
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -55,6 +56,8 @@ from ..rfid.tags import TagPopulation
 from ..timing.accounting import TimeLedger
 
 __all__ = ["BatchBFCE", "run_bfce_trials_batched", "batching_is_sound"]
+
+_log = logging.getLogger(__name__)
 
 _ACCURATE_PHASE = "accurate"
 _MAX_ACCURATE_RETRIES = 8
@@ -372,11 +375,22 @@ def run_bfce_trials_batched(
     Returns the same :class:`~repro.experiments.runner.TrialRecord` list —
     same order, bit-identical estimates, errors and metered seconds — while
     executing each lockstep protocol round as one batched kernel call.
+    ``extra["engine"]`` records which engine actually ran: ``"batched"``
+    normally, ``"serial"`` when the channel makes batching unsound and the
+    per-trial fallback executes instead.
     """
     from .runner import TrialRecord  # local import: runner routes back here
 
     if trials <= 0:
         raise ValueError("trials must be positive")
+    engine_ran = "batched"
+    if not batching_is_sound(channel):
+        engine_ran = "serial"
+        _log.debug(
+            "run_bfce_trials_batched: channel %s is unsound for batching, "
+            "falling back to serial per-trial execution",
+            type(channel).__name__,
+        )
     engine = BatchBFCE(config=config, requirement=AccuracyRequirement(eps, delta))
     results = engine.estimate_many(
         population, seeds=range(base_seed, base_seed + trials), channel=channel
@@ -397,6 +411,7 @@ def run_bfce_trials_batched(
                 "n_low": result.n_low,
                 "pn_optimal": result.pn_optimal,
                 "guarantee_met": result.guarantee_met,
+                "engine": engine_ran,
             },
         )
         for t, result in enumerate(results)

@@ -8,6 +8,12 @@ The benchmark harness (``benchmarks/``) runs these and checks the published
 
 Default trial counts are sized so the full set regenerates in minutes on a
 laptop; every generator takes ``trials``/grid overrides for deeper runs.
+
+The sweep-shaped generators (Figs. 3, 5–10 and the Sec. V-B check) route
+their points through :mod:`repro.experiments.sweep`: duplicate points are
+deduped, previously computed points are served from the content-addressed
+``.repro_cache/`` store, and cache misses fan out over worker processes
+(``max_workers``).  Results are bit-identical to the pre-sweep serial loops.
 """
 
 from __future__ import annotations
@@ -17,19 +23,12 @@ from typing import Sequence
 
 import numpy as np
 
-from ..baselines.src_protocol import SRC
-from ..baselines.zoe import ZOE
-from ..core.accuracy import AccuracyRequirement, f1, f2
+from ..core.accuracy import AccuracyRequirement
 from ..core.bfce import BFCE
 from ..core.config import BFCEConfig, DEFAULT_CONFIG
 from ..core.estmath import gamma_extrema, gamma_grid, max_estimable_cardinality
-from ..core.probe import probe_persistence
-from ..core.rough import rough_estimate
-from ..rfid.frames import run_bfce_frame
-from ..rfid.ids import make_ids
-from ..rfid.reader import Reader
-from .runner import TrialRecord, run_bfce_trials, run_trials
 from .stats import ecdf
+from .sweep import SweepPoint, run_record_sweep, run_sweep
 from .workloads import (
     DELTA_SWEEP,
     DISTRIBUTION_NAMES,
@@ -85,8 +84,6 @@ def fig2_protocol_trace(
     message with its cumulative timestamp — the executable version of the
     schematic.
     """
-    from ..core.accuracy import AccuracyRequirement
-
     pop = population("T1", n, seed=base_seed)
     result = BFCE(requirement=AccuracyRequirement(eps, delta)).estimate(
         pop, seed=base_seed + 1
@@ -128,6 +125,7 @@ def fig3_linearity(
     trials: int = 5,
     config: BFCEConfig = DEFAULT_CONFIG,
     base_seed: int = 0,
+    max_workers: int | None = None,
 ) -> FigureData:
     """Counts of 0s and 1s in the Bloom vector versus cardinality.
 
@@ -135,30 +133,38 @@ def fig3_linearity(
     number of 0s (busy) grows, and the number of 1s (idle) falls, linearly
     in n over the plotted range (Fig. 3).
     """
-    rows: list[dict] = []
+    coords: list[tuple[int, float]] = []
+    points: list[SweepPoint] = []
     for n in n_values:
-        pop = population("T1", n, seed=base_seed)
         for p in p_values:
-            pn = int(round(p * config.pn_denom))
-            zeros = np.empty(trials)
-            ones = np.empty(trials)
-            for t in range(trials):
-                rng = np.random.default_rng(base_seed + 1000 * t + n % 997)
-                seeds = rng.integers(0, 1 << 32, size=config.k, dtype=np.uint64)
-                frame = run_bfce_frame(pop, w=config.w, seeds=seeds, p_n=pn)
-                zeros[t] = frame.zeros
-                ones[t] = frame.ones
-            rows.append(
-                {
-                    "n": n,
-                    "p": p,
-                    "zeros_mean": float(zeros.mean()),
-                    "ones_mean": float(ones.mean()),
-                    # Theorem-1 predictions for comparison.
-                    "zeros_pred": config.w * (1 - np.exp(-config.k * p * n / config.w)),
-                    "ones_pred": config.w * np.exp(-config.k * p * n / config.w),
-                }
+            coords.append((int(n), float(p)))
+            points.append(
+                SweepPoint.frame_stats(
+                    distribution="T1",
+                    n=int(n),
+                    pop_seed=base_seed,
+                    pn=int(round(p * config.pn_denom)),
+                    trials=trials,
+                    w=config.w,
+                    k=config.k,
+                    base_seed=base_seed,
+                )
             )
+    rows: list[dict] = []
+    for (n, p), payload in zip(coords, run_sweep(points, max_workers=max_workers)):
+        zeros = np.asarray(payload["zeros"], dtype=np.float64)
+        ones = np.asarray(payload["ones"], dtype=np.float64)
+        rows.append(
+            {
+                "n": n,
+                "p": p,
+                "zeros_mean": float(zeros.mean()),
+                "ones_mean": float(ones.mean()),
+                # Theorem-1 predictions for comparison.
+                "zeros_pred": config.w * (1 - np.exp(-config.k * p * n / config.w)),
+                "ones_pred": config.w * np.exp(-config.k * p * n / config.w),
+            }
+        )
     return FigureData(
         figure="fig3",
         title="Interrelation between n and the numbers of 0s/1s in B (w=8192, k=3)",
@@ -219,12 +225,15 @@ def fig5_monotonicity(
     """
     if n_values is None:
         n_values = np.linspace(10_000, 1_000_000, 100).astype(int).tolist()
-    n_arr = np.asarray(list(n_values), dtype=np.float64)
-    lo = f1(n_arr, config.w, config.k, p, eps)
-    hi = f2(n_arr, config.w, config.k, p, eps)
+    point = SweepPoint.f1f2_curve(
+        n_values=[int(n) for n in n_values], p=p, eps=eps, w=config.w, k=config.k
+    )
+    (payload,) = run_sweep([point])
+    lo = np.asarray(payload["f1"], dtype=np.float64)
+    hi = np.asarray(payload["f2"], dtype=np.float64)
     rows = [
-        {"n": int(n_arr[i]), "f1": float(lo[i]), "f2": float(hi[i])}
-        for i in range(n_arr.size)
+        {"n": int(n), "f1": float(lo[i]), "f2": float(hi[i])}
+        for i, n in enumerate(n_values)
     ]
     return FigureData(
         figure="fig5",
@@ -243,20 +252,28 @@ def fig5_monotonicity(
 # Fig. 6 — the three tagID distributions
 # ----------------------------------------------------------------------
 def fig6_distributions(
-    n: int = 100_000, *, bins: int = 50, base_seed: int = 0
+    n: int = 100_000,
+    *,
+    bins: int = 50,
+    base_seed: int = 0,
+    max_workers: int | None = None,
 ) -> FigureData:
     """Histograms of the T1/T2/T3 tagID sets over [1, 10¹⁵]."""
     edges = np.linspace(1, 1e15, bins + 1)
+    points = [
+        SweepPoint.id_histogram(distribution=name, n=n, seed=base_seed, bins=bins)
+        for name in DISTRIBUTION_NAMES
+    ]
     rows: list[dict] = []
-    for name in DISTRIBUTION_NAMES:
-        ids = make_ids(name, n, base_seed)
-        counts, _ = np.histogram(ids.astype(np.float64), bins=edges)
-        for b in range(bins):
+    for name, payload in zip(
+        DISTRIBUTION_NAMES, run_sweep(points, max_workers=max_workers)
+    ):
+        for b, count in enumerate(payload["counts"]):
             rows.append(
                 {
                     "distribution": name,
                     "bin_center": float((edges[b] + edges[b + 1]) / 2),
-                    "count": int(counts[b]),
+                    "count": int(count),
                 }
             )
     return FigureData(
@@ -279,27 +296,46 @@ def fig7_accuracy(
     trials: int = 5,
     base_seed: int = 0,
     engine: str = "batched",
+    max_workers: int | None = None,
 ) -> FigureData:
     """BFCE accuracy versus n (panel a), ε (panel b) and δ (panel c).
 
     Every row is one sweep point of one panel under one tagID distribution,
     reporting the mean/max relative error over ``trials`` single-round runs.
-    Trials at each point execute through the batched lockstep engine by
-    default (bit-identical to ``engine="serial"``, just faster).
+    Points route through :func:`repro.experiments.sweep.run_record_sweep`:
+    cached, deduped and executed on the batched lockstep engine by default
+    (bit-identical to ``engine="serial"``, just faster).
     """
-    rows: list[dict] = []
+    coords: list[tuple[str, str, int, float, float]] = []
+    points: list[SweepPoint] = []
 
-    def run_point(panel: str, dist: str, n: int, eps: float, delta: float) -> None:
-        pop = population(dist, n, seed=base_seed)
-        recs = run_bfce_trials(
-            pop,
-            trials=trials,
-            eps=eps,
-            delta=delta,
-            base_seed=base_seed + 7_000,
-            distribution=dist,
-            engine=engine,
+    def add_point(panel: str, dist: str, n: int, eps: float, delta: float) -> None:
+        coords.append((panel, dist, n, eps, delta))
+        points.append(
+            SweepPoint.bfce_trials(
+                distribution=dist,
+                n=n,
+                eps=eps,
+                delta=delta,
+                trials=trials,
+                base_seed=base_seed + 7_000,
+                pop_seed=base_seed,
+                engine=engine,
+            )
         )
+
+    for dist in DISTRIBUTION_NAMES:
+        for n in n_values:
+            add_point("a", dist, int(n), 0.05, 0.05)
+        for eps in eps_values:
+            add_point("b", dist, reference_n, float(eps), 0.05)
+        for delta in delta_values:
+            add_point("c", dist, reference_n, 0.05, float(delta))
+
+    rows: list[dict] = []
+    for (panel, dist, n, eps, delta), recs in zip(
+        coords, run_record_sweep(points, max_workers=max_workers)
+    ):
         errors = np.array([r.error for r in recs])
         rows.append(
             {
@@ -313,14 +349,6 @@ def fig7_accuracy(
                 "within_eps_rate": float((errors <= eps).mean()),
             }
         )
-
-    for dist in DISTRIBUTION_NAMES:
-        for n in n_values:
-            run_point("a", dist, int(n), 0.05, 0.05)
-        for eps in eps_values:
-            run_point("b", dist, reference_n, float(eps), 0.05)
-        for delta in delta_values:
-            run_point("c", dist, reference_n, 0.05, float(delta))
     return FigureData(
         figure="fig7",
         title="BFCE estimation accuracy vs n, ε, δ under T1/T2/T3",
@@ -340,21 +368,32 @@ def fig8_cdf(
     delta: float = 0.05,
     base_seed: int = 0,
     engine: str = "batched",
+    max_workers: int | None = None,
 ) -> FigureData:
     """Empirical CDF of 100 single-round estimates at n = 500 000.
 
     The paper reports estimates tightly concentrated around the true
     cardinality under all three distributions.  The 100 rounds per
-    distribution run through the batched lockstep engine by default.
+    distribution run (cached) through the batched lockstep engine by default.
     """
+    points = [
+        SweepPoint.bfce_trials(
+            distribution=dist,
+            n=n,
+            eps=eps,
+            delta=delta,
+            trials=rounds,
+            base_seed=base_seed + 31,
+            pop_seed=base_seed,
+            engine=engine,
+        )
+        for dist in DISTRIBUTION_NAMES
+    ]
     rows: list[dict] = []
     concentration: dict[str, float] = {}
-    for dist in DISTRIBUTION_NAMES:
-        pop = population(dist, n, seed=base_seed)
-        recs = run_bfce_trials(
-            pop, trials=rounds, eps=eps, delta=delta, base_seed=base_seed + 31,
-            distribution=dist, engine=engine,
-        )
+    for dist, recs in zip(
+        DISTRIBUTION_NAMES, run_record_sweep(points, max_workers=max_workers)
+    ):
         estimates = np.array([r.n_hat for r in recs])
         values, probs = ecdf(estimates)
         concentration[dist] = float(np.mean(np.abs(estimates - n) <= eps * n))
@@ -383,6 +422,7 @@ def fig9_fig10_comparison(
     trials: int = 3,
     base_seed: int = 0,
     engine: str = "batched",
+    max_workers: int | None = None,
 ) -> FigureData:
     """Accuracy (Fig. 9) and execution time (Fig. 10) of BFCE/ZOE/SRC.
 
@@ -392,53 +432,61 @@ def fig9_fig10_comparison(
     runs every estimator through its lockstep engine
     (:mod:`repro.experiments.batch` for BFCE,
     :mod:`repro.baselines.batch` for ZOE/SRC) — numerically identical to
-    ``"serial"``, just faster.
+    ``"serial"``, just faster.  All points go through the sweep scheduler,
+    so repeated invocations are served from the result cache.
     """
-    rows: list[dict] = []
+    coords: list[tuple[str, str, int, float, float]] = []
+    points: list[SweepPoint] = []
 
-    def run_point(panel: str, n: int, eps: float, delta: float) -> None:
-        pop = population(distribution, n, seed=base_seed)
-        req = AccuracyRequirement(eps, delta)
-        batches: dict[str, list[TrialRecord]] = {
-            "BFCE": run_bfce_trials(
-                pop, trials=trials, eps=eps, delta=delta,
-                base_seed=base_seed + 101, distribution=distribution,
-                engine=engine,
-            ),
-            "ZOE": run_trials(
-                ZOE(req), pop, trials=trials,
-                base_seed=base_seed + 202, distribution=distribution,
-                engine=engine,
-            ),
-            "SRC": run_trials(
-                SRC(req), pop, trials=trials,
-                base_seed=base_seed + 303, distribution=distribution,
-                engine=engine,
-            ),
-        }
-        for name, recs in batches.items():
-            errors = np.array([r.error for r in recs])
-            seconds = np.array([r.seconds for r in recs])
-            rows.append(
-                {
-                    "panel": panel,
-                    "estimator": name,
-                    "n": n,
-                    "eps": eps,
-                    "delta": delta,
-                    "error_mean": float(errors.mean()),
-                    "error_max": float(errors.max()),
-                    "seconds_mean": float(seconds.mean()),
-                    "seconds_max": float(seconds.max()),
-                }
-            )
+    def add_point(panel: str, n: int, eps: float, delta: float) -> None:
+        common = dict(
+            distribution=distribution,
+            n=n,
+            eps=eps,
+            delta=delta,
+            trials=trials,
+            pop_seed=base_seed,
+            engine=engine,
+        )
+        for name, offset in (("BFCE", 101), ("ZOE", 202), ("SRC", 303)):
+            coords.append((panel, name, n, eps, delta))
+            if name == "BFCE":
+                points.append(
+                    SweepPoint.bfce_trials(base_seed=base_seed + offset, **common)
+                )
+            else:
+                points.append(
+                    SweepPoint.baseline_trials(
+                        name, base_seed=base_seed + offset, **common
+                    )
+                )
 
     for n in n_values:
-        run_point("a", int(n), 0.05, 0.05)
+        add_point("a", int(n), 0.05, 0.05)
     for eps in eps_values:
-        run_point("b", reference_n, float(eps), 0.05)
+        add_point("b", reference_n, float(eps), 0.05)
     for delta in delta_values:
-        run_point("c", reference_n, 0.05, float(delta))
+        add_point("c", reference_n, 0.05, float(delta))
+
+    rows: list[dict] = []
+    for (panel, name, n, eps, delta), recs in zip(
+        coords, run_record_sweep(points, max_workers=max_workers)
+    ):
+        errors = np.array([r.error for r in recs])
+        seconds = np.array([r.seconds for r in recs])
+        rows.append(
+            {
+                "panel": panel,
+                "estimator": name,
+                "n": n,
+                "eps": eps,
+                "delta": delta,
+                "error_mean": float(errors.mean()),
+                "error_max": float(errors.max()),
+                "seconds_mean": float(seconds.mean()),
+                "seconds_max": float(seconds.max()),
+            }
+        )
 
     bfce_secs = [r["seconds_mean"] for r in rows if r["estimator"] == "BFCE"]
     zoe_secs = [r["seconds_mean"] for r in rows if r["estimator"] == "ZOE"]
@@ -466,26 +514,32 @@ def lower_bound_validity(
     n_values: Sequence[int] = (1_000, 10_000, 100_000, 500_000),
     trials: int = 20,
     base_seed: int = 0,
+    max_workers: int | None = None,
 ) -> FigureData:
     """Fraction of rough phases with n̂_low ≤ n, per coefficient c.
 
     The paper claims c = 0.5 "can guarantee n̂_low ≤ n hold in most cases";
     this experiment quantifies the rate across c and n.
     """
-    rows: list[dict] = []
+    coords: list[tuple[float, int]] = []
+    points: list[SweepPoint] = []
     for c in c_values:
-        config = BFCEConfig(c=float(c))
         for n in n_values:
-            pop = population("T1", int(n), seed=base_seed)
-            holds = 0
-            for t in range(trials):
-                reader = Reader(pop, seed=base_seed + 577 * t + 1)
-                probe = probe_persistence(reader, config)
-                rough = rough_estimate(reader, probe.pn, config)
-                holds += int(rough.n_low <= n)
-            rows.append(
-                {"c": float(c), "n": int(n), "holds_rate": holds / trials, "trials": trials}
+            coords.append((float(c), int(n)))
+            points.append(
+                SweepPoint.rough_bound(
+                    c=float(c),
+                    distribution="T1",
+                    n=int(n),
+                    pop_seed=base_seed,
+                    trials=trials,
+                    base_seed=base_seed,
+                )
             )
+    rows = [
+        {"c": c, "n": n, "holds_rate": payload["holds"] / trials, "trials": trials}
+        for (c, n), payload in zip(coords, run_sweep(points, max_workers=max_workers))
+    ]
     return FigureData(
         figure="sec5b",
         title="Validity rate of the rough lower bound n̂_low = c·n̂_r ≤ n",

@@ -66,13 +66,6 @@ def _run_chunk(args: tuple) -> list[TrialRecord]:
         persistence_mode=persistence_mode,
     )
     if engine == "serial":
-        factory = None
-        if config != DEFAULT_CONFIG:
-            from ..core.bfce import BFCE
-
-            def factory(req):
-                return BFCE(config=config, requirement=req)
-
         return run_bfce_trials(
             population,
             trials=chunk_trials,
@@ -80,7 +73,7 @@ def _run_chunk(args: tuple) -> list[TrialRecord]:
             delta=delta,
             base_seed=chunk_seed,
             distribution=distribution,
-            estimator_factory=factory,
+            config=config,
             engine="serial",
         )
     return run_bfce_trials_batched(

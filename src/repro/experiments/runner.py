@@ -9,6 +9,7 @@ deterministic given the base seed.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
@@ -17,10 +18,14 @@ import numpy as np
 from ..baselines.base import CardinalityEstimator
 from ..core.accuracy import AccuracyRequirement
 from ..core.bfce import BFCE
+from ..core.config import BFCEConfig, DEFAULT_CONFIG
+from ..rfid.channel import Channel
 from ..rfid.tags import TagPopulation
 from .stats import ErrorSummary
 
 __all__ = ["TrialRecord", "run_trials", "run_bfce_trials", "SweepPoint", "sweep"]
+
+_log = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -54,6 +59,8 @@ def run_bfce_trials(
     distribution: str = "",
     estimator_factory: Callable[[AccuracyRequirement], BFCE] | None = None,
     engine: str = "auto",
+    config: BFCEConfig = DEFAULT_CONFIG,
+    channel: Channel | None = None,
 ) -> list[TrialRecord]:
     """Run BFCE ``trials`` times with distinct reader seeds.
 
@@ -65,6 +72,13 @@ def run_bfce_trials(
         protocol per trial, and ``"auto"`` (default) picks the batched
         engine whenever no custom ``estimator_factory`` is in play.  The two
         engines are bit-identical; the choice only affects throughput.
+        ``extra["engine"]`` on each record names the engine that actually
+        ran (a noisy channel makes the batched engine fall back to serial).
+    config:
+        Protocol constants; ignored when ``estimator_factory`` is given
+        (the factory owns configuration).
+    channel:
+        Channel model threaded into every trial (default: perfect channel).
     """
     if engine not in ("auto", "batched", "serial"):
         raise ValueError(f"engine must be 'auto', 'batched' or 'serial', got {engine!r}")
@@ -80,13 +94,21 @@ def run_bfce_trials(
             delta=delta,
             base_seed=base_seed,
             distribution=distribution,
+            config=config,
+            channel=channel,
+        )
+    if engine == "auto":
+        _log.debug(
+            "run_bfce_trials: estimator_factory in play, falling back to serial engine"
         )
     req = AccuracyRequirement(eps, delta)
-    bfce = estimator_factory(req) if estimator_factory else BFCE(requirement=req)
+    bfce = estimator_factory(req) if estimator_factory else BFCE(
+        config=config, requirement=req
+    )
     n_true = population.size
     records: list[TrialRecord] = []
     for t in range(trials):
-        result = bfce.estimate(population, seed=base_seed + t)
+        result = bfce.estimate(population, seed=base_seed + t, channel=channel)
         records.append(
             TrialRecord(
                 estimator="BFCE",
@@ -102,6 +124,7 @@ def run_bfce_trials(
                     "n_low": result.n_low,
                     "pn_optimal": result.pn_optimal,
                     "guarantee_met": result.guarantee_met,
+                    "engine": "serial",
                 },
             )
         )
@@ -127,8 +150,10 @@ def run_trials(
         protocol per trial, and ``"auto"`` (default) picks the batched
         engine whenever the estimator supports it.  The engines are
         bit-identical; configurations the batch engine cannot replicate
-        (estimator subclasses, >64-slot lottery frames) silently fall back
-        to the serial path, which is always sound.
+        (estimator subclasses, >64-slot lottery frames) fall back to the
+        serial path, which is always sound.  ``extra["engine"]`` on each
+        record names the engine that actually ran, and the fallback emits a
+        ``logging.DEBUG`` line so throughput surprises are diagnosable.
     """
     if engine not in ("auto", "batched", "serial"):
         raise ValueError(f"engine must be 'auto', 'batched' or 'serial', got {engine!r}")
@@ -143,6 +168,10 @@ def run_trials(
                 base_seed=base_seed,
                 distribution=distribution,
             )
+        _log.debug(
+            "run_trials: %s is not batchable, falling back to serial engine",
+            type(estimator).__name__,
+        )
     n_true = population.size
     req = estimator.requirement
     records: list[TrialRecord] = []
@@ -159,7 +188,7 @@ def run_trials(
                 eps=req.eps,
                 delta=req.delta,
                 distribution=distribution,
-                extra=dict(result.extra),
+                extra={**result.extra, "engine": "serial"},
             )
         )
     return records

@@ -1,0 +1,713 @@
+"""Sweep execution layer: deduped scheduling + content-addressed result cache.
+
+The figure generators, ablation sweeps and validation checks all reduce to
+the same shape of work: a grid of *points*, each a pure function of a small
+parameter record (estimator, distribution, n, ε, δ, trials, seeds, config).
+Before this layer each caller looped its grid serially and recomputed
+everything from scratch on every invocation, even though the grids overlap
+heavily across figures and every record is deterministic given its spec.
+
+This module turns that into a three-stage service:
+
+1. **Declare** — callers describe each point as a :class:`SweepPoint`, a
+   canonicalised JSON spec.  Specs are *values*: two callers asking for the
+   same work produce byte-identical canonical strings.
+2. **Dedupe + cache** — :func:`run_sweep` collapses duplicate specs, then
+   looks each unique spec up in a content-addressed on-disk cache
+   (``.repro_cache/``).  The cache key is the SHA-256 of the canonical spec
+   plus an *engine-version token* — a hash of the kernel/protocol source
+   files — so any change to code that could alter results invalidates every
+   entry automatically.  ``REPRO_CACHE=0`` disables the cache,
+   ``REPRO_CACHE_DIR`` relocates it, and the ``repro-rfid cache`` CLI
+   subcommand reports/clears it.
+3. **Execute** — cache misses fan out over a ``ProcessPoolExecutor``; each
+   worker runs the existing lockstep batch engines and reuses the read-only
+   cached tagID arrays (:func:`~repro.experiments.workloads.population` with
+   ``copy=False``).  ``pool.map`` preserves submission order, so the output
+   is deterministic regardless of worker count or scheduling.
+
+Bit-identity contract: every payload — cache hit, cache miss, or cache
+disabled — is round-tripped through the same JSON serialisation before it is
+returned.  JSON float round-tripping is exact (``float(repr(x)) == x``), so
+a cached record is bit-identical to a freshly computed one, and both are
+bit-identical to the direct serial runners.  ``benchmarks/bench_perf_sweep.py``
+gates this with zero-drift checks against ``engine="serial"`` references.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass
+from functools import lru_cache
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+__all__ = [
+    "SweepPoint",
+    "TrialCache",
+    "cache_enabled",
+    "cached_call",
+    "default_cache_dir",
+    "engine_version_token",
+    "records_from_payload",
+    "run_record_sweep",
+    "run_sweep",
+]
+
+_log = logging.getLogger(__name__)
+
+#: On-disk entry format; bump when the entry layout itself changes.
+_FORMAT = 1
+
+#: Source roots (relative to the ``repro`` package) whose contents define the
+#: engine-version token.  Anything that can change a result belongs here:
+#: protocol math, frame kernels, native C source, estimators, timing model
+#: and the trial runners.  The sweep scheduler itself is deliberately
+#: excluded — rescheduling identical work must not invalidate the cache.
+_TOKEN_PACKAGES = ("core", "rfid", "baselines", "timing")
+_TOKEN_FILES = (
+    "experiments/batch.py",
+    "experiments/runner.py",
+    "experiments/parallel.py",
+    "experiments/workloads.py",
+)
+
+
+@lru_cache(maxsize=1)
+def engine_version_token() -> str:
+    """Hash of every source file that can influence trial results.
+
+    Editing a kernel, estimator or runner changes the token, which changes
+    every cache key, which turns the whole cache into misses — stale entries
+    are never trusted, only orphaned (and reclaimable via ``cache clear``).
+    """
+    pkg = Path(__file__).resolve().parents[1]
+    digest = hashlib.sha256()
+    paths: list[Path] = []
+    for name in _TOKEN_PACKAGES:
+        paths.extend(sorted((pkg / name).glob("*.py")))
+    paths.extend(pkg / rel for rel in _TOKEN_FILES)
+    for path in paths:
+        digest.update(str(path.relative_to(pkg)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+def cache_enabled() -> bool:
+    """Result caching wanted (default) — ``REPRO_CACHE=0`` opts out."""
+    return os.environ.get("REPRO_CACHE", "1") != "0"
+
+
+def default_cache_dir() -> Path:
+    """The cache directory: ``$REPRO_CACHE_DIR`` or ``.repro_cache``."""
+    return Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
+
+
+def _json_default(value):
+    """Serialise NumPy scalars/arrays that leak into record extras."""
+    if hasattr(value, "item") and not hasattr(value, "__len__"):
+        return value.item()
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    raise TypeError(f"not JSON-serialisable: {type(value).__name__}")
+
+
+def _dumps(value) -> str:
+    return json.dumps(
+        value, sort_keys=True, separators=(",", ":"), default=_json_default
+    )
+
+
+def _normalise(payload):
+    """Round-trip a payload through JSON so hits and misses are identical."""
+    return json.loads(_dumps(payload))
+
+
+def canonicalise(spec: dict) -> str:
+    """Deterministic JSON form of a spec dict (sorted keys, no whitespace)."""
+    return _dumps(spec)
+
+
+# ----------------------------------------------------------------------
+# Point specs
+# ----------------------------------------------------------------------
+def _channel_spec(channel) -> dict | None:
+    """JSON form of a channel, or raise for channels we cannot re-create."""
+    from ..rfid.channel import NoisyChannel, PerfectChannel
+
+    if channel is None or type(channel) is PerfectChannel:
+        return None
+    if type(channel) is NoisyChannel:
+        return {
+            "type": "noisy",
+            "miss_prob": float(channel.miss_prob),
+            "false_alarm_prob": float(channel.false_alarm_prob),
+        }
+    raise ValueError(
+        f"channel {type(channel).__name__} cannot be expressed as a sweep spec"
+    )
+
+
+def _build_channel(spec: dict | None):
+    from ..rfid.channel import NoisyChannel
+
+    if spec is None:
+        return None
+    if spec["type"] == "noisy":
+        return NoisyChannel(
+            miss_prob=spec["miss_prob"], false_alarm_prob=spec["false_alarm_prob"]
+        )
+    raise ValueError(f"unknown channel spec {spec!r}")
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One declarative unit of sweep work, identified by its canonical spec.
+
+    Construct through the classmethods (which canonicalise and validate) and
+    pass lists of points to :func:`run_sweep`.  Equality and dedupe are by
+    ``canonical`` — the exact string the cache key hashes.
+    """
+
+    canonical: str
+
+    @property
+    def spec(self) -> dict:
+        """The decoded parameter record."""
+        return json.loads(self.canonical)
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "SweepPoint":
+        if spec.get("kind") not in _EXECUTORS:
+            raise ValueError(f"unknown sweep point kind {spec.get('kind')!r}")
+        return cls(canonicalise(spec))
+
+    # -- trial points ---------------------------------------------------
+    @classmethod
+    def bfce_trials(
+        cls,
+        *,
+        distribution: str,
+        n: int,
+        eps: float = 0.05,
+        delta: float = 0.05,
+        trials: int,
+        base_seed: int = 0,
+        pop_seed: int = 0,
+        rn_source: str = "tagid",
+        rn_seed: int = 0,
+        persistence_mode: str = "event",
+        config=None,
+        channel=None,
+        engine: str = "batched",
+    ) -> "SweepPoint":
+        """``run_bfce_trials`` at one sweep coordinate."""
+        from ..core.config import DEFAULT_CONFIG
+
+        if config is not None and config == DEFAULT_CONFIG:
+            config = None
+        return cls.from_spec(
+            {
+                "kind": "bfce_trials",
+                "estimator": "BFCE",
+                "distribution": str(distribution),
+                "n": int(n),
+                "eps": float(eps),
+                "delta": float(delta),
+                "trials": int(trials),
+                "base_seed": int(base_seed),
+                "pop_seed": int(pop_seed),
+                "rn_source": str(rn_source),
+                "rn_seed": int(rn_seed),
+                "persistence_mode": str(persistence_mode),
+                "config": None if config is None else asdict(config),
+                "channel": _channel_spec(channel),
+                "engine": str(engine),
+            }
+        )
+
+    @classmethod
+    def baseline_trials(
+        cls,
+        estimator: str,
+        *,
+        distribution: str,
+        n: int,
+        eps: float = 0.05,
+        delta: float = 0.05,
+        trials: int,
+        base_seed: int = 0,
+        pop_seed: int = 0,
+        rn_source: str = "tagid",
+        rn_seed: int = 0,
+        persistence_mode: str = "event",
+        engine: str = "batched",
+        args: dict | None = None,
+    ) -> "SweepPoint":
+        """``run_trials`` for one baseline estimator (LOF/ZOE/SRC)."""
+        if estimator not in ("LOF", "ZOE", "SRC"):
+            raise ValueError(f"unknown baseline estimator {estimator!r}")
+        return cls.from_spec(
+            {
+                "kind": "baseline_trials",
+                "estimator": str(estimator),
+                "distribution": str(distribution),
+                "n": int(n),
+                "eps": float(eps),
+                "delta": float(delta),
+                "trials": int(trials),
+                "base_seed": int(base_seed),
+                "pop_seed": int(pop_seed),
+                "rn_source": str(rn_source),
+                "rn_seed": int(rn_seed),
+                "persistence_mode": str(persistence_mode),
+                "engine": str(engine),
+                "args": dict(args) if args else {},
+            }
+        )
+
+    # -- non-trial figure points ---------------------------------------
+    @classmethod
+    def frame_stats(
+        cls,
+        *,
+        distribution: str,
+        n: int,
+        pop_seed: int,
+        pn: int,
+        trials: int,
+        w: int,
+        k: int,
+        base_seed: int,
+    ) -> "SweepPoint":
+        """Raw 0s/1s counts of repeated BFCE frames (Fig. 3)."""
+        return cls.from_spec(
+            {
+                "kind": "frame_stats",
+                "distribution": str(distribution),
+                "n": int(n),
+                "pop_seed": int(pop_seed),
+                "pn": int(pn),
+                "trials": int(trials),
+                "w": int(w),
+                "k": int(k),
+                "base_seed": int(base_seed),
+            }
+        )
+
+    @classmethod
+    def f1f2_curve(
+        cls, *, n_values: Sequence[int], p: float, eps: float, w: int, k: int
+    ) -> "SweepPoint":
+        """Analytic f₁/f₂ curves over a cardinality grid (Fig. 5)."""
+        return cls.from_spec(
+            {
+                "kind": "f1f2_curve",
+                "n_values": [int(n) for n in n_values],
+                "p": float(p),
+                "eps": float(eps),
+                "w": int(w),
+                "k": int(k),
+            }
+        )
+
+    @classmethod
+    def id_histogram(
+        cls, *, distribution: str, n: int, seed: int, bins: int
+    ) -> "SweepPoint":
+        """TagID histogram over [1, 10¹⁵] (Fig. 6)."""
+        return cls.from_spec(
+            {
+                "kind": "id_histogram",
+                "distribution": str(distribution),
+                "n": int(n),
+                "seed": int(seed),
+                "bins": int(bins),
+            }
+        )
+
+    @classmethod
+    def rough_bound(
+        cls,
+        *,
+        c: float,
+        distribution: str,
+        n: int,
+        pop_seed: int,
+        trials: int,
+        base_seed: int,
+    ) -> "SweepPoint":
+        """Probe+rough executions counting n̂_low ≤ n holds (Sec. V-B)."""
+        return cls.from_spec(
+            {
+                "kind": "rough_bound",
+                "c": float(c),
+                "distribution": str(distribution),
+                "n": int(n),
+                "pop_seed": int(pop_seed),
+                "trials": int(trials),
+                "base_seed": int(base_seed),
+            }
+        )
+
+
+# ----------------------------------------------------------------------
+# Content-addressed cache
+# ----------------------------------------------------------------------
+class TrialCache:
+    """Content-addressed on-disk store of sweep-point payloads.
+
+    One JSON file per entry, named by ``SHA-256(token + canonical spec)``.
+    Every load re-verifies the entry (format marker, engine token, embedded
+    spec); anything that fails to parse or verify — truncation, corruption,
+    a hash collision, a stale token — is discarded and recomputed, never
+    trusted.  Writes are atomic (tmp + rename) so concurrent workers and
+    interrupted runs cannot publish partial entries.
+    """
+
+    def __init__(self, directory: str | Path | None = None, *, token: str | None = None):
+        self.directory = Path(directory) if directory is not None else default_cache_dir()
+        self.token = token if token is not None else engine_version_token()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.rejected = 0
+
+    def key(self, canonical: str) -> str:
+        """Cache key of one canonical spec under the current engine token."""
+        return hashlib.sha256(
+            (self.token + "\n" + canonical).encode()
+        ).hexdigest()
+
+    def _path(self, canonical: str) -> Path:
+        return self.directory / f"{self.key(canonical)}.json"
+
+    def load(self, canonical: str):
+        """The stored payload for ``canonical``, or ``None`` on miss."""
+        path = self._path(canonical)
+        try:
+            raw = path.read_text()
+        except OSError:
+            self.misses += 1
+            return None
+        entry = None
+        try:
+            entry = json.loads(raw)
+        except ValueError:
+            pass
+        valid = (
+            isinstance(entry, dict)
+            and entry.get("format") == _FORMAT
+            and entry.get("token") == self.token
+            and entry.get("spec") == canonical
+            and "payload" in entry
+        )
+        if not valid:
+            self.rejected += 1
+            self.misses += 1
+            _log.debug("discarding invalid cache entry %s", path)
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return entry["payload"]
+
+    def store(self, canonical: str, payload) -> None:
+        """Persist one payload (atomically) under its content key."""
+        path = self._path(canonical)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "format": _FORMAT,
+            "token": self.token,
+            "spec": canonical,
+            "payload": payload,
+        }
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        tmp.write_text(_dumps(entry))
+        os.replace(tmp, path)
+        self.stores += 1
+
+    def stats(self) -> dict:
+        """Disk + session counters for reporting (``repro-rfid cache stats``)."""
+        entries = (
+            sorted(self.directory.glob("*.json")) if self.directory.is_dir() else []
+        )
+        return {
+            "directory": str(self.directory),
+            "token": self.token,
+            "entries": len(entries),
+            "bytes": sum(p.stat().st_size for p in entries),
+            "session": {
+                "hits": self.hits,
+                "misses": self.misses,
+                "stores": self.stores,
+                "rejected": self.rejected,
+            },
+        }
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json*"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+
+# ----------------------------------------------------------------------
+# Executors (module-level: fork-picklable worker entry points)
+# ----------------------------------------------------------------------
+def _spec_population(spec: dict):
+    """Worker-side population rebuild sharing the read-only cached IDs."""
+    from .workloads import population
+
+    return population(
+        spec["distribution"],
+        spec["n"],
+        seed=spec["pop_seed"],
+        rn_source=spec["rn_source"],
+        rn_seed=spec["rn_seed"],
+        persistence_mode=spec["persistence_mode"],
+        copy=False,
+    )
+
+
+def _record_payload(records) -> dict:
+    """JSON-ready payload of a TrialRecord list."""
+    return {
+        "records": [
+            {
+                "estimator": r.estimator,
+                "n_true": r.n_true,
+                "n_hat": r.n_hat,
+                "error": r.error,
+                "seconds": r.seconds,
+                "seed": r.seed,
+                "eps": r.eps,
+                "delta": r.delta,
+                "distribution": r.distribution,
+                "extra": r.extra,
+            }
+            for r in records
+        ]
+    }
+
+
+def records_from_payload(payload: dict):
+    """Rebuild the ``TrialRecord`` list of a trial-point payload."""
+    from .runner import TrialRecord
+
+    return [TrialRecord(**fields) for fields in payload["records"]]
+
+
+def _exec_bfce_trials(spec: dict) -> dict:
+    from ..core.config import DEFAULT_CONFIG, BFCEConfig
+    from .runner import run_bfce_trials
+
+    config = DEFAULT_CONFIG if spec["config"] is None else BFCEConfig(**spec["config"])
+    records = run_bfce_trials(
+        _spec_population(spec),
+        trials=spec["trials"],
+        eps=spec["eps"],
+        delta=spec["delta"],
+        base_seed=spec["base_seed"],
+        distribution=spec["distribution"],
+        engine=spec["engine"],
+        config=config,
+        channel=_build_channel(spec["channel"]),
+    )
+    return _record_payload(records)
+
+
+def _exec_baseline_trials(spec: dict) -> dict:
+    from ..baselines import LOF, SRC, ZOE
+    from ..core.accuracy import AccuracyRequirement
+    from .runner import run_trials
+
+    requirement = AccuracyRequirement(spec["eps"], spec["delta"])
+    factory = {"LOF": LOF, "ZOE": ZOE, "SRC": SRC}[spec["estimator"]]
+    estimator = factory(requirement=requirement, **spec["args"])
+    records = run_trials(
+        estimator,
+        _spec_population(spec),
+        trials=spec["trials"],
+        base_seed=spec["base_seed"],
+        distribution=spec["distribution"],
+        engine=spec["engine"],
+    )
+    return _record_payload(records)
+
+
+def _exec_frame_stats(spec: dict) -> dict:
+    import numpy as np
+
+    from ..rfid.frames import run_bfce_frame
+    from .workloads import population
+
+    pop = population(spec["distribution"], spec["n"], seed=spec["pop_seed"], copy=False)
+    zeros: list[int] = []
+    ones: list[int] = []
+    for t in range(spec["trials"]):
+        rng = np.random.default_rng(spec["base_seed"] + 1000 * t + spec["n"] % 997)
+        seeds = rng.integers(0, 1 << 32, size=spec["k"], dtype=np.uint64)
+        frame = run_bfce_frame(pop, w=spec["w"], seeds=seeds, p_n=spec["pn"])
+        zeros.append(frame.zeros)
+        ones.append(frame.ones)
+    return {"zeros": zeros, "ones": ones}
+
+
+def _exec_f1f2_curve(spec: dict) -> dict:
+    import numpy as np
+
+    from ..core.accuracy import f1, f2
+
+    n_arr = np.asarray(spec["n_values"], dtype=np.float64)
+    lo = f1(n_arr, spec["w"], spec["k"], spec["p"], spec["eps"])
+    hi = f2(n_arr, spec["w"], spec["k"], spec["p"], spec["eps"])
+    return {"f1": [float(v) for v in lo], "f2": [float(v) for v in hi]}
+
+
+def _exec_id_histogram(spec: dict) -> dict:
+    import numpy as np
+
+    from ..rfid.ids import make_ids
+
+    edges = np.linspace(1, 1e15, spec["bins"] + 1)
+    ids = make_ids(spec["distribution"], spec["n"], spec["seed"])
+    counts, _ = np.histogram(ids.astype(np.float64), bins=edges)
+    return {"counts": [int(c) for c in counts]}
+
+
+def _exec_rough_bound(spec: dict) -> dict:
+    from ..core.config import BFCEConfig
+    from ..core.probe import probe_persistence
+    from ..core.rough import rough_estimate
+    from ..rfid.reader import Reader
+    from .workloads import population
+
+    config = BFCEConfig(c=spec["c"])
+    pop = population(spec["distribution"], spec["n"], seed=spec["pop_seed"], copy=False)
+    holds = 0
+    for t in range(spec["trials"]):
+        reader = Reader(pop, seed=spec["base_seed"] + 577 * t + 1)
+        probe = probe_persistence(reader, config)
+        rough = rough_estimate(reader, probe.pn, config)
+        holds += int(rough.n_low <= spec["n"])
+    return {"holds": holds}
+
+
+_EXECUTORS: dict[str, Callable[[dict], dict]] = {
+    "bfce_trials": _exec_bfce_trials,
+    "baseline_trials": _exec_baseline_trials,
+    "frame_stats": _exec_frame_stats,
+    "f1f2_curve": _exec_f1f2_curve,
+    "id_histogram": _exec_id_histogram,
+    "rough_bound": _exec_rough_bound,
+}
+
+
+def _execute_canonical(canonical: str) -> dict:
+    """Worker entry point: decode one canonical spec and execute it."""
+    spec = json.loads(canonical)
+    return _EXECUTORS[spec["kind"]](spec)
+
+
+# ----------------------------------------------------------------------
+# Scheduler
+# ----------------------------------------------------------------------
+def run_sweep(
+    points: Iterable[SweepPoint],
+    *,
+    max_workers: int | None = None,
+    cache: TrialCache | None = None,
+) -> list[dict]:
+    """Execute sweep points with dedupe, caching and process fan-out.
+
+    Returns one payload dict per input point, **aligned to input order**
+    (duplicate points share one execution and one payload).  Misses run
+    across a ``ProcessPoolExecutor`` — ``max_workers=None`` uses the CPU
+    count, ``0``/``1`` runs in-process — and ``pool.map`` preserves
+    submission order, so results are deterministic for any worker count.
+
+    ``cache=None`` uses the default on-disk cache unless ``REPRO_CACHE=0``
+    is set; pass an explicit :class:`TrialCache` to control the directory or
+    engine token (the benchmarks and tests do).
+    """
+    point_list = list(points)
+    if cache is None and cache_enabled():
+        cache = TrialCache()
+    ordered_unique: list[str] = []
+    seen: set[str] = set()
+    for point in point_list:
+        if point.canonical not in seen:
+            seen.add(point.canonical)
+            ordered_unique.append(point.canonical)
+    results: dict[str, dict] = {}
+    missing: list[str] = []
+    for canonical in ordered_unique:
+        payload = cache.load(canonical) if cache is not None else None
+        if payload is not None:
+            results[canonical] = payload
+        else:
+            missing.append(canonical)
+    if missing:
+        workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+        workers = max(1, min(workers, len(missing)))
+        if workers <= 1:
+            payloads = [_execute_canonical(c) for c in missing]
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                payloads = list(pool.map(_execute_canonical, missing))
+        for canonical, payload in zip(missing, payloads):
+            payload = _normalise(payload)
+            if cache is not None:
+                cache.store(canonical, payload)
+            results[canonical] = payload
+    return [results[point.canonical] for point in point_list]
+
+
+def run_record_sweep(
+    points: Iterable[SweepPoint],
+    *,
+    max_workers: int | None = None,
+    cache: TrialCache | None = None,
+) -> list[list]:
+    """:func:`run_sweep` for trial points: one ``TrialRecord`` list per point."""
+    return [
+        records_from_payload(payload)
+        for payload in run_sweep(points, max_workers=max_workers, cache=cache)
+    ]
+
+
+def cached_call(spec: dict, compute: Callable[[], dict], *, cache: TrialCache | None = None):
+    """Cache an arbitrary deterministic computation under a spec dict.
+
+    For point kinds that cannot be shipped to a worker process (e.g. the
+    validation checks, whose population is an in-memory object fingerprinted
+    into ``spec``): looks ``spec`` up in the cache, computes on miss, and
+    round-trips the payload through JSON either way so hit and miss results
+    are identical.
+    """
+    canonical = canonicalise(spec)
+    if cache is None and cache_enabled():
+        cache = TrialCache()
+    if cache is not None:
+        payload = cache.load(canonical)
+        if payload is not None:
+            return payload
+    payload = _normalise(compute())
+    if cache is not None:
+        cache.store(canonical, payload)
+    return payload

@@ -14,10 +14,16 @@ This module tests each premise against the bit-level simulator, giving the
 reproduction an evidence trail that the implementation matches the theory it
 claims to implement (and quantifying how benign the neglected correlation
 is).  Used by the validation benchmark and the test suite.
+
+The frame sweeps behind each check are cached in ``.repro_cache/`` (see
+:mod:`repro.experiments.sweep`) under a fingerprint of the exact population
+bytes plus the frame parameters, so re-running the validation suite against
+an unchanged engine costs only the statistics, not the frames.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -25,6 +31,7 @@ from scipy import stats
 
 from ..rfid.frames import run_bfce_frame
 from ..rfid.tags import TagPopulation
+from .sweep import cached_call
 
 __all__ = [
     "MarginalCheck",
@@ -36,6 +43,16 @@ __all__ = [
 ]
 
 
+def _population_fingerprint(population: TagPopulation) -> str:
+    """Content hash of everything about a population that affects frames."""
+    digest = hashlib.sha256()
+    digest.update(np.ascontiguousarray(population.tag_ids).tobytes())
+    digest.update(
+        f"|{population.rn_source}|{population.rn_seed}|{population.persistence_mode}".encode()
+    )
+    return digest.hexdigest()[:32]
+
+
 def _collect_rhos(
     population: TagPopulation,
     *,
@@ -45,12 +62,26 @@ def _collect_rhos(
     frames: int,
     base_seed: int,
 ) -> np.ndarray:
-    rng = np.random.default_rng(base_seed)
-    rhos = np.empty(frames, dtype=np.float64)
-    for t in range(frames):
-        seeds = rng.integers(0, 1 << 32, size=k, dtype=np.uint64)
-        rhos[t] = run_bfce_frame(population, w=w, seeds=seeds, p_n=pn).rho
-    return rhos
+    def compute() -> dict:
+        rng = np.random.default_rng(base_seed)
+        rhos = np.empty(frames, dtype=np.float64)
+        for t in range(frames):
+            seeds = rng.integers(0, 1 << 32, size=k, dtype=np.uint64)
+            rhos[t] = run_bfce_frame(population, w=w, seeds=seeds, p_n=pn).rho
+        return {"rhos": rhos}
+
+    spec = {
+        "kind": "rho_frames",
+        "population": _population_fingerprint(population),
+        "n": int(population.size),
+        "w": int(w),
+        "k": int(k),
+        "pn": int(pn),
+        "frames": int(frames),
+        "base_seed": int(base_seed),
+    }
+    payload = cached_call(spec, compute)
+    return np.asarray(payload["rhos"], dtype=np.float64)
 
 
 @dataclass(frozen=True)

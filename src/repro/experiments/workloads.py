@@ -28,6 +28,8 @@ __all__ = [
     "REFERENCE_N",
     "DISTRIBUTION_NAMES",
     "population",
+    "population_cache_info",
+    "population_cache_clear",
 ]
 
 #: Cardinality sweep of Fig. 7(a): 10³ … 10⁶.
@@ -62,17 +64,39 @@ def population(
     *,
     seed: int = 0,
     rn_source: str = "tagid",
+    rn_seed: int = 0,
     persistence_mode: str = "event",
+    copy: bool = True,
 ) -> TagPopulation:
     """Build (or fetch from cache) a tag population for one sweep point.
 
     The underlying tagID array is cached and marked read-only; the
     :class:`~repro.rfid.tags.TagPopulation` wrapper is constructed fresh so
     callers may vary ``rn_source`` / ``persistence_mode`` freely.
+
+    ``copy=False`` hands out the cached read-only array itself — sweep
+    workers use this to share one ID buffer across every point touching the
+    same (distribution, n, seed) triple instead of duplicating it per trial
+    batch.  Callers taking this path must not write to ``tag_ids``.
     """
     ids = _cached_ids(distribution, int(n), int(seed))
     return TagPopulation(
-        ids.copy(),
+        ids.copy() if copy else ids,
         rn_source=rn_source,  # type: ignore[arg-type]
+        rn_seed=rn_seed,
         persistence_mode=persistence_mode,  # type: ignore[arg-type]
     )
+
+
+def population_cache_info():
+    """Hit/miss statistics of the tagID array cache.
+
+    Mirrors :func:`repro.core.optimal_p.planner_cache_info` so operational
+    tooling can report both caches uniformly.
+    """
+    return _cached_ids.cache_info()
+
+
+def population_cache_clear() -> None:
+    """Drop every cached tagID array (e.g. between memory-sensitive runs)."""
+    _cached_ids.cache_clear()

@@ -34,7 +34,13 @@ from pathlib import Path
 
 import numpy as np
 
-__all__ = ["get_lib", "native_enabled", "occupancy_native", "aloha_empty_native"]
+__all__ = [
+    "get_lib",
+    "native_enabled",
+    "occupancy_native",
+    "aloha_empty_native",
+    "bfce_counts_native",
+]
 
 _SOURCE = r"""
 #include <stdint.h>
@@ -100,9 +106,56 @@ void aloha_empty_batch(const uint64_t *ids, size_t n,
         empty_out[j] = empty;
     }
 }
+
+/* Per-slot response counts of dense (full or near-full) BFCE frames.
+ * One call covers a chunk of c frames sharing the population: frame c's
+ * row of counts (length w = w_mask + 1) accumulates one increment per
+ * responding (hash-index, tag) event, with the persistence test
+ * mix64(id ^ mes) < pn << 54 — the same integer rewrite of
+ * u < p_n/1024 the NumPy dense path uses — and slot (rn ^ rs) & w_mask.
+ * pn <= 0 leaves the row all-zero (nobody responds); pn >= 1024 skips the
+ * hash entirely (everybody responds).  mode_static = 1 reuses the j = 0
+ * decision for every hash index (the "static" persistence mode); 0 decides
+ * per event ("event" mode).  The rn_window mode stays on the NumPy path.
+ */
+void bfce_counts_batch(const uint64_t *ids, const uint32_t *rn, size_t n,
+                       const uint32_t *rs32, const uint64_t *mes,
+                       const int64_t *pn, size_t c_frames, size_t k,
+                       uint32_t w_mask, int mode_static, int64_t *counts) {
+    const uint64_t w = (uint64_t)w_mask + 1;
+    for (size_t c = 0; c < c_frames; c++) {
+        int64_t *row = counts + c * w;
+        memset(row, 0, w * sizeof(int64_t));
+        const int64_t p = pn[c];
+        if (p <= 0)
+            continue;
+        const int all_join = p >= 1024;
+        const uint64_t thr = all_join ? 0 : ((uint64_t)p << 54);
+        if (mode_static) {
+            const uint64_t sm = mes[c * k];
+            for (size_t i = 0; i < n; i++) {
+                if (all_join || mix64(ids[i] ^ sm) < thr) {
+                    const uint32_t r = rn[i];
+                    for (size_t j = 0; j < k; j++)
+                        row[(r ^ rs32[c * k + j]) & w_mask]++;
+                }
+            }
+        } else {
+            for (size_t j = 0; j < k; j++) {
+                const uint64_t sm = mes[c * k + j];
+                const uint32_t rs = rs32[c * k + j];
+                for (size_t i = 0; i < n; i++) {
+                    if (all_join || mix64(ids[i] ^ sm) < thr)
+                        row[(rn[i] ^ rs) & w_mask]++;
+                }
+            }
+        }
+    }
+}
 """
 
 _U64P = ctypes.POINTER(ctypes.c_uint64)
+_U32P = ctypes.POINTER(ctypes.c_uint32)
 _I64P = ctypes.POINTER(ctypes.c_int64)
 
 _lib: ctypes.CDLL | None = None
@@ -151,6 +204,12 @@ def _compile() -> ctypes.CDLL | None:
         ctypes.c_uint64, _I64P, _I64P,
     ]
     lib.aloha_empty_batch.restype = None
+    lib.bfce_counts_batch.argtypes = [
+        _U64P, _U32P, ctypes.c_size_t, _U32P, _U64P, _I64P,
+        ctypes.c_size_t, ctypes.c_size_t, ctypes.c_uint32,
+        ctypes.c_int, _I64P,
+    ]
+    lib.bfce_counts_batch.restype = None
     return lib
 
 
@@ -199,3 +258,37 @@ def aloha_empty_native(
         counts.ctypes.data_as(_I64P), empty.ctypes.data_as(_I64P),
     )
     return empty
+
+
+def bfce_counts_native(
+    ids: np.ndarray,
+    rn: np.ndarray,
+    rs32: np.ndarray,
+    mes: np.ndarray,
+    pn: np.ndarray,
+    w: int,
+    static_mode: bool,
+) -> np.ndarray:
+    """C fast path of the dense BFCE frame-count kernel.
+
+    ``rs32``/``mes`` are the chunk's ``(C, k)`` slot seeds and premixed
+    event seeds, ``pn`` the ``(C,)`` persistence numerators.  Returns int64
+    counts of shape ``(C, w)``, row-identical to the NumPy dense path of
+    :func:`repro.rfid.frames._batched_chunk_counts`.
+    """
+    lib = get_lib()
+    c_frames, k = rs32.shape
+    ids = np.ascontiguousarray(ids, dtype=np.uint64)
+    rn = np.ascontiguousarray(rn, dtype=np.uint32)
+    rs32 = np.ascontiguousarray(rs32, dtype=np.uint32)
+    mes = np.ascontiguousarray(mes, dtype=np.uint64)
+    pn = np.ascontiguousarray(pn, dtype=np.int64)
+    counts = np.empty((c_frames, w), dtype=np.int64)
+    lib.bfce_counts_batch(
+        _as_u64p(ids), rn.ctypes.data_as(_U32P), ids.size,
+        rs32.ctypes.data_as(_U32P), _as_u64p(mes),
+        pn.ctypes.data_as(_I64P), c_frames, k,
+        ctypes.c_uint32(w - 1), ctypes.c_int(int(static_mode)),
+        counts.ctypes.data_as(_I64P),
+    )
+    return counts

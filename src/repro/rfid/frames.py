@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from . import _native
 from .channel import Channel, PerfectChannel
 from .hashing import mix64, mix64_into
 from .tags import (
@@ -498,7 +499,22 @@ def _batched_chunk_counts(
         return _sparse_chunk_counts(
             population, rs, es, mes, pn, w, observe_slots, ws
         )
-    # Full (or near-full) frames: decide persistence first, then hash slots
+    # Full (or near-full) frames.  The event/static persistence modes have a
+    # fused C kernel (one register-resident mix64 + slot increment per
+    # event, no intermediate arrays); rn_window and compiler-less hosts use
+    # the NumPy path below — both produce bit-identical counts.
+    if population.persistence_mode in ("event", "static") and _native.get_lib() is not None:
+        counts = _native.bfce_counts_native(
+            population.tag_ids,
+            population.rn,
+            rs,
+            mes,
+            pn,
+            w,
+            population.persistence_mode == "static",
+        )
+        return counts[:, :observe_slots]
+    # NumPy path: decide persistence first, then hash slots
     # only for the responding events — the ~E[p]·C·k·n survivors are the
     # only ones that pay for the slot XOR, int64 conversion and frame
     # offset, and no full-size ``sel`` array is materialised at all.

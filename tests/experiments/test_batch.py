@@ -39,6 +39,17 @@ _RESULT_FIELDS = [
 ]
 
 
+def _sans_engine(records):
+    """Records with the engine marker stripped — equality across engines is
+    on the *results*; ``extra["engine"]`` intentionally names the engine."""
+    from dataclasses import replace
+
+    return [
+        replace(r, extra={k: v for k, v in r.extra.items() if k != "engine"})
+        for r in records
+    ]
+
+
 def _assert_results_identical(population, seeds, *, channel=None):
     engine = BatchBFCE()
     batched = engine.estimate_many(population, seeds, channel=channel)
@@ -92,15 +103,20 @@ class TestBatchedTrialRunner:
         serial = run_bfce_trials(pop, trials=4, base_seed=11, engine="serial")
         batched = run_bfce_trials_batched(pop, trials=4, base_seed=11)
         assert len(batched) == len(serial)
-        for a, b in zip(serial, batched):
+        for a, b in zip(_sans_engine(serial), _sans_engine(batched)):
             assert a == b
+        assert all(r.extra["engine"] == "serial" for r in serial)
+        assert all(r.extra["engine"] == "batched" for r in batched)
 
     def test_engine_auto_routes_to_batched(self):
         pop = TagPopulation(uniform_ids(5_000, seed=7))
         auto = run_bfce_trials(pop, trials=2, base_seed=0)
         explicit = run_bfce_trials(pop, trials=2, base_seed=0, engine="batched")
         serial = run_bfce_trials(pop, trials=2, base_seed=0, engine="serial")
-        assert auto == explicit == serial
+        assert auto == explicit
+        assert _sans_engine(auto) == _sans_engine(serial)
+        assert all(r.extra["engine"] == "batched" for r in auto)
+        assert all(r.extra["engine"] == "serial" for r in serial)
 
     def test_engine_name_validated(self):
         pop = TagPopulation(uniform_ids(100, seed=8))

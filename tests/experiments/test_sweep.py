@@ -1,0 +1,288 @@
+"""Tests for the sweep execution layer: scheduler + content-addressed cache.
+
+The layer's contracts, in order of importance:
+
+1. **Bit-identity** — a cache hit returns ``TrialRecord``s bit-identical to
+   the cache miss that produced them, and both are bit-identical to the
+   direct serial runners (the JSON round-trip on every path guarantees it).
+2. **Key sensitivity** — any spec change (estimator, ε, δ, seeds, config,
+   engine token) produces a different cache key; reruns of identical work
+   hit.
+3. **Self-verifying entries** — corrupted, truncated or stale-token entries
+   are discarded and recomputed, never trusted.
+4. **Deterministic scheduling** — output order equals input order for any
+   worker count; duplicate points execute once.
+"""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.runner import run_bfce_trials, run_trials
+from repro.experiments.sweep import (
+    SweepPoint,
+    TrialCache,
+    cache_enabled,
+    cached_call,
+    engine_version_token,
+    run_record_sweep,
+    run_sweep,
+)
+from repro.experiments.workloads import (
+    population,
+    population_cache_clear,
+    population_cache_info,
+)
+
+N = 3_000
+
+
+def _sans_engine(records):
+    return [
+        replace(r, extra={k: v for k, v in r.extra.items() if k != "engine"})
+        for r in records
+    ]
+
+
+def _point(**overrides):
+    spec = dict(
+        distribution="T1", n=N, trials=2, base_seed=5, pop_seed=0, engine="batched"
+    )
+    spec.update(overrides)
+    return SweepPoint.bfce_trials(**spec)
+
+
+class TestCacheBitIdentity:
+    def test_hit_is_bit_identical_to_miss(self, tmp_path):
+        cache = TrialCache(tmp_path)
+        point = _point()
+        cold = run_record_sweep([point], max_workers=1, cache=cache)[0]
+        assert cache.stores == 1
+        warm = run_record_sweep([point], max_workers=1, cache=cache)[0]
+        assert cache.hits == 1
+        assert cold == warm
+
+    def test_cached_records_match_direct_serial_runner(self, tmp_path):
+        cache = TrialCache(tmp_path)
+        point = _point()
+        warm = None
+        for _ in range(2):  # second pass is the cache hit
+            warm = run_record_sweep([point], max_workers=1, cache=cache)[0]
+        pop = population("T1", N, seed=0)
+        serial = run_bfce_trials(
+            pop, trials=2, base_seed=5, distribution="T1", engine="serial"
+        )
+        assert _sans_engine(warm) == _sans_engine(serial)
+
+    def test_cached_baseline_records_match_direct_runner(self, tmp_path):
+        from repro.baselines import ZOE
+        from repro.core.accuracy import AccuracyRequirement
+
+        cache = TrialCache(tmp_path)
+        point = SweepPoint.baseline_trials(
+            "ZOE", distribution="T1", n=N, trials=2, base_seed=7, pop_seed=0
+        )
+        warm = None
+        for _ in range(2):
+            warm = run_record_sweep([point], max_workers=1, cache=cache)[0]
+        direct = run_trials(
+            ZOE(AccuracyRequirement(0.05, 0.05)),
+            population("T1", N, seed=0),
+            trials=2,
+            base_seed=7,
+            distribution="T1",
+            engine="batched",
+        )
+        assert warm == direct
+
+
+class TestKeySensitivity:
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"eps": 0.10},
+            {"delta": 0.10},
+            {"trials": 3},
+            {"base_seed": 6},
+            {"pop_seed": 1},
+            {"n": N + 1},
+            {"distribution": "T2"},
+            {"rn_source": "random"},
+            {"rn_seed": 9},
+            {"persistence_mode": "static"},
+        ],
+    )
+    def test_spec_changes_change_the_key(self, override):
+        cache = TrialCache("unused")
+        assert cache.key(_point().canonical) != cache.key(
+            _point(**override).canonical
+        )
+
+    def test_config_change_changes_the_key(self):
+        from repro.core.config import BFCEConfig
+
+        cache = TrialCache("unused")
+        assert cache.key(_point().canonical) != cache.key(
+            _point(config=BFCEConfig(k=4)).canonical
+        )
+
+    def test_default_config_normalises_to_none(self):
+        from repro.core.config import DEFAULT_CONFIG, BFCEConfig
+
+        assert _point(config=BFCEConfig()) == _point(config=DEFAULT_CONFIG) == _point()
+
+    def test_estimator_kind_changes_the_key(self):
+        cache = TrialCache("unused")
+        bfce = _point()
+        zoe = SweepPoint.baseline_trials(
+            "ZOE", distribution="T1", n=N, trials=2, base_seed=5, pop_seed=0
+        )
+        assert cache.key(bfce.canonical) != cache.key(zoe.canonical)
+
+    def test_engine_token_changes_the_key(self, tmp_path):
+        canonical = _point().canonical
+        a = TrialCache(tmp_path, token="aaaa")
+        b = TrialCache(tmp_path, token="bbbb")
+        assert a.key(canonical) != b.key(canonical)
+        a.store(canonical, {"records": []})
+        assert b.load(canonical) is None
+
+    def test_stale_token_entry_is_discarded(self, tmp_path):
+        """Same key, wrong embedded token: rejected, deleted, recomputed."""
+        canonical = _point().canonical
+        cache = TrialCache(tmp_path)
+        cache.store(canonical, {"records": []})
+        path = cache._path(canonical)
+        entry = json.loads(path.read_text())
+        entry["token"] = "0" * 16
+        path.write_text(json.dumps(entry))
+        assert cache.load(canonical) is None
+        assert cache.rejected == 1
+        assert not path.exists()
+
+    def test_token_tracks_engine_sources(self):
+        token = engine_version_token()
+        assert len(token) == 16
+        assert token == engine_version_token()  # stable within a process
+
+
+class TestEntryVerification:
+    @pytest.mark.parametrize(
+        "corruption",
+        [
+            lambda raw: "not json at all {",
+            lambda raw: raw[: len(raw) // 2],  # truncated write
+            lambda raw: "[]",  # wrong shape
+            lambda raw: json.dumps({"format": 999}),  # wrong format marker
+        ],
+    )
+    def test_corrupted_entries_are_discarded_and_recomputed(
+        self, tmp_path, corruption
+    ):
+        cache = TrialCache(tmp_path)
+        point = _point()
+        cold = run_record_sweep([point], max_workers=1, cache=cache)[0]
+        path = cache._path(point.canonical)
+        path.write_text(corruption(path.read_text()))
+        recomputed = run_record_sweep([point], max_workers=1, cache=cache)[0]
+        assert cache.rejected == 1
+        assert recomputed == cold
+        # The recompute republished a valid entry.
+        assert cache.load(point.canonical) is not None
+
+    def test_stats_and_clear(self, tmp_path):
+        cache = TrialCache(tmp_path)
+        run_sweep([_point()], max_workers=1, cache=cache)
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["bytes"] > 0
+        assert stats["session"]["stores"] == 1
+        assert cache.clear() == 1
+        assert cache.stats()["entries"] == 0
+
+
+class TestScheduler:
+    def test_output_order_deterministic_across_worker_counts(self, tmp_path):
+        points = [
+            _point(base_seed=5),
+            _point(base_seed=6),
+            SweepPoint.rough_bound(
+                c=0.5, distribution="T1", n=N, pop_seed=0, trials=2, base_seed=0
+            ),
+            _point(base_seed=5),  # duplicate of points[0]
+        ]
+        serial = run_sweep(points, max_workers=1, cache=TrialCache(tmp_path / "a"))
+        parallel = run_sweep(points, max_workers=2, cache=TrialCache(tmp_path / "b"))
+        assert serial == parallel
+        assert serial[3] == serial[0]
+
+    def test_duplicate_points_execute_once(self, tmp_path):
+        cache = TrialCache(tmp_path)
+        run_sweep([_point(), _point(), _point()], max_workers=1, cache=cache)
+        assert cache.stores == 1
+        assert cache.misses == 1
+
+    def test_cache_opt_out_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        assert not cache_enabled()
+        monkeypatch.chdir(tmp_path)
+        payloads = run_sweep([_point()], max_workers=1)
+        assert payloads[0]["records"]
+        assert not (tmp_path / ".repro_cache").exists()
+
+    def test_cache_dir_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "alt"))
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        run_sweep([_point()], max_workers=1)
+        assert list((tmp_path / "alt").glob("*.json"))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            SweepPoint.from_spec({"kind": "nope"})
+
+    def test_unknown_baseline_rejected(self):
+        with pytest.raises(ValueError, match="estimator"):
+            SweepPoint.baseline_trials(
+                "BFCE", distribution="T1", n=N, trials=1, base_seed=0
+            )
+
+
+class TestCachedCall:
+    def test_round_trip_and_hit(self, tmp_path):
+        cache = TrialCache(tmp_path)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"values": [0.1, 0.2, 1 / 3]}
+
+        first = cached_call({"kind": "adhoc", "x": 1}, compute, cache=cache)
+        second = cached_call({"kind": "adhoc", "x": 1}, compute, cache=cache)
+        assert len(calls) == 1
+        assert first == second
+        assert first["values"][2] == 1 / 3  # JSON float round-trip is exact
+
+
+class TestPopulationCache:
+    def test_info_and_clear(self):
+        population_cache_clear()
+        base = population_cache_info()
+        assert base.currsize == 0
+        population("T1", 1_000, seed=0)
+        population("T1", 1_000, seed=0)
+        info = population_cache_info()
+        assert info.currsize == 1
+        assert info.hits >= 1
+        population_cache_clear()
+        assert population_cache_info().currsize == 0
+
+    def test_copy_false_shares_readonly_ids(self):
+        population_cache_clear()
+        a = population("T1", 1_000, seed=0, copy=False)
+        b = population("T1", 1_000, seed=0, copy=False)
+        assert a.tag_ids is b.tag_ids
+        assert not a.tag_ids.flags.writeable
+        c = population("T1", 1_000, seed=0)
+        assert c.tag_ids is not a.tag_ids
+        assert c.tag_ids.flags.writeable

@@ -78,6 +78,21 @@ class TestNativeMatchesNumpy:
         )
         assert np.array_equal(native, reference)
 
+    @pytest.mark.parametrize("mode", ["event", "static"])
+    def test_bfce_dense_frame_kernel(self, mode, monkeypatch):
+        from repro.rfid.frames import run_bfce_frame_batch
+
+        pop = TagPopulation(uniform_ids(6_000, seed=8), persistence_mode=mode)
+        rng = np.random.default_rng(9)
+        seeds = rng.integers(0, 1 << 32, size=(7, 3), dtype=np.uint64)
+        # Degenerate numerators (0 = nobody, 1024 = everybody) plus typical.
+        pns = np.array([0, 1024, 1, 102, 512, 1023, 300], dtype=np.int64)
+        native = run_bfce_frame_batch(pop, w=1024, seeds=seeds, p_n=pns)
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        reference = run_bfce_frame_batch(pop, w=1024, seeds=seeds, p_n=pns)
+        assert np.array_equal(native.blooms, reference.blooms)
+        assert np.array_equal(native.responses, reference.responses)
+
     def test_empty_population(self):
         pop = TagPopulation(np.array([], dtype=np.uint64))
         seeds = np.arange(5, dtype=np.uint64)
