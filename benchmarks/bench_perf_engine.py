@@ -129,12 +129,33 @@ def run_engine_bench(
     }
 
 
+def _check_floor(report: dict) -> list[str]:
+    """Compare the report against ``perf_floors.json``; returns failures.
+
+    The floors file stores deliberately conservative minima (about half of
+    a cold-CI measurement) so the gate trips on real regressions — a kernel
+    edit that silently falls back to Python, batching quietly disabled — and
+    not on scheduler noise.  Ratios (speedups) are used rather than absolute
+    times so the floors transfer across machines.
+    """
+    floors_path = Path(__file__).resolve().parent / "perf_floors.json"
+    floors = json.loads(floors_path.read_text())
+    failures = []
+    batched = report["engines"]["batched"]["speedup_vs_serial"]
+    floor = floors["engine_batched_speedup_min"]
+    if batched < floor:
+        failures.append(
+            f"batched speedup {batched}x fell below the stored floor {floor}x"
+        )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
-    unknown = [a for a in argv if a != "--smoke"]
+    unknown = [a for a in argv if a not in ("--smoke", "--check-floor")]
     if unknown:
         print(f"unknown argument(s): {' '.join(unknown)}", file=sys.stderr)
-        print("usage: bench_perf_engine.py [--smoke]", file=sys.stderr)
+        print("usage: bench_perf_engine.py [--smoke] [--check-floor]", file=sys.stderr)
         return 2
     smoke = "--smoke" in argv
     n = 5_000 if smoke else int(os.environ.get("REPRO_BENCH_N", 100_000))
@@ -161,6 +182,13 @@ def main(argv: list[str] | None = None) -> int:
     if drift != 0.0:
         print(f"FAIL: engines drifted from serial (max |dn_hat| = {drift})")
         return 1
+    if "--check-floor" in argv:
+        failures = _check_floor(report)
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        if failures:
+            return 1
+        print("perf floors ok")
     return 0
 
 

@@ -1,0 +1,224 @@
+"""Perf-scaling harness: the analytic engine at n = 10⁵ … 10⁸.
+
+Companion to ``bench_perf_engine.py`` (which tracks the bit-identical
+engines): this harness certifies the analytic occupancy engine's headline
+property — per-trial cost independent of the population size — by timing
+BFCE trials at n = 10⁵, 10⁶, 10⁷ and 10⁸ under one shared configuration
+(w = 2¹⁷ throughout, since the default w = 8192 caps the estimable range
+near 1.94·10⁷), then timing the batched *event* engine at n = 10⁷ on the
+same configuration for the cross-engine speedup.  It writes
+``BENCH_scale.json`` at the repo root and enforces two gates:
+
+* **flatness** — analytic per-trial seconds at the largest n must stay
+  within 2× of the smallest n (the engine is O(w) per frame, so the only
+  n-dependence left is the Binomial/Multinomial draws);
+* **speedup** — the analytic engine must be ≥ 100× faster per trial than
+  the batched event engine at n = 10⁷ (the event engines hash all n·k
+  tag responses per frame; the analytic engine never touches a tagID).
+
+The analytic engine is exact-in-distribution, not bit-identical, so unlike
+the sibling harnesses there is no zero-drift gate; the statistical
+equivalence suite (``tests/experiments/test_analytic_engine.py``) owns that
+contract instead.  Accuracy is still sanity-checked here: the mean relative
+error at every n must sit inside the ε = 0.05 requirement.
+
+Run as a script or module::
+
+    PYTHONPATH=src python benchmarks/bench_perf_scale.py
+    PYTHONPATH=src python benchmarks/bench_perf_scale.py --smoke
+
+``--smoke`` shrinks the sweep (n = 10⁵/10⁶, comparison at 10⁶, relaxed
+gates) so CI can exercise the harness — including both gates — in seconds.
+
+Knobs (environment variables, overridden by ``--smoke``):
+
+* ``REPRO_BENCH_TRIALS``   analytic trials per n    (default 20)
+* ``REPRO_BENCH_REPEATS``  timing repetitions, best-of (default 3)
+* ``REPRO_BENCH_OUT``      output path              (default <repo>/BENCH_scale.json)
+
+The harness is also importable: ``run_scale_bench()`` returns the result
+dict without touching the filesystem.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_SRC = _REPO_ROOT / "src"
+if str(_SRC) not in sys.path:  # script-mode convenience; no-op under PYTHONPATH=src
+    sys.path.insert(0, str(_SRC))
+
+from repro.core.config import BFCEConfig  # noqa: E402
+from repro.experiments.runner import (  # noqa: E402
+    run_bfce_trials,
+    run_bfce_trials_analytic,
+)
+from repro.rfid.ids import uniform_ids  # noqa: E402
+from repro.rfid.tags import TagPopulation  # noqa: E402
+
+BASE_SEED = 2015  # ICPP'15 — fixed so every run replays the same seeds
+SCALE_W = 1 << 17  # shared frame size: keeps n = 10⁸ inside the estimable range
+
+
+def _time_best_of(fn, repeats: int):
+    """Best-of-N wall time; returns (seconds, last_records)."""
+    best = float("inf")
+    records = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        records = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, records
+
+
+def run_scale_bench(
+    *,
+    n_values: tuple[int, ...] = (100_000, 1_000_000, 10_000_000, 100_000_000),
+    trials: int = 20,
+    event_n: int = 10_000_000,
+    event_trials: int = 2,
+    repeats: int = 3,
+    w: int = SCALE_W,
+) -> dict:
+    """Time the analytic engine across ``n_values`` and return the report."""
+    config = BFCEConfig.scaled(int(w))
+
+    analytic: dict[str, dict] = {}
+    for n in n_values:
+        fn = lambda n=n: run_bfce_trials_analytic(
+            n, trials=trials, base_seed=BASE_SEED, config=config
+        )
+        fn()  # warm-up: JIT-compile the native scatter kernel off the clock
+        seconds, records = _time_best_of(fn, repeats)
+        errors = [r.error for r in records]
+        analytic[str(n)] = {
+            "seconds": round(seconds, 4),
+            "per_trial_ms": round(1e3 * seconds / trials, 4),
+            "error_mean": round(sum(errors) / len(errors), 6),
+            "error_max": round(max(errors), 6),
+        }
+
+    # Cross-engine comparison: the batched event engine at the same frame
+    # size.  The event tag hash only implements the paper's 1/1024 grid, so
+    # it runs the unscaled config; per-trial cost is dominated by hashing
+    # the n tags either way.  Population build time is excluded — the gate
+    # is about per-trial cost.
+    event_config = BFCEConfig(w=int(w))
+    population = TagPopulation(uniform_ids(event_n, seed=1))
+    event_fn = lambda: run_bfce_trials(
+        population,
+        trials=event_trials,
+        base_seed=BASE_SEED,
+        engine="batched",
+        config=event_config,
+    )
+    event_seconds, _ = _time_best_of(event_fn, 1)
+    event_per_trial_ms = 1e3 * event_seconds / event_trials
+
+    first, last = str(n_values[0]), str(n_values[-1])
+    flatness = analytic[last]["per_trial_ms"] / analytic[first]["per_trial_ms"]
+    speedup = event_per_trial_ms / analytic[str(event_n)]["per_trial_ms"]
+
+    return {
+        "benchmark": "analytic_scale",
+        "workload": {
+            "n_values": list(n_values),
+            "trials": trials,
+            "base_seed": BASE_SEED,
+            "w": int(w),
+            "repeats_best_of": repeats,
+            "event_engine": {"n": event_n, "trials": event_trials},
+        },
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpus": os.cpu_count(),
+        },
+        "analytic": analytic,
+        "event_batched": {
+            "n": event_n,
+            "seconds": round(event_seconds, 4),
+            "per_trial_ms": round(event_per_trial_ms, 2),
+        },
+        "gates": {
+            "flatness_ratio": round(flatness, 3),
+            "speedup_vs_event": round(speedup, 1),
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    unknown = [a for a in argv if a != "--smoke"]
+    if unknown:
+        print(f"unknown argument(s): {' '.join(unknown)}", file=sys.stderr)
+        print("usage: bench_perf_scale.py [--smoke]", file=sys.stderr)
+        return 2
+    smoke = "--smoke" in argv
+    if smoke:
+        n_values = (100_000, 1_000_000)
+        event_n = 1_000_000
+        trials, event_trials, repeats = 5, 1, 1
+        flatness_max, speedup_min = 3.0, 3.0
+    else:
+        n_values = (100_000, 1_000_000, 10_000_000, 100_000_000)
+        event_n = 10_000_000
+        trials = int(os.environ.get("REPRO_BENCH_TRIALS", 20))
+        event_trials = 2
+        repeats = int(os.environ.get("REPRO_BENCH_REPEATS", 3))
+        flatness_max, speedup_min = 2.0, 100.0
+    out = Path(os.environ.get("REPRO_BENCH_OUT", _REPO_ROOT / "BENCH_scale.json"))
+
+    report = run_scale_bench(
+        n_values=n_values,
+        trials=trials,
+        event_n=event_n,
+        event_trials=event_trials,
+        repeats=repeats,
+    )
+    report["gates"]["flatness_max"] = flatness_max
+    report["gates"]["speedup_min"] = speedup_min
+    out.write_text(json.dumps(report, indent=2) + "\n")
+
+    for n, stats in report["analytic"].items():
+        print(
+            f"analytic n={int(n):>11,}: {stats['per_trial_ms']:8.3f} ms/trial  "
+            f"err mean={stats['error_mean']:.4f} max={stats['error_max']:.4f}"
+        )
+    ev = report["event_batched"]
+    print(f"event    n={ev['n']:>11,}: {ev['per_trial_ms']:8.1f} ms/trial (batched)")
+    gates = report["gates"]
+    print(
+        f"flatness {gates['flatness_ratio']:.2f}x (max {flatness_max}x), "
+        f"speedup {gates['speedup_vs_event']:.0f}x (min {speedup_min:.0f}x)"
+    )
+    print(f"wrote {out}")
+
+    failed = False
+    if gates["flatness_ratio"] > flatness_max:
+        print(
+            f"FAIL: per-trial time grew {gates['flatness_ratio']:.2f}x from "
+            f"n={n_values[0]:,} to n={n_values[-1]:,} (max {flatness_max}x)"
+        )
+        failed = True
+    if gates["speedup_vs_event"] < speedup_min:
+        print(
+            f"FAIL: analytic only {gates['speedup_vs_event']:.1f}x faster than "
+            f"the event engine at n={event_n:,} (min {speedup_min:.0f}x)"
+        )
+        failed = True
+    mean_errors = [s["error_mean"] for s in report["analytic"].values()]
+    if max(mean_errors) > 0.05:
+        print(f"FAIL: mean relative error {max(mean_errors):.4f} exceeds eps=0.05")
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,141 @@
+"""Merge the per-harness BENCH_*.json reports into one trajectory file.
+
+Each perf harness writes its own report at the repo root — engine
+throughput (``BENCH_engine.json``), baseline engines
+(``BENCH_baselines.json``), the sweep cache (``BENCH_sweep.json``) and the
+analytic scale sweep (``BENCH_scale.json``).  CI uploads them individually,
+but trend tracking wants one artifact: this script collapses whichever
+reports exist into ``BENCH_trajectory.json``, keeping for each benchmark
+its headline speedup, its drift against the bit-identical reference (absent
+for the analytic engine, whose contract is distributional — the accuracy
+envelope is recorded instead) and the workload it was measured on.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/collect.py
+
+Missing reports are skipped with a note, not an error, so the collector can
+run after any subset of the harnesses.  ``REPRO_BENCH_DIR`` relocates where
+reports are read from and the trajectory is written (default: repo root).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+__all__ = ["collect_trajectory", "main"]
+
+
+def _summarise_engine(report: dict) -> dict:
+    engines = report["engines"]
+    return {
+        "headline_speedup": engines["batched"]["speedup_vs_serial"],
+        "headline": "batched vs serial BFCE trials",
+        "drift": max(e["max_abs_dn_hat_vs_serial"] for e in engines.values()),
+        "workload": report["workload"],
+    }
+
+
+def _summarise_baselines(report: dict) -> dict:
+    drift = max(
+        engine[key]
+        for baseline in report["baselines"].values()
+        for engine in (baseline["serial"], baseline["batched"])
+        for key in ("max_abs_dn_hat_vs_serial", "max_abs_dseconds_vs_serial")
+    )
+    return {
+        "headline_speedup": report["aggregate"]["speedup"],
+        "headline": "batched vs serial LOF/ZOE/SRC trials",
+        "drift": drift,
+        "workload": report["workload"],
+    }
+
+
+def _summarise_sweep(report: dict) -> dict:
+    return {
+        "headline_speedup": report["passes"]["warm"]["speedup_vs_serial"],
+        "headline": "warm cache vs serial sweep",
+        "cold_speedup": report["passes"]["cold"]["speedup_vs_serial"],
+        "drift": max(
+            report["drift"]["max_abs_dn_hat"], report["drift"]["max_abs_dseconds"]
+        ),
+        "workload": report["workload"],
+    }
+
+
+def _summarise_scale(report: dict) -> dict:
+    return {
+        "headline_speedup": report["gates"]["speedup_vs_event"],
+        "headline": "analytic vs batched event engine per trial",
+        "flatness_ratio": report["gates"]["flatness_ratio"],
+        "drift": None,  # exact-in-distribution: no bit-identity reference
+        "error_max": max(s["error_max"] for s in report["analytic"].values()),
+        "workload": report["workload"],
+    }
+
+
+_SUMMARISERS = {
+    "BENCH_engine.json": ("engine", _summarise_engine),
+    "BENCH_baselines.json": ("baselines", _summarise_baselines),
+    "BENCH_sweep.json": ("sweep", _summarise_sweep),
+    "BENCH_scale.json": ("scale", _summarise_scale),
+}
+
+
+def collect_trajectory(directory: Path | str | None = None) -> dict:
+    """Read whichever BENCH reports exist under ``directory`` and merge them."""
+    directory = Path(directory) if directory is not None else _REPO_ROOT
+    benchmarks: dict[str, dict] = {}
+    missing: list[str] = []
+    for filename, (key, summarise) in _SUMMARISERS.items():
+        path = directory / filename
+        try:
+            report = json.loads(path.read_text())
+        except FileNotFoundError:
+            missing.append(filename)
+            continue
+        summary = summarise(report)
+        summary["source"] = filename
+        summary["benchmark"] = report["benchmark"]
+        benchmarks[key] = summary
+    return {
+        "benchmark": "trajectory",
+        "benchmarks": benchmarks,
+        "missing": missing,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv:
+        print(f"unknown argument(s): {' '.join(argv)}", file=sys.stderr)
+        print("usage: collect.py   (env: REPRO_BENCH_DIR)", file=sys.stderr)
+        return 2
+    directory = Path(os.environ.get("REPRO_BENCH_DIR", _REPO_ROOT))
+    trajectory = collect_trajectory(directory)
+    out = directory / "BENCH_trajectory.json"
+    out.write_text(json.dumps(trajectory, indent=2) + "\n")
+
+    for key, summary in trajectory["benchmarks"].items():
+        drift = summary.get("drift")
+        drift_txt = "n/a (distributional)" if drift is None else str(drift)
+        print(
+            f"{key:>10}: {summary['headline_speedup']:8.1f}x  "
+            f"({summary['headline']}; drift {drift_txt})"
+        )
+    for filename in trajectory["missing"]:
+        print(f"  skipped: {filename} not found")
+    print(f"wrote {out}")
+    if not trajectory["benchmarks"]:
+        print("FAIL: no BENCH reports found")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,13 @@ paper names is runnable against the same substrate.
 """
 
 from .a3 import A3
+from .analytic import (
+    baseline_analytic_supported,
+    run_baseline_trials_analytic,
+    run_lof_analytic,
+    run_src_analytic,
+    run_zoe_analytic,
+)
 from .art import ART
 from .base import CardinalityEstimator, EstimationResult
 from .batch import (
@@ -35,8 +42,13 @@ __all__ = [
     "pet_required_rounds",
     "CardinalityEstimator",
     "EstimationResult",
+    "baseline_analytic_supported",
     "baseline_batchable",
+    "run_baseline_trials_analytic",
     "run_baseline_trials_batched",
+    "run_lof_analytic",
+    "run_src_analytic",
+    "run_zoe_analytic",
     "run_lof_batch",
     "run_src_batch",
     "run_zoe_batch",

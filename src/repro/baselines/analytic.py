@@ -1,0 +1,340 @@
+"""Analytic multi-trial engine for the baseline estimators (LOF, ZOE, SRC).
+
+The third engine tier (serial → batched → **analytic**; see DESIGN.md §6).
+The batched engine of :mod:`repro.baselines.batch` still hashes every tag
+once per frame; this module samples each frame's *sufficient statistic*
+directly from its exact distribution under the ideal-hash assumption the
+estimators already make, so one trial costs O(rounds · frame) regardless of
+the population size and no tagID array is ever materialised:
+
+* **LOF / rough phases** — a lottery frame's bucket counts are a
+  Multinomial over the geometric bucket distribution
+  (:func:`~repro.rfid.occupancy.sample_lottery_first_idle`); only the
+  first-idle index is consumed.
+* **ZOE** — the main loop was *already* analytic (the serial estimator
+  draws slot outcomes as ``Binomial(n, q) == 0``); here its rough LOF phase
+  becomes analytic too, and the adaptive re-planning loop is kept verbatim.
+* **SRC** — a balanced frame's empty-slot count follows from a
+  Binomial(n, ρ) joiner draw scattered uniformly
+  (:func:`~repro.rfid.occupancy.sample_aloha_empty`); the ×4/÷4 bound
+  corrections and the median combination are the serial expressions.
+
+Exactness contract: results are **exact in distribution** — every sampled
+statistic follows the same law as the event simulation's — but not
+bit-identical to the serial/batched engines (those two remain bit-identical
+to each other).  Time accounting *is* exact: each trial's ledger is fed the
+identical message sequence shapes, so ``elapsed_seconds`` distributions
+match the event engines' (for LOF they are deterministic and equal).  The
+statistical-equivalence suite pins n̂ distributions per T1/T2/T3 workload
+with KS tests.
+
+Like the batch engine, only the exact estimator types are supported
+(:func:`baseline_analytic_supported`); subclasses must use the serial path.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..rfid.occupancy import sample_aloha_empty, sample_lottery_first_idle
+from ..rfid.tags import TagPopulation
+from ..timing.accounting import BatchLedger
+from ..timing.c1g2 import C1G2Timing, DEFAULT_TIMING
+from .base import CardinalityEstimator, EstimationResult
+from .batch import _lof_n_hat
+from .lof import FM_PHI, LOF
+from .src_protocol import _MAX_ROUND_RETRIES, SRC, SRC_OPTIMAL_LOAD, src_round_count
+from .zoe import (
+    _BATCH,
+    _MAX_FRAMES,
+    ZOE,
+    _clamped_idle_fraction,
+    zoe_optimal_load,
+    zoe_required_frames,
+)
+
+__all__ = [
+    "baseline_analytic_supported",
+    "run_lof_analytic",
+    "run_zoe_analytic",
+    "run_src_analytic",
+    "run_baseline_trials_analytic",
+]
+
+
+def baseline_analytic_supported(estimator: CardinalityEstimator) -> bool:
+    """Whether the analytic engine models ``estimator`` exactly-in-distribution.
+
+    Exact-type checks, as for :func:`~repro.baselines.batch.baseline_batchable`:
+    a subclass may override any part of the protocol, which the analytic
+    replica cannot know about.  Unlike the batch engine there is no 64-slot
+    frame limit — the Multinomial handles any lottery width.
+    """
+    return type(estimator) in (LOF, ZOE, SRC)
+
+
+def _analytic_lottery_first_idle(
+    n: int,
+    rngs: Sequence[np.random.Generator],
+    rounds: int,
+    frame_slots: int,
+    ledger: BatchLedger,
+) -> np.ndarray:
+    """First-idle indices of ``rounds`` analytic lottery frames per trial.
+
+    Mirrors :func:`repro.baselines.batch._lottery_first_idle`'s metering
+    (one 32-bit seed broadcast + one ``frame_slots`` uplink per round) while
+    drawing each frame's statistic from the trial's own stream.
+    """
+    first_idle = np.empty((len(rngs), rounds), dtype=np.float64)
+    for t, rng in enumerate(rngs):
+        for r in range(rounds):
+            first_idle[t, r] = sample_lottery_first_idle(rng, n, frame_slots)
+    for _ in range(rounds):
+        ledger.record_downlink(32)
+        ledger.record_uplink(frame_slots)
+    return first_idle
+
+
+# ----------------------------------------------------------------------
+# LOF
+# ----------------------------------------------------------------------
+def run_lof_analytic(
+    estimator: LOF,
+    n: int,
+    seeds: Sequence[int],
+    *,
+    timing: C1G2Timing = DEFAULT_TIMING,
+) -> list[EstimationResult]:
+    """All LOF trials against a virtual population of ``n`` tags."""
+    seed_list = [int(s) for s in seeds]
+    if not seed_list:
+        return []
+    rngs = [np.random.default_rng(s) for s in seed_list]
+    ledger = BatchLedger(len(seed_list), timing=timing)
+    first_idle = _analytic_lottery_first_idle(
+        n, rngs, estimator.rounds, estimator.frame_slots, ledger
+    )
+    return [
+        estimator._result(
+            _lof_n_hat(first_idle[t]),
+            ledger.totals(t),
+            rounds=estimator.rounds,
+            extra={"first_idle_mean": float(first_idle[t].mean())},
+        )
+        for t in range(len(seed_list))
+    ]
+
+
+# ----------------------------------------------------------------------
+# ZOE
+# ----------------------------------------------------------------------
+def run_zoe_analytic(
+    estimator: ZOE,
+    n: int,
+    seeds: Sequence[int],
+    *,
+    timing: C1G2Timing = DEFAULT_TIMING,
+) -> list[EstimationResult]:
+    """All ZOE trials against a virtual population of ``n`` tags.
+
+    The adaptive main loop is copied from the lockstep batch engine — it was
+    already analytic (per-frame Bernoulli outcomes drawn from each trial's
+    ``default_rng(seed + 0x20E)`` stream); only the rough LOF phase changes.
+    """
+    seed_list = [int(s) for s in seeds]
+    if not seed_list:
+        return []
+    trials = len(seed_list)
+    req = estimator.requirement
+    reader_rngs = [np.random.default_rng(s) for s in seed_list]
+    zoe_rngs = [np.random.default_rng(s + 0x20E) for s in seed_list]
+    ledger = BatchLedger(trials, timing=timing)
+
+    # ---- rough phase: analytic LOF × rough_rounds (default 32-slot frames)
+    rough_lof = LOF(rounds=estimator.rough_rounds)
+    first_idle = _analytic_lottery_first_idle(
+        n, reader_rngs, rough_lof.rounds, rough_lof.frame_slots, ledger
+    )
+    n_rough = [max(_lof_n_hat(first_idle[t]), 1.0) for t in range(trials)]
+
+    # ---- persistence tuned per trial to the optimal load at its rough n
+    lam_star = zoe_optimal_load(req.eps)
+    d = req.d
+    q = [min(lam_star / n_rough[t], 1.0) for t in range(trials)]
+    m_target = [
+        zoe_required_frames(q[t] * n_rough[t], req.eps, d) for t in range(trials)
+    ]
+    idle = [0] * trials
+    frames = [0] * trials
+
+    # ---- lockstep single-slot frames with per-trial m re-evaluation
+    active = [t for t in range(trials) if frames[t] < m_target[t]]
+    while active:
+        index = np.array(active, dtype=np.int64)
+        batches = np.array(
+            [min(_BATCH, m_target[t] - frames[t]) for t in active], dtype=np.int64
+        )
+        # Each frame: 32-bit seed broadcast + one uplink bit-slot.
+        ledger.record_downlink(32, count=batches, index=index)
+        ledger.record_uplink(1, count=batches, index=index)
+        still: list[int] = []
+        for t, batch in zip(active, batches.tolist()):
+            responders = zoe_rngs[t].binomial(n, q[t], size=batch)
+            idle[t] += int((responders == 0).sum())
+            frames[t] += batch
+            z_bar = _clamped_idle_fraction(idle[t], frames[t])
+            believed_lam = -float(np.log(z_bar))
+            m_target[t] = max(frames[t], zoe_required_frames(believed_lam, req.eps, d))
+            if frames[t] < m_target[t] and frames[t] < _MAX_FRAMES:
+                still.append(t)
+        active = still
+
+    results: list[EstimationResult] = []
+    for t in range(trials):
+        z_bar = _clamped_idle_fraction(idle[t], frames[t])
+        n_hat = -float(np.log(z_bar)) / q[t]
+        results.append(
+            estimator._result(
+                n_hat,
+                ledger.totals(t),
+                rounds=frames[t],
+                extra={
+                    "n_rough": n_rough[t],
+                    "q": q[t],
+                    "frames": frames[t],
+                    "idle_fraction": idle[t] / frames[t],
+                },
+            )
+        )
+    return results
+
+
+# ----------------------------------------------------------------------
+# SRC
+# ----------------------------------------------------------------------
+def run_src_analytic(
+    estimator: SRC,
+    n: int,
+    seeds: Sequence[int],
+    *,
+    timing: C1G2Timing = DEFAULT_TIMING,
+) -> list[EstimationResult]:
+    """All SRC trials against a virtual population of ``n`` tags.
+
+    Phase 1 is an analytic lottery frame; phase 2 runs the serial round
+    structure per trial (retries included) with each balanced frame's
+    empty-slot count sampled via :func:`~repro.rfid.occupancy.sample_aloha_empty`.
+    """
+    seed_list = [int(s) for s in seeds]
+    if not seed_list:
+        return []
+    trials = len(seed_list)
+    req = estimator.requirement
+    ledger = BatchLedger(trials, timing=timing)
+    m = src_round_count(req.delta)
+    f = estimator.frame_size()
+
+    results: list[EstimationResult] = []
+    for t, seed in enumerate(seed_list):
+        rng = np.random.default_rng(seed)
+        index = np.array([t], dtype=np.int64)
+
+        # ---- phase 1: one lottery frame for a rough bound
+        ledger.record_downlink(32, index=index)
+        first_idle = sample_lottery_first_idle(rng, n, estimator.rough_slots)
+        ledger.record_uplink(estimator.rough_slots, index=index)
+        n_working = max(2.0**first_idle / FM_PHI, 1.0)
+
+        # ---- phase 2: m balanced rounds, median-combined (serial structure)
+        estimates: list[float] = []
+        total_frames = 0
+        for _round_idx in range(m):
+            for attempt in range(_MAX_ROUND_RETRIES + 1):
+                rho = float(min(1.0, SRC_OPTIMAL_LOAD * f / n_working))
+                # Broadcast: seed (32) + rho (32) + frame size (16) bits.
+                ledger.record_downlink(80, index=index)
+                empty = sample_aloha_empty(rng, n, f, rho)
+                ledger.record_uplink(f, index=index)
+                total_frames += 1
+                z = empty / f
+                if z >= 1.0 - 0.5 / f:
+                    # Starved (see serial SRC for the rho == 1 honesty case).
+                    if rho < 1.0 and attempt < _MAX_ROUND_RETRIES:
+                        n_working = max(n_working / 4.0, 1.0)
+                        continue
+                elif z <= 0.5 / f:
+                    # Saturated: bound far too low.
+                    if attempt < _MAX_ROUND_RETRIES:
+                        n_working *= 4.0
+                        continue
+                z_clamped = min(max(z, 0.5 / f), 1.0 - 0.5 / f)
+                estimates.append(-f * float(np.log(z_clamped)) / rho)
+                break
+        results.append(
+            estimator._result(
+                float(np.median(estimates)),
+                ledger.totals(t),
+                rounds=m,
+                extra={
+                    "n_rough": n_working,
+                    "frame_size": f,
+                    "frames_run": total_frames,
+                    "round_estimates": estimates,
+                },
+            )
+        )
+    return results
+
+
+# ----------------------------------------------------------------------
+# trial-runner adapter
+# ----------------------------------------------------------------------
+_ANALYTIC_RUNNERS = {LOF: run_lof_analytic, ZOE: run_zoe_analytic, SRC: run_src_analytic}
+
+
+def run_baseline_trials_analytic(
+    estimator: CardinalityEstimator,
+    population: TagPopulation | int,
+    *,
+    trials: int,
+    base_seed: int = 0,
+    distribution: str = "",
+):
+    """Analytic equivalent of :func:`~repro.experiments.runner.run_trials`.
+
+    ``population`` may be a :class:`~repro.rfid.tags.TagPopulation` or a
+    plain cardinality ``n`` — the analytic engine only needs the count, so
+    huge sweeps never build an ID array.  Each record carries
+    ``extra["engine"] = "analytic"``.
+    """
+    from ..experiments.runner import TrialRecord  # local import: runner routes here
+
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not baseline_analytic_supported(estimator):
+        raise ValueError(
+            f"{type(estimator).__name__} is not supported by the analytic "
+            "engine; use the serial engine"
+        )
+    n = population.size if isinstance(population, TagPopulation) else int(population)
+    runner = _ANALYTIC_RUNNERS[type(estimator)]
+    results = runner(estimator, n, range(base_seed, base_seed + trials))
+    req = estimator.requirement
+    return [
+        TrialRecord(
+            estimator=result.estimator,
+            n_true=n,
+            n_hat=result.n_hat,
+            error=result.relative_error(n),
+            seconds=result.elapsed_seconds,
+            seed=base_seed + t,
+            eps=req.eps,
+            delta=req.delta,
+            distribution=distribution,
+            extra={**result.extra, "engine": "analytic"},
+        )
+        for t, result in enumerate(results)
+    ]

@@ -39,6 +39,11 @@ EXPERIMENTS: dict[str, tuple[Callable[..., "fig_mod.FigureData"], dict, dict]] =
     "fig9": (fig_mod.fig9_fig10_comparison, {"trials": 1, "n_values": (100_000,)}, {}),
     "fig10": (fig_mod.fig9_fig10_comparison, {"trials": 1, "n_values": (100_000,)}, {}),
     "sec5b": (fig_mod.lower_bound_validity, {"trials": 5}, {}),
+    "scale": (
+        fig_mod.scale_accuracy,
+        {"trials": 3, "n_values": (100_000, 10_000_000)},
+        {},
+    ),
 }
 
 
@@ -98,11 +103,15 @@ def build_parser() -> argparse.ArgumentParser:
     mon.add_argument("--seed", type=int, default=0)
 
     cache = sub.add_parser(
-        "cache", help="inspect or clear the sweep result cache (.repro_cache/)"
+        "cache", help="inspect, prune or clear the sweep result cache (.repro_cache/)"
     )
-    cache.add_argument("action", choices=("stats", "clear"))
+    cache.add_argument("action", choices=("stats", "prune", "clear"))
     cache.add_argument("--dir", default=None,
                        help="cache directory (default: $REPRO_CACHE_DIR or .repro_cache)")
+    cache.add_argument("--max-mb", type=float, default=None,
+                       help="prune: evict least-recently-used entries above this size")
+    cache.add_argument("--max-age", type=float, default=None, metavar="DAYS",
+                       help="prune: evict entries not used within this many days")
     return parser
 
 
@@ -246,6 +255,17 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     if args.action == "clear":
         removed = cache.clear()
         print(f"removed {removed} cache entries from {cache.directory}")
+        return 0
+    if args.action == "prune":
+        if args.max_mb is None and args.max_age is None:
+            print("cache prune: pass --max-mb and/or --max-age", file=sys.stderr)
+            return 2
+        summary = cache.prune(
+            max_bytes=None if args.max_mb is None else int(args.max_mb * 1024 * 1024),
+            max_age_days=args.max_age,
+        )
+        print(f"pruned {summary['removed']} entries from {cache.directory}; "
+              f"{summary['kept']} remain ({summary['bytes'] / 1024:.1f} KiB)")
         return 0
     stats = cache.stats()
     print(f"cache directory : {stats['directory']}")

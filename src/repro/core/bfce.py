@@ -40,6 +40,8 @@ __all__ = ["BFCE", "BFCEResult", "bfce_estimate"]
 
 _ACCURATE_PHASE = "accurate"
 _MAX_ACCURATE_RETRIES = 8
+#: Grid resolution baked into the event tag hash (frames.py kernels).
+_EVENT_PN_DENOM = 1024
 
 
 @dataclass(frozen=True)
@@ -133,9 +135,56 @@ class BFCE:
         )
         return self.estimate_with_reader(reader)
 
+    def estimate_analytic(
+        self,
+        n: int,
+        *,
+        seed: int = 0,
+        channel: Channel | None = None,
+        persistence_mode: str = "event",
+    ) -> BFCEResult:
+        """Run the protocol against a *virtual* population of ``n`` tags.
+
+        Uses the analytic occupancy engine
+        (:class:`~repro.rfid.occupancy.AnalyticReader`): each frame's slot
+        counts are sampled from their exact distribution in O(w) instead of
+        hashing ``n`` tags, so one execution costs the same at n = 10⁸ as at
+        n = 10⁵ and no tagID array is ever materialised.  The result is
+        exact in distribution but **not** bit-identical to
+        :meth:`estimate` — same protocol, a different (equally valid)
+        random execution.  See DESIGN.md §6 for the exactness contract.
+        """
+        from ..rfid.occupancy import AnalyticReader
+
+        reader = AnalyticReader(
+            int(n),
+            seed=seed,
+            channel=channel if channel is not None else PerfectChannel(),
+            persistence_mode=persistence_mode,
+            pn_denom=self.config.pn_denom,
+        )
+        return self.estimate_with_reader(reader)
+
     def estimate_with_reader(self, reader: Reader) -> BFCEResult:
-        """Run the protocol on a caller-provided reader (ledger appended)."""
+        """Run the protocol on a caller-provided reader (ledger appended).
+
+        ``reader`` may be any object implementing the Reader air interface
+        (``broadcast`` / ``fresh_seeds`` / ``sense_frame`` / ledger) — the
+        event :class:`~repro.rfid.reader.Reader` or the analytic
+        :class:`~repro.rfid.occupancy.AnalyticReader`.
+        """
         cfg = self.config
+        # The tag-side hash of the event kernels is fixed at the paper's
+        # 1/1024 persistence grid; only the analytic reader resamples at an
+        # arbitrary resolution.  A mismatched grid would silently desync the
+        # tags' response probability from the estimator's p_of().
+        reader_denom = getattr(reader, "pn_denom", _EVENT_PN_DENOM)
+        if reader_denom != cfg.pn_denom:
+            raise ValueError(
+                f"persistence-grid mismatch: config uses 1/{cfg.pn_denom} but "
+                f"the reader responds on 1/{reader_denom}; configs with "
+                f"pn_denom != {_EVENT_PN_DENOM} require engine='analytic'"
+            )
         probe = probe_persistence(reader, cfg)
         rough = rough_estimate(reader, probe.pn, cfg)
         if rough.n_low <= 0:

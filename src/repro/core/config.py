@@ -108,6 +108,33 @@ class BFCEConfig:
             raise ValueError(f"pn out of range [0, {self.pn_denom}]")
         return pn / self.pn_denom
 
+    @classmethod
+    def scaled(cls, w: int, **overrides) -> "BFCEConfig":
+        """The paper's configuration scaled to frame size ``w``.
+
+        The persistence grid refines in proportion to the frame
+        (``pn_denom = 1024·w/8192``), so the optimal-p search can express
+        the tiny per-tag probabilities that populations far beyond the
+        default design range need, instead of clamping at the 1/1024 grid
+        floor and overloading the accurate frame.  Probe start and step
+        numerators scale by the same factor, keeping the probe walk
+        identical in probability space to the paper's.
+
+        The event tag hash only implements the 1/1024 grid, so scaled
+        configs (w > 8192) run on the analytic engine; the event engines
+        reject them with a grid-mismatch error.
+        """
+        factor = max(1, w // 8192)
+        params = {
+            "w": w,
+            "pn_denom": 1024 * factor,
+            "probe_start_pn": 8 * factor,
+            "probe_step_up": 2 * factor,
+            "probe_step_down": 1 * factor,
+        }
+        params.update(overrides)
+        return cls(**params)
+
 
 #: The paper's configuration.
 DEFAULT_CONFIG = BFCEConfig()

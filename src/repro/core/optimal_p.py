@@ -121,6 +121,12 @@ def planner_cache_clear() -> None:
     _find_optimal_pn_cached.cache_clear()
 
 
+#: Grid points evaluated per lazy-search step.  One block covers the whole
+#: default 1/1024 grid, so the blockwise scan degenerates to the original
+#: single vectorised evaluation there.
+_SEARCH_BLOCK = 1024
+
+
 @lru_cache(maxsize=4096)
 def _find_optimal_pn_cached(
     n_low: float, eps: float, delta: float, config: BFCEConfig
@@ -128,14 +134,22 @@ def _find_optimal_pn_cached(
     req = AccuracyRequirement(eps, delta)
     d = req.d
     pn_grid, p_grid = _persistence_grid(config)
-    lo = f1(n_low, config.w, config.k, p_grid, req.eps)
-    hi = f2(n_low, config.w, config.k, p_grid, req.eps)
-    ok = (lo <= -d) & (hi >= d)
-    if ok.any():
+    # The search wants the *minimal* feasible pn, so scan the grid in blocks
+    # from the floor up and stop at the first hit.  On the fine grids of
+    # scale configs (pn_denom up to 1024·w/8192) a full f1/f2 evaluation
+    # costs more than the rest of the trial; the answer almost always lies
+    # in the first block.
+    for start in range(0, pn_grid.size, _SEARCH_BLOCK):
+        block = slice(start, start + _SEARCH_BLOCK)
+        lo = f1(n_low, config.w, config.k, p_grid[block], req.eps)
+        hi = f2(n_low, config.w, config.k, p_grid[block], req.eps)
+        ok = (lo <= -d) & (hi >= d)
+        if not ok.any():
+            continue
         idx = int(np.argmax(ok))  # first True == minimal p
         margin = float(min(-d - lo[idx], hi[idx] - d))
         return OptimalPResult(
-            pn=int(pn_grid[idx]),
+            pn=int(pn_grid[block][idx]),
             feasible=True,
             margin=margin,
             n_low=n_low,

@@ -127,6 +127,14 @@ class BatchBFCE:
         config: BFCEConfig = DEFAULT_CONFIG,
         requirement: AccuracyRequirement | None = None,
     ) -> None:
+        if config.pn_denom != 1024:
+            # The fused event kernels hash tags against the paper's fixed
+            # 1/1024 grid; a finer config grid would desync tag responses
+            # from the estimator's p_of().  Scale configs are analytic-only.
+            raise ValueError(
+                f"batched event engine supports only pn_denom=1024, got "
+                f"{config.pn_denom}; use engine='analytic' for scaled grids"
+            )
         self.config = config
         self.requirement = requirement if requirement is not None else AccuracyRequirement()
         self._message = bfce_phase_message(

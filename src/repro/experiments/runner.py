@@ -23,7 +23,14 @@ from ..rfid.channel import Channel
 from ..rfid.tags import TagPopulation
 from .stats import ErrorSummary
 
-__all__ = ["TrialRecord", "run_trials", "run_bfce_trials", "SweepPoint", "sweep"]
+__all__ = [
+    "TrialRecord",
+    "run_trials",
+    "run_bfce_trials",
+    "run_bfce_trials_analytic",
+    "SweepPoint",
+    "sweep",
+]
 
 _log = logging.getLogger(__name__)
 
@@ -50,7 +57,7 @@ class TrialRecord:
 
 
 def run_bfce_trials(
-    population: TagPopulation,
+    population: TagPopulation | int,
     *,
     trials: int,
     eps: float = 0.05,
@@ -66,24 +73,49 @@ def run_bfce_trials(
 
     Parameters
     ----------
+    population:
+        The tag population, or — with ``engine="analytic"`` only — a plain
+        cardinality ``n`` (the analytic engine never builds an ID array).
     engine:
+        The engine tier: ``"serial"`` runs one full protocol per trial,
         ``"batched"`` executes all trials through the lockstep batch engine
-        (:mod:`repro.experiments.batch`), ``"serial"`` runs one full
-        protocol per trial, and ``"auto"`` (default) picks the batched
-        engine whenever no custom ``estimator_factory`` is in play.  The two
-        engines are bit-identical; the choice only affects throughput.
-        ``extra["engine"]`` on each record names the engine that actually
-        ran (a noisy channel makes the batched engine fall back to serial).
+        (:mod:`repro.experiments.batch`), and ``"analytic"`` samples frame
+        occupancies from their exact distribution in O(w) per frame
+        (:mod:`repro.rfid.occupancy`), independent of n.  ``"auto"``
+        (default) picks the batched engine whenever no custom
+        ``estimator_factory`` is in play.  Serial and batched are
+        bit-identical; analytic is exact-in-distribution only (DESIGN.md §6)
+        and is therefore never auto-selected.  ``extra["engine"]`` on each
+        record names the engine that actually ran (a noisy channel makes the
+        batched engine fall back to serial).
     config:
         Protocol constants; ignored when ``estimator_factory`` is given
         (the factory owns configuration).
     channel:
         Channel model threaded into every trial (default: perfect channel).
     """
-    if engine not in ("auto", "batched", "serial"):
-        raise ValueError(f"engine must be 'auto', 'batched' or 'serial', got {engine!r}")
-    if engine == "batched" and estimator_factory is not None:
+    if engine not in ("auto", "batched", "serial", "analytic"):
+        raise ValueError(
+            f"engine must be 'auto', 'batched', 'serial' or 'analytic', got {engine!r}"
+        )
+    if engine in ("batched", "analytic") and estimator_factory is not None:
         raise ValueError("estimator_factory requires the serial engine")
+    if engine == "analytic":
+        return run_bfce_trials_analytic(
+            population,
+            trials=trials,
+            eps=eps,
+            delta=delta,
+            base_seed=base_seed,
+            distribution=distribution,
+            config=config,
+            channel=channel,
+        )
+    if not isinstance(population, TagPopulation):
+        raise TypeError(
+            "a plain cardinality requires engine='analytic'; event engines "
+            "need a TagPopulation"
+        )
     if engine != "serial" and estimator_factory is None:
         from .batch import run_bfce_trials_batched  # deferred: batch imports us
 
@@ -131,9 +163,69 @@ def run_bfce_trials(
     return records
 
 
+def run_bfce_trials_analytic(
+    population: TagPopulation | int,
+    *,
+    trials: int,
+    eps: float = 0.05,
+    delta: float = 0.05,
+    base_seed: int = 0,
+    distribution: str = "",
+    config: BFCEConfig = DEFAULT_CONFIG,
+    channel: Channel | None = None,
+    persistence_mode: str | None = None,
+) -> list[TrialRecord]:
+    """Run BFCE trials on the analytic occupancy engine (O(w) per frame).
+
+    ``population`` may be a :class:`~repro.rfid.tags.TagPopulation` (its
+    ``persistence_mode`` is honoured; its IDs are ignored) or a plain
+    cardinality ``n`` — sweeps at n = 10⁷–10⁸ never materialise an ID
+    array.  Records are exact-in-distribution counterparts of the event
+    engines' (never bit-identical); ``extra["engine"] = "analytic"``.
+    """
+    if isinstance(population, TagPopulation):
+        n_true = population.size
+        if persistence_mode is None:
+            persistence_mode = population.persistence_mode
+    else:
+        n_true = int(population)
+    if persistence_mode is None:
+        persistence_mode = "event"
+    req = AccuracyRequirement(eps, delta)
+    bfce = BFCE(config=config, requirement=req)
+    records: list[TrialRecord] = []
+    for t in range(trials):
+        result = bfce.estimate_analytic(
+            n_true,
+            seed=base_seed + t,
+            channel=channel,
+            persistence_mode=persistence_mode,
+        )
+        records.append(
+            TrialRecord(
+                estimator="BFCE",
+                n_true=n_true,
+                n_hat=result.n_hat,
+                error=result.relative_error(n_true),
+                seconds=result.elapsed_seconds,
+                seed=base_seed + t,
+                eps=eps,
+                delta=delta,
+                distribution=distribution,
+                extra={
+                    "n_low": result.n_low,
+                    "pn_optimal": result.pn_optimal,
+                    "guarantee_met": result.guarantee_met,
+                    "engine": "analytic",
+                },
+            )
+        )
+    return records
+
+
 def run_trials(
     estimator: CardinalityEstimator,
-    population: TagPopulation,
+    population: TagPopulation | int,
     *,
     trials: int,
     base_seed: int = 0,
@@ -144,19 +236,45 @@ def run_trials(
 
     Parameters
     ----------
+    population:
+        The tag population, or — with ``engine="analytic"`` only — a plain
+        cardinality ``n``.
     engine:
+        The engine tier: ``"serial"`` runs one full protocol per trial,
         ``"batched"`` executes all trials through the lockstep baseline
-        engine (:mod:`repro.baselines.batch`), ``"serial"`` runs one full
-        protocol per trial, and ``"auto"`` (default) picks the batched
-        engine whenever the estimator supports it.  The engines are
-        bit-identical; configurations the batch engine cannot replicate
+        engine (:mod:`repro.baselines.batch`), and ``"analytic"`` samples
+        each frame's sufficient statistic from its exact distribution
+        (:mod:`repro.baselines.analytic`), with per-trial cost independent
+        of n.  ``"auto"`` (default) picks the batched engine whenever the
+        estimator supports it.  Serial and batched are bit-identical;
+        analytic is exact-in-distribution only (DESIGN.md §6) and is never
+        auto-selected.  Configurations the batch engine cannot replicate
         (estimator subclasses, >64-slot lottery frames) fall back to the
-        serial path, which is always sound.  ``extra["engine"]`` on each
-        record names the engine that actually ran, and the fallback emits a
-        ``logging.DEBUG`` line so throughput surprises are diagnosable.
+        serial path, which is always sound, while the analytic engine
+        raises for unsupported estimators (serial needs a real population).
+        ``extra["engine"]`` on each record names the engine that actually
+        ran, and the fallback emits a ``logging.DEBUG`` line so throughput
+        surprises are diagnosable.
     """
-    if engine not in ("auto", "batched", "serial"):
-        raise ValueError(f"engine must be 'auto', 'batched' or 'serial', got {engine!r}")
+    if engine not in ("auto", "batched", "serial", "analytic"):
+        raise ValueError(
+            f"engine must be 'auto', 'batched', 'serial' or 'analytic', got {engine!r}"
+        )
+    if engine == "analytic":
+        from ..baselines.analytic import run_baseline_trials_analytic
+
+        return run_baseline_trials_analytic(
+            estimator,
+            population,
+            trials=trials,
+            base_seed=base_seed,
+            distribution=distribution,
+        )
+    if not isinstance(population, TagPopulation):
+        raise TypeError(
+            "a plain cardinality requires engine='analytic'; event engines "
+            "need a TagPopulation"
+        )
     if engine != "serial" and trials > 0:
         from ..baselines.batch import baseline_batchable, run_baseline_trials_batched
 

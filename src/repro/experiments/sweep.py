@@ -418,6 +418,10 @@ class TrialCache:
                 pass
             return None
         self.hits += 1
+        try:
+            os.utime(path)  # mtime = last use, so prune() evicts true LRU
+        except OSError:
+            pass
         return entry["payload"]
 
     def store(self, canonical: str, payload) -> None:
@@ -464,6 +468,61 @@ class TrialCache:
                 except OSError:
                     pass
         return removed
+
+    def prune(
+        self, *, max_bytes: int | None = None, max_age_days: float | None = None
+    ) -> dict:
+        """Evict entries by age then LRU until the cache fits the bounds.
+
+        ``max_age_days`` drops every entry whose mtime is older than the
+        cutoff; ``max_bytes`` then evicts least-recently-used entries
+        (:meth:`load` touches mtime on every hit) until the total size fits.
+        Either bound may be ``None`` (no constraint).  Returns a summary dict
+        with ``removed``/``kept`` entry counts and the surviving ``bytes``.
+        """
+        import time
+
+        entries: list[tuple[float, int, Path]] = []
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort()  # oldest (least recently used) first
+        removed = 0
+        survivors: list[tuple[float, int, Path]] = []
+        if max_age_days is not None:
+            cutoff = time.time() - max_age_days * 86400.0
+            for entry in entries:
+                if entry[0] < cutoff:
+                    try:
+                        entry[2].unlink()
+                        removed += 1
+                    except OSError:
+                        survivors.append(entry)
+                else:
+                    survivors.append(entry)
+            entries = survivors
+        if max_bytes is not None:
+            total = sum(size for _, size, _ in entries)
+            idx = 0
+            while total > max_bytes and idx < len(entries):
+                mtime, size, path = entries[idx]
+                idx += 1
+                try:
+                    path.unlink()
+                    removed += 1
+                    total -= size
+                except OSError:
+                    pass
+            entries = entries[idx:]
+        return {
+            "removed": removed,
+            "kept": len(entries),
+            "bytes": sum(size for _, size, _ in entries),
+        }
 
 
 # ----------------------------------------------------------------------
@@ -514,9 +573,24 @@ def records_from_payload(payload: dict):
 
 def _exec_bfce_trials(spec: dict) -> dict:
     from ..core.config import DEFAULT_CONFIG, BFCEConfig
-    from .runner import run_bfce_trials
+    from .runner import run_bfce_trials, run_bfce_trials_analytic
 
     config = DEFAULT_CONFIG if spec["config"] is None else BFCEConfig(**spec["config"])
+    if spec["engine"] == "analytic":
+        # The analytic engine never materialises an ID array — n = 10⁸ sweep
+        # points would otherwise cost ~800 MB of tagIDs per worker.
+        records = run_bfce_trials_analytic(
+            spec["n"],
+            trials=spec["trials"],
+            eps=spec["eps"],
+            delta=spec["delta"],
+            base_seed=spec["base_seed"],
+            distribution=spec["distribution"],
+            config=config,
+            channel=_build_channel(spec["channel"]),
+            persistence_mode=spec["persistence_mode"],
+        )
+        return _record_payload(records)
     records = run_bfce_trials(
         _spec_population(spec),
         trials=spec["trials"],
@@ -541,7 +615,7 @@ def _exec_baseline_trials(spec: dict) -> dict:
     estimator = factory(requirement=requirement, **spec["args"])
     records = run_trials(
         estimator,
-        _spec_population(spec),
+        spec["n"] if spec["engine"] == "analytic" else _spec_population(spec),
         trials=spec["trials"],
         base_seed=spec["base_seed"],
         distribution=spec["distribution"],

@@ -34,6 +34,13 @@ from .ids import (
     normal_ids,
     uniform_ids,
 )
+from .occupancy import (
+    AnalyticReader,
+    sample_aloha_empty,
+    sample_lottery_first_idle,
+    sample_slot_counts,
+    scatter_counts,
+)
 from .multireader import (
     CoverageMap,
     MultiReaderResult,
@@ -44,7 +51,13 @@ from .multireader import (
 )
 from .protocol import ESTIMATE_COMMAND, FieldSpec, MessageSpec, bfce_phase_message
 from .reader import Reader
-from .tags import PERSISTENCE_BITS, PERSISTENCE_DENOM, PersistenceMode, TagPopulation
+from .tags import (
+    PERSISTENCE_BITS,
+    PERSISTENCE_DENOM,
+    PERSISTENCE_MODES,
+    PersistenceMode,
+    TagPopulation,
+)
 
 __all__ = [
     "Sgtin96",
@@ -91,8 +104,14 @@ __all__ = [
     "MessageSpec",
     "bfce_phase_message",
     "Reader",
+    "AnalyticReader",
+    "sample_aloha_empty",
+    "sample_lottery_first_idle",
+    "sample_slot_counts",
+    "scatter_counts",
     "PERSISTENCE_BITS",
     "PERSISTENCE_DENOM",
+    "PERSISTENCE_MODES",
     "PersistenceMode",
     "TagPopulation",
 ]

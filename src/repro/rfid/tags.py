@@ -35,9 +35,18 @@ import numpy as np
 
 from .hashing import derive_rn_from_ids, mix64, uniform_unit, xor_bitget_hash
 
-__all__ = ["TagPopulation", "PersistenceMode", "PERSISTENCE_BITS", "PERSISTENCE_DENOM"]
+__all__ = [
+    "TagPopulation",
+    "PersistenceMode",
+    "PERSISTENCE_BITS",
+    "PERSISTENCE_DENOM",
+    "PERSISTENCE_MODES",
+]
 
 PersistenceMode = Literal["event", "rn_window", "static"]
+
+#: The valid persistence modes, in documentation order.
+PERSISTENCE_MODES: tuple[str, ...] = ("event", "rn_window", "static")
 
 #: Resolution of the persistence probability: p = p_n / 2**10.
 PERSISTENCE_BITS: int = 10
@@ -89,7 +98,7 @@ class TagPopulation:
             self.rn = rng.integers(0, 1 << 32, size=ids.size, dtype=np.uint32)
         else:
             raise ValueError(f"unknown rn_source {self.rn_source!r}")
-        if self.persistence_mode not in ("event", "rn_window", "static"):
+        if self.persistence_mode not in PERSISTENCE_MODES:
             raise ValueError(f"unknown persistence_mode {self.persistence_mode!r}")
 
     def __len__(self) -> int:

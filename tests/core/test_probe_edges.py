@@ -1,0 +1,89 @@
+"""Probe-phase edge cases: persistence pinned at the grid boundaries.
+
+The probe walks the persistence numerator in ±step increments; populations
+far outside the design range push it onto a grid boundary (pn_min for huge
+n, pn_max for n ≈ 0), where it must accept rather than oscillate, and the
+accurate phase must fail fast when even the grid floor saturates the frame.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bfce import BFCE
+from repro.core.config import BFCEConfig
+from repro.core.probe import probe_persistence
+from repro.rfid.occupancy import AnalyticReader
+from repro.rfid.reader import Reader
+
+#: A frame so small that 50 000 tags saturate it even at p = 1/1024 (the
+#: expected load is ~9 transmissions per slot, so an idle slot is a < 10⁻³
+#: event and every tested seed pins rho at 0 — already in the rough phase).
+SATURATING_CONFIG = BFCEConfig(w=16, rough_slots=8, probe_slots=16)
+
+#: Twice the frame: the 16-slot rough phase usually catches a mixed frame,
+#: letting the run reach the full-width accurate frame, which is then
+#: all-busy at the grid floor (seed 0 does so on both engines).
+ACCURATE_STUCK_CONFIG = BFCEConfig(w=32, rough_slots=16, probe_slots=32)
+
+
+class TestProbePinnedAtFloor:
+    def test_event_probe_accepts_grid_floor(self, pop_medium):
+        probe = probe_persistence(Reader(pop_medium, seed=3), SATURATING_CONFIG)
+        assert probe.pn == SATURATING_CONFIG.pn_min
+        assert not probe.mixed
+        assert probe.rounds <= SATURATING_CONFIG.max_probe_rounds
+
+    def test_analytic_probe_accepts_grid_floor(self):
+        probe = probe_persistence(AnalyticReader(50_000, seed=3), SATURATING_CONFIG)
+        assert probe.pn == SATURATING_CONFIG.pn_min
+        assert not probe.mixed
+
+    def test_event_rough_phase_fails_fast(self, pop_medium):
+        with pytest.raises(RuntimeError, match="outside the estimable range"):
+            BFCE(config=SATURATING_CONFIG).estimate(pop_medium, seed=3)
+
+    def test_analytic_rough_phase_fails_fast(self):
+        with pytest.raises(RuntimeError, match="outside the estimable range"):
+            BFCE(config=SATURATING_CONFIG).estimate_analytic(50_000, seed=3)
+
+    def test_event_accurate_phase_fails_fast(self, pop_medium):
+        with pytest.raises(RuntimeError, match="pn_min"):
+            BFCE(config=ACCURATE_STUCK_CONFIG).estimate(pop_medium, seed=0)
+
+    def test_analytic_accurate_phase_fails_fast(self):
+        with pytest.raises(RuntimeError, match="pn_min"):
+            BFCE(config=ACCURATE_STUCK_CONFIG).estimate_analytic(50_000, seed=0)
+
+
+class TestProbePinnedAtCeiling:
+    #: Starting two steps under the ceiling, an empty population walks the
+    #: probe up to pn_max, where the all-idle boundary must accept.
+    CONFIG = BFCEConfig(probe_start_pn=1021)
+
+    def test_probe_accepts_grid_ceiling(self):
+        probe = probe_persistence(AnalyticReader(0, seed=1), self.CONFIG)
+        assert probe.pn == self.CONFIG.pn_max
+        assert not probe.mixed
+
+    def test_estimate_returns_zero_for_empty_population(self):
+        result = BFCE(config=self.CONFIG).estimate_analytic(0, seed=1)
+        assert result.n_hat == 0.0
+
+
+class TestProbeUnderAnalyticSampler:
+    def test_in_range_population_accepts_mixed_round(self):
+        cfg = BFCEConfig()
+        probe = probe_persistence(AnalyticReader(50_000, seed=9), cfg)
+        assert probe.mixed
+        assert cfg.pn_min <= probe.pn <= cfg.pn_max
+        assert probe.rounds <= cfg.max_probe_rounds
+
+    def test_scaled_grid_probe_reaches_floor_at_extreme_n(self):
+        # On the scaled 1/16384 grid the probe steps by 16s; at n = 10⁸ the
+        # walk descends to the floor region and the protocol still completes
+        # with a usable estimate.
+        cfg = BFCEConfig.scaled(1 << 17)
+        result = BFCE(config=cfg).estimate_analytic(10**8, seed=4)
+        assert abs(result.n_hat - 10**8) / 10**8 < 0.1
+        assert result.pn_optimal >= cfg.pn_min

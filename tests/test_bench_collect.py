@@ -1,0 +1,100 @@
+"""The benchmark trajectory collector (benchmarks/collect.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_COLLECT_PATH = Path(__file__).resolve().parent.parent / "benchmarks" / "collect.py"
+
+
+@pytest.fixture(scope="module")
+def collect():
+    # benchmarks/ is not a package and "collect" is too generic a module
+    # name to register globally — load it from its file path instead.
+    spec = importlib.util.spec_from_file_location("bench_collect", _COLLECT_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _write_engine_report(directory: Path) -> None:
+    (directory / "BENCH_engine.json").write_text(
+        json.dumps(
+            {
+                "benchmark": "engine",
+                "workload": {"n": 1000, "trials": 2},
+                "engines": {
+                    "serial": {"speedup_vs_serial": 1.0, "max_abs_dn_hat_vs_serial": 0.0},
+                    "batched": {"speedup_vs_serial": 4.5, "max_abs_dn_hat_vs_serial": 0.0},
+                },
+            }
+        )
+    )
+
+
+def _write_scale_report(directory: Path) -> None:
+    (directory / "BENCH_scale.json").write_text(
+        json.dumps(
+            {
+                "benchmark": "scale",
+                "workload": {"w": 131072, "trials": 5},
+                "gates": {"speedup_vs_event": 250.0, "flatness_ratio": 1.6},
+                "analytic": {
+                    "100000": {"error_max": 0.03},
+                    "1000000": {"error_max": 0.02},
+                },
+            }
+        )
+    )
+
+
+class TestCollectTrajectory:
+    def test_merges_present_reports_and_notes_missing(self, collect, tmp_path):
+        _write_engine_report(tmp_path)
+        _write_scale_report(tmp_path)
+        trajectory = collect.collect_trajectory(tmp_path)
+        assert set(trajectory["benchmarks"]) == {"engine", "scale"}
+        assert sorted(trajectory["missing"]) == [
+            "BENCH_baselines.json",
+            "BENCH_sweep.json",
+        ]
+        engine = trajectory["benchmarks"]["engine"]
+        assert engine["headline_speedup"] == 4.5
+        assert engine["drift"] == 0.0
+        assert engine["source"] == "BENCH_engine.json"
+
+    def test_scale_summary_is_distributional(self, collect, tmp_path):
+        _write_scale_report(tmp_path)
+        scale = collect.collect_trajectory(tmp_path)["benchmarks"]["scale"]
+        # The analytic engine has no bit-identity reference: drift is None
+        # and the accuracy envelope is carried instead.
+        assert scale["drift"] is None
+        assert scale["error_max"] == 0.03
+        assert scale["flatness_ratio"] == 1.6
+
+    def test_empty_directory_collects_nothing(self, collect, tmp_path):
+        trajectory = collect.collect_trajectory(tmp_path)
+        assert trajectory["benchmarks"] == {}
+        assert len(trajectory["missing"]) == 4
+
+
+class TestMain:
+    def test_writes_trajectory_and_exits_zero(self, collect, tmp_path, monkeypatch, capsys):
+        _write_engine_report(tmp_path)
+        monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+        assert collect.main([]) == 0
+        written = json.loads((tmp_path / "BENCH_trajectory.json").read_text())
+        assert written["benchmarks"]["engine"]["headline_speedup"] == 4.5
+        out = capsys.readouterr().out
+        assert "skipped: BENCH_scale.json not found" in out
+
+    def test_no_reports_is_a_failure(self, collect, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+        assert collect.main([]) == 1
+
+    def test_unknown_arguments_exit_two(self, collect):
+        assert collect.main(["--bogus"]) == 2
