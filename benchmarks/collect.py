@@ -87,6 +87,42 @@ _SUMMARISERS = {
 }
 
 
+def _collect_obs(directory: Path) -> dict[str, dict]:
+    """Summarise any ``*.trace.jsonl`` structured traces found in ``directory``.
+
+    Harnesses run with ``REPRO_TRACE`` drop span traces next to their BENCH
+    reports; each is folded into the trajectory as per-phase air time plus
+    the engine/fallback counters.  Needs :mod:`repro.obs` importable
+    (``PYTHONPATH=src``, as the harnesses already require); silently skipped
+    otherwise so the collector stays standalone.
+    """
+    traces = sorted(directory.glob("*.trace.jsonl"))
+    if not traces:
+        return {}
+    try:
+        from repro.obs import report as obs_report
+    except ImportError:
+        return {}
+    summaries: dict[str, dict] = {}
+    for path in traces:
+        try:
+            summary = obs_report.summarise(path)
+        except (OSError, ValueError) as exc:
+            summaries[path.name] = {"error": str(exc)}
+            continue
+        summaries[path.name] = {
+            "trials": summary["trials"],
+            "engines": summary["engines"],
+            "air_seconds_total": summary["air_seconds_total"],
+            "phase_air_seconds": summary["phase_air_seconds"],
+            "engine_fallbacks": summary["engine_fallbacks"],
+            "ledger_crosscheck_mismatches": summary[
+                "ledger_crosscheck_mismatches"
+            ],
+        }
+    return summaries
+
+
 def collect_trajectory(directory: Path | str | None = None) -> dict:
     """Read whichever BENCH reports exist under ``directory`` and merge them."""
     directory = Path(directory) if directory is not None else _REPO_ROOT
@@ -106,6 +142,7 @@ def collect_trajectory(directory: Path | str | None = None) -> dict:
     return {
         "benchmark": "trajectory",
         "benchmarks": benchmarks,
+        "obs": _collect_obs(directory),
         "missing": missing,
     }
 
@@ -127,6 +164,15 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"{key:>10}: {summary['headline_speedup']:8.1f}x  "
             f"({summary['headline']}; drift {drift_txt})"
+        )
+    for name, obs in trajectory["obs"].items():
+        if "error" in obs:
+            print(f"{name:>10}: unreadable trace ({obs['error']})")
+            continue
+        print(
+            f"{name:>10}: {obs['trials']} traced trials, "
+            f"{obs['air_seconds_total']:.3f} s air time, "
+            f"{obs['engine_fallbacks']} fallback(s)"
         )
     for filename in trajectory["missing"]:
         print(f"  skipped: {filename} not found")

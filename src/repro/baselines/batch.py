@@ -50,6 +50,8 @@ from typing import Sequence
 
 import numpy as np
 
+from ..obs import metrics as _metrics
+from ..obs.trace import event as _event, span as _span
 from ..rfid.hashing import first_idle_from_occupancy, geometric_occupancy_batch
 from ..rfid.tags import TagPopulation
 from ..timing.accounting import BatchLedger
@@ -391,7 +393,23 @@ def run_baseline_trials_batched(
             f"{type(estimator).__name__} is not batchable; use the serial engine"
         )
     runner = _BATCH_RUNNERS[type(estimator)]
-    results = runner(estimator, population, range(base_seed, base_seed + trials))
+    _metrics.inc("engine.trials.batched", trials)
+    with _span(
+        "batch.baseline", estimator=type(estimator).__name__, trials=trials
+    ):
+        results = runner(estimator, population, range(base_seed, base_seed + trials))
+    for t, result in enumerate(results):
+        _event(
+            "trial",
+            engine="batched",
+            estimator=result.estimator,
+            seed=base_seed + t,
+            n_hat=result.n_hat,
+            elapsed_seconds=result.elapsed_seconds,
+        )
+    _metrics.inc(
+        "ledger.elapsed_seconds_total", sum(r.elapsed_seconds for r in results)
+    )
     n_true = population.size
     req = estimator.requirement
     return [

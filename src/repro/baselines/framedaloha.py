@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import metrics as _metrics
 from ..rfid import _native
 from ..rfid.hashing import mix64, mix64_into, uniform_hash, uniform_unit
 from ..rfid.tags import TagPopulation
@@ -166,6 +167,7 @@ def aloha_empty_counts_batch(
     join_mix = mix64(seeds ^ np.uint64(0x5EED))
     slot_mix = mix64(seeds)
     if _native.get_lib() is not None:
+        _metrics.inc("kernel.native.aloha_empty")
         return _native.aloha_empty_native(
             ids,
             np.ascontiguousarray(join_mix),
@@ -173,6 +175,7 @@ def aloha_empty_counts_batch(
             np.ascontiguousarray(thresholds),
             frame_size,
         )
+    _metrics.inc("kernel.numpy.aloha_empty")
     rows = max(1, min(seeds.size, chunk_events // ids.size))
     buf = np.empty((rows, ids.size), dtype=np.uint64)
     tmp = np.empty_like(buf)

@@ -112,6 +112,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="prune: evict least-recently-used entries above this size")
     cache.add_argument("--max-age", type=float, default=None, metavar="DAYS",
                        help="prune: evict entries not used within this many days")
+
+    obs = sub.add_parser(
+        "obs", help="inspect a structured trace produced under REPRO_TRACE"
+    )
+    obs.add_argument("action", choices=("summary", "trace", "flame"))
+    obs.add_argument("--file", default=None, metavar="PATH",
+                     help="trace JSONL path (default: $REPRO_TRACE)")
+    obs.add_argument("--width", type=int, default=40,
+                     help="flame: bar width in characters")
+    obs.add_argument("--max-spans", type=int, default=200,
+                     help="trace: maximum spans to list")
     return parser
 
 
@@ -273,6 +284,42 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     print(f"entries         : {stats['entries']}")
     print(f"size            : {stats['bytes'] / 1024:.1f} KiB")
     print(f"caching enabled : {cache_enabled()} (REPRO_CACHE=0 disables)")
+    cumulative = stats.get("cumulative") or {}
+    if cumulative:
+        print("cumulative counters (all sessions):")
+        for name in sorted(cumulative):
+            value = cumulative[name]
+            shown = f"{value:g}" if isinstance(value, float) else f"{value}"
+            print(f"  {name:<22} {shown:>10}")
+    else:
+        print("cumulative counters : none recorded yet")
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    import os
+
+    from .obs import report as obs_report
+
+    path = args.file or os.environ.get("REPRO_TRACE")
+    if not path:
+        print("obs: pass --file PATH or set REPRO_TRACE", file=sys.stderr)
+        return 2
+    try:
+        if args.action == "summary":
+            print(obs_report.render_summary(obs_report.summarise(path)))
+        elif args.action == "flame":
+            trace = obs_report.load_trace(path)
+            print(obs_report.render_flame(trace, width=args.width))
+        else:
+            trace = obs_report.load_trace(path)
+            print(obs_report.render_trace_tree(trace, max_spans=args.max_spans))
+    except FileNotFoundError:
+        print(f"obs: trace file not found: {path}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"obs: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -296,6 +343,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_monitor(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -24,6 +24,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import metrics as _metrics
+from ..obs.events import ledger_crosscheck
+from ..obs.trace import ledger_phase_cums, span as _span
 from ..rfid.channel import Channel, PerfectChannel
 from ..rfid.protocol import bfce_phase_message
 from ..rfid.reader import Reader
@@ -185,33 +188,65 @@ class BFCE:
                 f"the reader responds on 1/{reader_denom}; configs with "
                 f"pn_denom != {_EVENT_PN_DENOM} require engine='analytic'"
             )
-        probe = probe_persistence(reader, cfg)
-        rough = rough_estimate(reader, probe.pn, cfg)
-        if rough.n_low <= 0:
-            return self._estimate_empty(reader, probe, rough)
-        opt = find_optimal_pn(rough.n_low, self.requirement, cfg)
-        n_hat, rho_final, pn_final, retries = self._accurate_frame(reader, opt.pn)
-        return BFCEResult(
-            n_hat=n_hat,
-            n_rough=rough.n_rough,
-            n_low=rough.n_low,
-            pn_probe=probe.pn,
-            pn_rough=rough.pn,
-            pn_optimal=pn_final,
-            rho_final=rho_final,
-            guarantee_met=opt.feasible and retries == 0,
-            probe_rounds=probe.rounds,
-            rough_retries=rough.retries,
-            accurate_retries=retries,
-            elapsed_seconds=reader.elapsed_seconds(),
-            ledger=reader.ledger,
-        )
+        engine = "analytic" if type(reader).__name__ == "AnalyticReader" else "serial"
+        _metrics.inc(f"engine.trials.{engine}")
+        with _span("trial", engine=engine, w=cfg.w) as sp:
+            probe = probe_persistence(reader, cfg)
+            rough = rough_estimate(reader, probe.pn, cfg)
+            if rough.n_low <= 0:
+                result = self._estimate_empty(reader, probe, rough)
+            else:
+                with _span("plan", n_low=rough.n_low) as plan_sp:
+                    opt = find_optimal_pn(rough.n_low, self.requirement, cfg)
+                    if plan_sp:
+                        plan_sp.set(pn_optimal=opt.pn, feasible=opt.feasible)
+                n_hat, rho_final, pn_final, retries = self._accurate_frame(
+                    reader, opt.pn
+                )
+                result = BFCEResult(
+                    n_hat=n_hat,
+                    n_rough=rough.n_rough,
+                    n_low=rough.n_low,
+                    pn_probe=probe.pn,
+                    pn_rough=rough.pn,
+                    pn_optimal=pn_final,
+                    rho_final=rho_final,
+                    guarantee_met=opt.feasible and retries == 0,
+                    probe_rounds=probe.rounds,
+                    rough_retries=rough.retries,
+                    accurate_retries=retries,
+                    elapsed_seconds=reader.elapsed_seconds(),
+                    ledger=reader.ledger,
+                )
+            phase_ledger = ledger_phase_cums(result.ledger)
+            ledger_crosscheck(f"bfce.{engine}", result.elapsed_seconds, phase_ledger)
+            if sp:
+                sp.set(
+                    n_hat=result.n_hat,
+                    n_rough=result.n_rough,
+                    pn_probe=result.pn_probe,
+                    pn_optimal=result.pn_optimal,
+                    rho_final=result.rho_final,
+                    guarantee_met=result.guarantee_met,
+                    probe_rounds=result.probe_rounds,
+                    elapsed_seconds=result.elapsed_seconds,
+                    phase_ledger=phase_ledger,
+                )
+            return result
 
     # ------------------------------------------------------------------
     def _accurate_frame(
         self, reader: Reader, pn: int
     ) -> tuple[float, float, int, int]:
         """Run the final full-w frame, retrying on degenerate ρ̄."""
+        with _span(_ACCURATE_PHASE, pn_start=pn) as sp:
+            out = self._accurate_loop(reader, pn)
+            _metrics.inc("accurate.retries", out[3])
+            if sp:
+                sp.set(n_hat=out[0], rho=out[1], pn=out[2], retries=out[3])
+            return out
+
+    def _accurate_loop(self, reader: Reader, pn: int) -> tuple[float, float, int, int]:
         cfg = self.config
         message = bfce_phase_message(
             cfg.k,
@@ -221,11 +256,18 @@ class BFCE:
         )
         retries = 0
         while True:
-            reader.broadcast(message, phase=_ACCURATE_PHASE)
-            seeds = reader.fresh_seeds(cfg.k)
-            frame = reader.sense_frame(
-                w=cfg.w, seeds=seeds, p_n=pn, observe_slots=cfg.w, phase=_ACCURATE_PHASE
-            )
+            with _span("frame", pn=pn, slots=cfg.w) as fr:
+                reader.broadcast(message, phase=_ACCURATE_PHASE)
+                seeds = reader.fresh_seeds(cfg.k)
+                frame = reader.sense_frame(
+                    w=cfg.w,
+                    seeds=seeds,
+                    p_n=pn,
+                    observe_slots=cfg.w,
+                    phase=_ACCURATE_PHASE,
+                )
+                if fr:
+                    fr.set(rho=frame.rho)
             if rho_is_valid(frame.rho):
                 n_hat = estimate_cardinality(frame.rho, cfg.w, cfg.k, cfg.p_of(pn))
                 return n_hat, frame.rho, pn, retries

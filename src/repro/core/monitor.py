@@ -24,6 +24,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..obs import metrics as _metrics
+from ..obs.trace import span as _span
 from ..rfid.tags import TagPopulation
 from .accuracy import AccuracyRequirement
 from .bfce import BFCE, BFCEResult
@@ -115,6 +117,25 @@ class CardinalityMonitor:
 
     def observe(self, population: TagPopulation, *, seed: int = 0) -> MonitorUpdate:
         """Survey the population once and fold it into the monitor state."""
+        with _span("monitor.survey", round=self._round) as sp:
+            update = self._observe(population, seed=seed)
+            _metrics.inc("monitor.surveys")
+            if update.change_detected:
+                _metrics.inc("monitor.changes")
+            _metrics.gauge("monitor.smoothed", update.smoothed)
+            _metrics.gauge("monitor.cusum.pos", self._cusum_pos)
+            _metrics.gauge("monitor.cusum.neg", self._cusum_neg)
+            if sp:
+                sp.set(
+                    estimate=update.estimate,
+                    smoothed=update.smoothed,
+                    innovation=update.innovation,
+                    change_detected=update.change_detected,
+                    air_seconds=update.air_seconds,
+                )
+            return update
+
+    def _observe(self, population: TagPopulation, *, seed: int = 0) -> MonitorUpdate:
         config = self._warm_config()
         bfce = BFCE(config=config, requirement=self.requirement)
         result = bfce.estimate(population, seed=seed)

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs import metrics as _metrics
+from ..obs.trace import span as _span
 from ..rfid.protocol import bfce_phase_message
 from ..rfid.reader import Reader
 from .config import BFCEConfig, DEFAULT_CONFIG
@@ -60,6 +62,15 @@ def probe_persistence(
     phase: str = PHASE,
 ) -> ProbeResult:
     """Run the adaptive probe and return a usable persistence numerator."""
+    with _span(PHASE, pn_start=config.probe_start_pn) as sp:
+        result = _probe_loop(reader, config, phase)
+        _metrics.inc("probe.rounds", result.rounds)
+        if sp:
+            sp.set(pn=result.pn, rounds=result.rounds, mixed=result.mixed)
+        return result
+
+
+def _probe_loop(reader: Reader, config: BFCEConfig, phase: str) -> ProbeResult:
     pn = config.probe_start_pn
     history: list[int] = []
     message = bfce_phase_message(
@@ -70,15 +81,18 @@ def probe_persistence(
     )
     for round_idx in range(config.max_probe_rounds):
         history.append(pn)
-        reader.broadcast(message, phase=phase)
-        seeds = reader.fresh_seeds(config.k)
-        frame = reader.sense_frame(
-            w=config.w,
-            seeds=seeds,
-            p_n=pn,
-            observe_slots=config.probe_slots,
-            phase=phase,
-        )
+        with _span("frame", pn=pn, slots=config.probe_slots) as fr:
+            reader.broadcast(message, phase=phase)
+            seeds = reader.fresh_seeds(config.k)
+            frame = reader.sense_frame(
+                w=config.w,
+                seeds=seeds,
+                p_n=pn,
+                observe_slots=config.probe_slots,
+                phase=phase,
+            )
+            if fr:
+                fr.set(idle_slots=frame.ones)
         ones = frame.ones
         if 0 < ones < config.probe_slots:
             return ProbeResult(pn=pn, rounds=round_idx + 1, mixed=True, history=tuple(history))

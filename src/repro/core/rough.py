@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs import metrics as _metrics
+from ..obs.trace import span as _span
 from ..rfid.protocol import bfce_phase_message
 from ..rfid.reader import Reader
 from .config import BFCEConfig, DEFAULT_CONFIG
@@ -70,6 +72,21 @@ def rough_estimate(
     """Run the rough phase with probed numerator ``pn`` and return n̂_low."""
     if not config.pn_min <= pn <= config.pn_max:
         raise ValueError(f"pn must be in [{config.pn_min}, {config.pn_max}], got {pn}")
+    with _span(PHASE, pn_start=pn) as sp:
+        result = _rough_loop(reader, pn, config, phase)
+        _metrics.inc("rough.retries", result.retries)
+        if sp:
+            sp.set(
+                n_rough=result.n_rough,
+                n_low=result.n_low,
+                pn=result.pn,
+                rho=result.rho,
+                retries=result.retries,
+            )
+        return result
+
+
+def _rough_loop(reader: Reader, pn: int, config: BFCEConfig, phase: str) -> RoughResult:
     message = bfce_phase_message(
         config.k,
         preloaded_constants=config.preloaded_constants,
@@ -78,15 +95,18 @@ def rough_estimate(
     )
     retries = 0
     while True:
-        reader.broadcast(message, phase=phase)
-        seeds = reader.fresh_seeds(config.k)
-        frame = reader.sense_frame(
-            w=config.w,
-            seeds=seeds,
-            p_n=pn,
-            observe_slots=config.rough_slots,
-            phase=phase,
-        )
+        with _span("frame", pn=pn, slots=config.rough_slots) as fr:
+            reader.broadcast(message, phase=phase)
+            seeds = reader.fresh_seeds(config.k)
+            frame = reader.sense_frame(
+                w=config.w,
+                seeds=seeds,
+                p_n=pn,
+                observe_slots=config.rough_slots,
+                phase=phase,
+            )
+            if fr:
+                fr.set(rho=frame.rho)
         if rho_is_valid(frame.rho):
             break
         if frame.rho == 1.0 and pn == config.pn_max:

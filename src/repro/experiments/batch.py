@@ -34,7 +34,6 @@ Serial/batched/parallel decision matrix (see DESIGN.md §6):
 
 from __future__ import annotations
 
-import logging
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -49,6 +48,9 @@ from ..core.probe import ProbeResult
 from ..core.rough import _MAX_RETRIES as _MAX_ROUGH_RETRIES
 from ..core.rough import PHASE as ROUGH_PHASE
 from ..core.rough import RoughResult
+from ..obs import metrics as _metrics
+from ..obs.events import engine_fallback, ledger_crosscheck
+from ..obs.trace import event as _event, ledger_phase_cums, span as _span
 from ..rfid.channel import Channel, PerfectChannel
 from ..rfid.frames import BatchFrameResult, run_bfce_frame_batch
 from ..rfid.protocol import bfce_phase_message
@@ -56,8 +58,6 @@ from ..rfid.tags import TagPopulation
 from ..timing.accounting import TimeLedger
 
 __all__ = ["BatchBFCE", "run_bfce_trials_batched", "batching_is_sound"]
-
-_log = logging.getLogger(__name__)
 
 _ACCURATE_PHASE = "accurate"
 _MAX_ACCURATE_RETRIES = 8
@@ -165,17 +165,22 @@ class BatchBFCE:
             return [
                 serial.estimate(population, seed=s, channel=channel) for s in seed_list
             ]
-        states = [_TrialState(seed=s) for s in seed_list]
-        self._probe_phase(population, states)
-        self._rough_phase(population, states)
-        for st in states:
-            if st.rough.n_low > 0:
-                st.opt = find_optimal_pn(st.rough.n_low, self.requirement, self.config)
-                st.pn = st.opt.pn
-            else:
-                st.pn = self.config.pn_max
-        self._accurate_phase(population, states)
-        return [self._assemble(st) for st in states]
+        _metrics.inc("engine.trials.batched", len(seed_list))
+        with _span("batch.estimate_many", engine="batched", trials=len(seed_list)):
+            states = [_TrialState(seed=s) for s in seed_list]
+            self._probe_phase(population, states)
+            self._rough_phase(population, states)
+            with _span("plan", trials=len(states)):
+                for st in states:
+                    if st.rough.n_low > 0:
+                        st.opt = find_optimal_pn(
+                            st.rough.n_low, self.requirement, self.config
+                        )
+                        st.pn = st.opt.pn
+                    else:
+                        st.pn = self.config.pn_max
+            self._accurate_phase(population, states)
+            return [self._assemble(st) for st in states]
 
     # ------------------------------------------------------------------
     def _run_round(
@@ -193,18 +198,25 @@ class BatchBFCE:
         run the frame, record its uplink slots.
         """
         cfg = self.config
-        seed_rows = np.empty((len(states), cfg.k), dtype=np.uint64)
-        for i, st in enumerate(states):
-            st.ledger.record_downlink(
-                self._message.bits, phase=phase, label=self._message.name
+        with _span("frame.batch", phase=phase, trials=len(states), slots=observe_slots) as sp:
+            seed_rows = np.empty((len(states), cfg.k), dtype=np.uint64)
+            for i, st in enumerate(states):
+                st.ledger.record_downlink(
+                    self._message.bits, phase=phase, label=self._message.name
+                )
+                seed_rows[i] = st.fresh_seeds(cfg.k)
+            pn_arr = np.array([st.pn for st in states], dtype=np.int64)
+            batch = run_bfce_frame_batch(
+                population, w=cfg.w, seeds=seed_rows, p_n=pn_arr, observe_slots=observe_slots
             )
-            seed_rows[i] = st.fresh_seeds(cfg.k)
-        pn_arr = np.array([st.pn for st in states], dtype=np.int64)
-        batch = run_bfce_frame_batch(
-            population, w=cfg.w, seeds=seed_rows, p_n=pn_arr, observe_slots=observe_slots
-        )
-        for st in states:
-            st.ledger.record_uplink(observe_slots, phase=phase, label="frame")
+            for st in states:
+                st.ledger.record_uplink(observe_slots, phase=phase, label="frame")
+            idle = int(batch.blooms.sum())
+            _metrics.inc("frame.count", len(states))
+            _metrics.inc("frame.slots.idle", idle)
+            _metrics.inc("frame.slots.busy", len(states) * observe_slots - idle)
+            if sp:
+                sp.set(idle_slots=idle)
         return batch
 
     # ------------------------------------------------------------------
@@ -350,6 +362,22 @@ class BatchBFCE:
         guarantee = (
             st.opt is not None and st.opt.feasible and st.accurate_retries == 0
         )
+        elapsed = st.ledger.total_seconds()
+        phase_ledger = ledger_phase_cums(st.ledger)
+        ledger_crosscheck("bfce.batched", elapsed, phase_ledger)
+        _event(
+            "trial",
+            engine="batched",
+            seed=st.seed,
+            n_hat=st.n_hat,
+            pn_probe=st.probe.pn,
+            pn_optimal=st.pn_final,
+            rho_final=st.rho_final,
+            guarantee_met=guarantee,
+            probe_rounds=st.probe.rounds,
+            elapsed_seconds=elapsed,
+            phase_ledger=phase_ledger,
+        )
         return BFCEResult(
             n_hat=st.n_hat,
             n_rough=st.rough.n_rough,
@@ -362,7 +390,7 @@ class BatchBFCE:
             probe_rounds=st.probe.rounds,
             rough_retries=st.rough.retries,
             accurate_retries=st.accurate_retries,
-            elapsed_seconds=st.ledger.total_seconds(),
+            elapsed_seconds=elapsed,
             ledger=st.ledger,
         )
 
@@ -394,10 +422,11 @@ def run_bfce_trials_batched(
     engine_ran = "batched"
     if not batching_is_sound(channel):
         engine_ran = "serial"
-        _log.debug(
-            "run_bfce_trials_batched: channel %s is unsound for batching, "
-            "falling back to serial per-trial execution",
-            type(channel).__name__,
+        engine_fallback(
+            "run_bfce_trials_batched",
+            requested="batched",
+            actual="serial",
+            reason=f"channel {type(channel).__name__} is unsound for batching",
         )
     engine = BatchBFCE(config=config, requirement=AccuracyRequirement(eps, delta))
     results = engine.estimate_many(

@@ -9,7 +9,6 @@ deterministic given the base seed.
 
 from __future__ import annotations
 
-import logging
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
@@ -19,6 +18,9 @@ from ..baselines.base import CardinalityEstimator
 from ..core.accuracy import AccuracyRequirement
 from ..core.bfce import BFCE
 from ..core.config import BFCEConfig, DEFAULT_CONFIG
+from ..obs import metrics as _metrics
+from ..obs.events import engine_fallback
+from ..obs.trace import span as _span
 from ..rfid.channel import Channel
 from ..rfid.tags import TagPopulation
 from .stats import ErrorSummary
@@ -31,8 +33,6 @@ __all__ = [
     "SweepPoint",
     "sweep",
 ]
-
-_log = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -101,6 +101,7 @@ def run_bfce_trials(
     if engine in ("batched", "analytic") and estimator_factory is not None:
         raise ValueError("estimator_factory requires the serial engine")
     if engine == "analytic":
+        _metrics.inc("engine.select.analytic")
         return run_bfce_trials_analytic(
             population,
             trials=trials,
@@ -119,6 +120,7 @@ def run_bfce_trials(
     if engine != "serial" and estimator_factory is None:
         from .batch import run_bfce_trials_batched  # deferred: batch imports us
 
+        _metrics.inc("engine.select.batched")
         return run_bfce_trials_batched(
             population,
             trials=trials,
@@ -130,9 +132,13 @@ def run_bfce_trials(
             channel=channel,
         )
     if engine == "auto":
-        _log.debug(
-            "run_bfce_trials: estimator_factory in play, falling back to serial engine"
+        engine_fallback(
+            "run_bfce_trials",
+            requested="auto",
+            actual="serial",
+            reason="estimator_factory requires the serial engine",
         )
+    _metrics.inc("engine.select.serial")
     req = AccuracyRequirement(eps, delta)
     bfce = estimator_factory(req) if estimator_factory else BFCE(
         config=config, requirement=req
@@ -253,7 +259,8 @@ def run_trials(
         serial path, which is always sound, while the analytic engine
         raises for unsupported estimators (serial needs a real population).
         ``extra["engine"]`` on each record names the engine that actually
-        ran, and the fallback emits a ``logging.DEBUG`` line so throughput
+        ran, and the fallback is counted (``engine.fallback``) and surfaced
+        as an :class:`~repro.obs.EngineFallbackWarning` so throughput
         surprises are diagnosable.
     """
     if engine not in ("auto", "batched", "serial", "analytic"):
@@ -263,6 +270,7 @@ def run_trials(
     if engine == "analytic":
         from ..baselines.analytic import run_baseline_trials_analytic
 
+        _metrics.inc("engine.select.analytic")
         return run_baseline_trials_analytic(
             estimator,
             population,
@@ -279,6 +287,7 @@ def run_trials(
         from ..baselines.batch import baseline_batchable, run_baseline_trials_batched
 
         if baseline_batchable(estimator):
+            _metrics.inc("engine.select.batched")
             return run_baseline_trials_batched(
                 estimator,
                 population,
@@ -286,15 +295,21 @@ def run_trials(
                 base_seed=base_seed,
                 distribution=distribution,
             )
-        _log.debug(
-            "run_trials: %s is not batchable, falling back to serial engine",
-            type(estimator).__name__,
+        engine_fallback(
+            "run_trials",
+            requested=engine,
+            actual="serial",
+            reason=f"{type(estimator).__name__} is not batchable",
         )
+    _metrics.inc("engine.select.serial")
     n_true = population.size
     req = estimator.requirement
     records: list[TrialRecord] = []
     for t in range(trials):
-        result = estimator.estimate(population, seed=base_seed + t)
+        with _span("trial", engine="serial", estimator=type(estimator).__name__) as sp:
+            result = estimator.estimate(population, seed=base_seed + t)
+            if sp:
+                sp.set(n_hat=result.n_hat, elapsed_seconds=result.elapsed_seconds)
         records.append(
             TrialRecord(
                 estimator=result.estimator,

@@ -46,6 +46,9 @@ from functools import lru_cache
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
+
 __all__ = [
     "SweepPoint",
     "TrialCache",
@@ -378,6 +381,8 @@ class TrialCache:
         self.misses = 0
         self.stores = 0
         self.rejected = 0
+        self.evicted = 0
+        self._persisted: dict[str, int] = {}
 
     def key(self, canonical: str) -> str:
         """Cache key of one canonical spec under the current engine token."""
@@ -395,6 +400,7 @@ class TrialCache:
             raw = path.read_text()
         except OSError:
             self.misses += 1
+            _metrics.inc("sweep.cache.miss")
             return None
         entry = None
         try:
@@ -411,6 +417,8 @@ class TrialCache:
         if not valid:
             self.rejected += 1
             self.misses += 1
+            _metrics.inc("sweep.cache.miss")
+            _metrics.inc("sweep.cache.rejected")
             _log.debug("discarding invalid cache entry %s", path)
             try:
                 path.unlink()
@@ -418,6 +426,7 @@ class TrialCache:
                 pass
             return None
         self.hits += 1
+        _metrics.inc("sweep.cache.hit")
         try:
             os.utime(path)  # mtime = last use, so prune() evicts true LRU
         except OSError:
@@ -438,9 +447,49 @@ class TrialCache:
         tmp.write_text(_dumps(entry))
         os.replace(tmp, path)
         self.stores += 1
+        _metrics.inc("sweep.cache.store")
+
+    @property
+    def metrics_path(self) -> Path:
+        """Cumulative obs-metrics snapshot for this cache directory.
+
+        Lives under ``meta/`` so the ``*.json`` entry globs of
+        :meth:`stats`/:meth:`prune` (and the ``*.json*`` glob of
+        :meth:`clear`) never mistake it for a cache entry.
+        """
+        return self.directory / "meta" / "obs_metrics.json"
+
+    def persist_metrics(self) -> dict:
+        """Fold this session's cache counters into the cumulative snapshot.
+
+        Idempotent across repeated calls: only the delta since the last
+        persist is folded, so schedulers may call it after every sweep.
+        Returns the merged cumulative counters.
+        """
+        from ..obs import metrics as obs_metrics
+
+        current = {
+            "sweep.cache.hit": self.hits,
+            "sweep.cache.miss": self.misses,
+            "sweep.cache.store": self.stores,
+            "sweep.cache.rejected": self.rejected,
+            "sweep.cache.evicted": self.evicted,
+        }
+        delta = {
+            name: value - self._persisted.get(name, 0)
+            for name, value in current.items()
+            if value - self._persisted.get(name, 0)
+        }
+        if not delta:
+            return obs_metrics.load_file(self.metrics_path)["counters"]
+        merged = obs_metrics.fold_into_file(self.metrics_path, {"counters": delta})
+        self._persisted = current
+        return merged["counters"]
 
     def stats(self) -> dict:
         """Disk + session counters for reporting (``repro-rfid cache stats``)."""
+        from ..obs import metrics as obs_metrics
+
         entries = (
             sorted(self.directory.glob("*.json")) if self.directory.is_dir() else []
         )
@@ -454,7 +503,9 @@ class TrialCache:
                 "misses": self.misses,
                 "stores": self.stores,
                 "rejected": self.rejected,
+                "evicted": self.evicted,
             },
+            "cumulative": obs_metrics.load_file(self.metrics_path)["counters"],
         }
 
     def clear(self) -> int:
@@ -467,6 +518,8 @@ class TrialCache:
                     removed += 1
                 except OSError:
                     pass
+        self.evicted += removed
+        _metrics.inc("sweep.cache.evicted", removed)
         return removed
 
     def prune(
@@ -518,6 +571,8 @@ class TrialCache:
                 except OSError:
                     pass
             entries = entries[idx:]
+        self.evicted += removed
+        _metrics.inc("sweep.cache.evicted", removed)
         return {
             "removed": removed,
             "kept": len(entries),
@@ -693,9 +748,18 @@ _EXECUTORS: dict[str, Callable[[dict], dict]] = {
 
 
 def _execute_canonical(canonical: str) -> dict:
-    """Worker entry point: decode one canonical spec and execute it."""
+    """Worker entry point: decode one canonical spec and execute it.
+
+    Under tracing, each executed point gets a ``sweep.point`` span and the
+    worker's metrics snapshot is flushed to its sidecar afterwards — forked
+    pool children exit via ``os._exit``, so an ``atexit`` flush would never
+    run.
+    """
     spec = json.loads(canonical)
-    return _EXECUTORS[spec["kind"]](spec)
+    with _trace.span("sweep.point", kind=spec["kind"]):
+        payload = _EXECUTORS[spec["kind"]](spec)
+    _trace.flush()
+    return payload
 
 
 # ----------------------------------------------------------------------
@@ -722,33 +786,41 @@ def run_sweep(
     point_list = list(points)
     if cache is None and cache_enabled():
         cache = TrialCache()
-    ordered_unique: list[str] = []
-    seen: set[str] = set()
-    for point in point_list:
-        if point.canonical not in seen:
-            seen.add(point.canonical)
-            ordered_unique.append(point.canonical)
-    results: dict[str, dict] = {}
-    missing: list[str] = []
-    for canonical in ordered_unique:
-        payload = cache.load(canonical) if cache is not None else None
-        if payload is not None:
-            results[canonical] = payload
-        else:
-            missing.append(canonical)
-    if missing:
-        workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
-        workers = max(1, min(workers, len(missing)))
-        if workers <= 1:
-            payloads = [_execute_canonical(c) for c in missing]
-        else:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                payloads = list(pool.map(_execute_canonical, missing))
-        for canonical, payload in zip(missing, payloads):
-            payload = _normalise(payload)
-            if cache is not None:
-                cache.store(canonical, payload)
-            results[canonical] = payload
+    with _trace.span("sweep.run", points=len(point_list)) as sp:
+        ordered_unique: list[str] = []
+        seen: set[str] = set()
+        for point in point_list:
+            if point.canonical not in seen:
+                seen.add(point.canonical)
+                ordered_unique.append(point.canonical)
+        results: dict[str, dict] = {}
+        missing: list[str] = []
+        for canonical in ordered_unique:
+            payload = cache.load(canonical) if cache is not None else None
+            if payload is not None:
+                results[canonical] = payload
+            else:
+                missing.append(canonical)
+        if missing:
+            workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+            workers = max(1, min(workers, len(missing)))
+            if workers <= 1:
+                payloads = [_execute_canonical(c) for c in missing]
+            else:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    payloads = list(pool.map(_execute_canonical, missing))
+                # Fold the pool workers' sidecar traces (spans + their final
+                # metrics snapshots) back into the parent's trace file.
+                _trace.merge_worker_traces()
+            for canonical, payload in zip(missing, payloads):
+                payload = _normalise(payload)
+                if cache is not None:
+                    cache.store(canonical, payload)
+                results[canonical] = payload
+        if cache is not None:
+            cache.persist_metrics()
+        if sp:
+            sp.set(unique=len(ordered_unique), misses=len(missing))
     return [results[point.canonical] for point in point_list]
 
 
@@ -780,8 +852,10 @@ def cached_call(spec: dict, compute: Callable[[], dict], *, cache: TrialCache | 
     if cache is not None:
         payload = cache.load(canonical)
         if payload is not None:
+            cache.persist_metrics()
             return payload
     payload = _normalise(compute())
     if cache is not None:
         cache.store(canonical, payload)
+        cache.persist_metrics()
     return payload

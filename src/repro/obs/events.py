@@ -1,0 +1,91 @@
+"""Counted, surfaced protocol events: engine fallbacks and ledger checks.
+
+Before this module the engines downgraded themselves silently: a noisy
+channel dropped the batched BFCE engine to serial, a non-batchable baseline
+dropped ``run_trials`` to the per-trial path, and the only record was a
+``logging.debug`` line nobody had enabled.  :func:`engine_fallback` is the
+single replacement: it counts the event in the metrics registry, records a
+trace event when tracing is on, and raises an :class:`EngineFallbackWarning`
+so the downgrade is visible in test output and CI logs.
+
+:func:`ledger_crosscheck` is the observability side of the repo's
+time-claim ground truth: every instrumented trial verifies that the
+per-phase ledger fold (:func:`repro.obs.trace.ledger_phase_cums`) telescopes
+back to the trial's ``elapsed_seconds`` bit-exactly, keeps the running
+totals as gauges, and counts any mismatch — if a future ledger or engine
+change breaks the summation contract, the counter (and warning) trips
+before a paper number quietly drifts.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from . import metrics, trace
+
+__all__ = ["EngineFallbackWarning", "LedgerDriftWarning", "engine_fallback", "ledger_crosscheck"]
+
+
+class EngineFallbackWarning(RuntimeWarning):
+    """An execution engine silently downgraded to a slower tier."""
+
+
+class LedgerDriftWarning(RuntimeWarning):
+    """A trial's ledger totals disagree with its reported elapsed time."""
+
+
+def engine_fallback(component: str, *, requested: str, actual: str, reason: str) -> None:
+    """Count + surface one engine downgrade (requested tier → actual tier).
+
+    Increments ``engine.fallback`` and ``engine.fallback.<component>``,
+    records an ``engine.fallback`` trace event when tracing is enabled, and
+    warns with :class:`EngineFallbackWarning`.  Callers that *choose* a tier
+    (engine="serial") are not fallbacks and must not call this.
+    """
+    metrics.inc("engine.fallback")
+    metrics.inc(f"engine.fallback.{component}")
+    trace.event(
+        "engine.fallback",
+        component=component,
+        requested=requested,
+        actual=actual,
+        reason=reason,
+    )
+    warnings.warn(
+        f"{component}: engine={requested!r} fell back to {actual!r} ({reason})",
+        EngineFallbackWarning,
+        stacklevel=3,
+    )
+
+
+def ledger_crosscheck(component: str, elapsed_seconds: float, phase_ledger: list[dict]) -> bool:
+    """Verify the phase-ledger fold telescopes to ``elapsed_seconds`` exactly.
+
+    ``phase_ledger`` is the output of
+    :func:`repro.obs.trace.ledger_phase_cums`; its final ``cum`` is the same
+    left-to-right float64 fold as ``TimeLedger.total_seconds()``, so the two
+    must be bit-identical.  Counts ``ledger.crosscheck.ok`` /
+    ``ledger.crosscheck.mismatch``, accumulates the verified air time in the
+    ``ledger.elapsed_seconds_total`` counter (the obs-side mirror of the
+    ledger ground truth), and warns on mismatch.  Returns the verdict.
+    """
+    total = phase_ledger[-1]["cum"] if phase_ledger else 0.0
+    ok = total == elapsed_seconds
+    if ok:
+        metrics.inc("ledger.crosscheck.ok")
+    else:
+        metrics.inc("ledger.crosscheck.mismatch")
+        trace.event(
+            "ledger.crosscheck.mismatch",
+            component=component,
+            elapsed_seconds=elapsed_seconds,
+            phase_total=total,
+        )
+        warnings.warn(
+            f"{component}: ledger phase totals ({total!r}) drifted from "
+            f"elapsed_seconds ({elapsed_seconds!r})",
+            LedgerDriftWarning,
+            stacklevel=3,
+        )
+    metrics.inc("ledger.elapsed_seconds_total", elapsed_seconds)
+    return ok

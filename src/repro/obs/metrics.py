@@ -1,0 +1,149 @@
+"""In-process metrics registry: counters, gauges and cheap histograms.
+
+Unlike the tracer (off by default), the registry is **always on**: an
+increment is one dict operation on plain Python numbers, cheap enough for
+per-round/per-frame call sites (the hot per-tag loops live inside the
+kernels and are never instrumented).  Metrics are process-local; sweep
+workers fold their snapshots into the trace file as ``metrics`` records
+(:func:`repro.obs.trace.flush`) and the report layer sums the last record
+of each pid.
+
+Cumulative cross-process persistence — e.g. the sweep cache's lifetime
+hit/miss/eviction totals surfaced by ``repro-rfid cache stats`` — goes
+through :func:`fold_into_file`: read-modify-write of a small JSON snapshot
+with an atomic replace, tolerant of a missing or corrupt file.
+
+Naming convention: dotted lowercase paths, most-general first —
+``engine.fallback``, ``sweep.cache.hit``, ``kernel.native.occupancy``,
+``frame.slots.idle``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+__all__ = [
+    "fold_into_file",
+    "gauge",
+    "get",
+    "histograms",
+    "inc",
+    "load_file",
+    "observe",
+    "reset",
+    "snapshot",
+]
+
+_lock = threading.Lock()
+_counters: dict[str, float] = {}
+_gauges: dict[str, float] = {}
+_hists: dict[str, dict] = {}
+
+
+def inc(name: str, value: float = 1) -> None:
+    """Add ``value`` (default 1) to counter ``name``."""
+    with _lock:
+        _counters[name] = _counters.get(name, 0) + value
+
+
+def gauge(name: str, value: float) -> None:
+    """Set gauge ``name`` to ``value`` (last write wins)."""
+    with _lock:
+        _gauges[name] = value
+
+
+def observe(name: str, value: float) -> None:
+    """Fold ``value`` into histogram ``name`` (count/sum/min/max summary)."""
+    with _lock:
+        h = _hists.get(name)
+        if h is None:
+            _hists[name] = {"count": 1, "sum": value, "min": value, "max": value}
+        else:
+            h["count"] += 1
+            h["sum"] += value
+            if value < h["min"]:
+                h["min"] = value
+            if value > h["max"]:
+                h["max"] = value
+
+
+def get(name: str, default: float = 0) -> float:
+    """Current value of counter ``name`` (0 when never incremented)."""
+    return _counters.get(name, default)
+
+
+def histograms() -> dict[str, dict]:
+    """Copy of the histogram summaries."""
+    with _lock:
+        return {k: dict(v) for k, v in _hists.items()}
+
+
+def snapshot() -> dict:
+    """One JSON-ready snapshot of every metric in this process."""
+    with _lock:
+        return {
+            "counters": dict(_counters),
+            "gauges": dict(_gauges),
+            "histograms": {k: dict(v) for k, v in _hists.items()},
+        }
+
+
+def reset() -> None:
+    """Zero every metric (tests and long-lived processes)."""
+    with _lock:
+        _counters.clear()
+        _gauges.clear()
+        _hists.clear()
+
+
+# ----------------------------------------------------------------------
+# cumulative cross-process persistence
+# ----------------------------------------------------------------------
+def load_file(path) -> dict:
+    """Read a persisted snapshot; empty shape on missing/corrupt files."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, ValueError):
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+    if not isinstance(data, dict):
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+    return {
+        "counters": dict(data.get("counters") or {}),
+        "gauges": dict(data.get("gauges") or {}),
+        "histograms": {k: dict(v) for k, v in (data.get("histograms") or {}).items()},
+    }
+
+
+def fold_into_file(path, delta: dict) -> dict:
+    """Add a snapshot-shaped ``delta`` into the cumulative file at ``path``.
+
+    Counters add, gauges overwrite, histograms merge their summaries.  The
+    write is atomic (tmp + rename); the merged snapshot is returned.  Bare
+    ``{"counters": {...}}``-style partial deltas are accepted.
+    """
+    path = os.fspath(path)
+    merged = load_file(path)
+    for name, value in (delta.get("counters") or {}).items():
+        merged["counters"][name] = merged["counters"].get(name, 0) + value
+    for name, value in (delta.get("gauges") or {}).items():
+        merged["gauges"][name] = value
+    for name, h in (delta.get("histograms") or {}).items():
+        cur = merged["histograms"].get(name)
+        if cur is None:
+            merged["histograms"][name] = dict(h)
+        else:
+            cur["count"] += h["count"]
+            cur["sum"] += h["sum"]
+            cur["min"] = min(cur["min"], h["min"])
+            cur["max"] = max(cur["max"], h["max"])
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    tmp = f"{path}.tmp{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(merged, fh, sort_keys=True)
+    os.replace(tmp, path)
+    return merged

@@ -1,0 +1,442 @@
+"""Structured span tracer with a process-safe JSONL sink.
+
+The tracer records *spans* — named, nestable intervals of work
+(``trial > probe/rough/accurate > frame``) carrying structured attributes —
+and writes one JSON object per line to a trace file.  Design constraints,
+in order:
+
+1. **Off by default, near-zero cost when off.**  :func:`span` returns a
+   shared no-op singleton when no tracer is configured: one module-global
+   read, one ``is None`` test, no allocation.  Instrumentation sites guard
+   expensive attribute computation behind the span's truthiness
+   (``if sp: sp.set(...)`` — the null span is falsy).
+2. **Observe, never consume.**  Spans draw no randomness and mutate no
+   estimator state; enabling tracing is bit-identity-preserving by
+   construction (pinned by ``tests/obs/test_bit_identity.py``).
+3. **Process-safe.**  ``ProcessPoolExecutor`` sweep workers inherit the
+   configured tracer (fork) or re-derive it from ``REPRO_TRACE`` (spawn).
+   Only the *root* process (recorded in ``REPRO_TRACE_ROOT``) writes to the
+   main file; every other pid appends to a per-worker sidecar
+   ``<path>.w<pid>`` which :func:`merge_worker_traces` folds back into the
+   main file — no cross-process file-handle sharing, no interleaved lines.
+
+Enable with ``REPRO_TRACE=/path/trace.jsonl`` in the environment or
+:func:`configure` in code.  Record schema (one JSON object per line)::
+
+    {"t": "meta",    "pid": ..., "version": 1, "wall": ..., "root": ...}
+    {"t": "span",    "pid": ..., "id": ..., "parent": ..., "depth": ...,
+                     "name": ..., "wall": ..., "dur": ..., "attrs": {...}}
+    {"t": "event",   "pid": ..., "name": ..., "wall": ..., "attrs": {...}}
+    {"t": "metrics", "pid": ..., "wall": ..., "counters": {...},
+                     "gauges": {...}, "histograms": {...}}
+
+Span ids are unique per ``(pid, id)``; ``parent`` is the enclosing span's
+id within the same pid (``None`` at the top level).  Spans are written at
+*exit*, so a parent's line appears after its children's — readers must sort
+by ``(pid, id)`` (ids are allocated at entry) to recover entry order.
+"""
+
+from __future__ import annotations
+
+import glob as _glob
+import json
+import os
+import threading
+import time
+
+__all__ = [
+    "TRACE_ENV",
+    "TRACE_ROOT_ENV",
+    "Span",
+    "Tracer",
+    "configure",
+    "enabled",
+    "event",
+    "flush",
+    "ledger_phase_cums",
+    "merge_worker_traces",
+    "span",
+    "tracer",
+]
+
+TRACE_ENV = "REPRO_TRACE"
+TRACE_ROOT_ENV = "REPRO_TRACE_ROOT"
+
+_FORMAT_VERSION = 1
+
+
+def _json_safe(value):
+    """Coerce NumPy scalars/arrays (and anything else odd) to JSON types."""
+    if hasattr(value, "item") and not hasattr(value, "__len__"):
+        return value.item()
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    return repr(value)
+
+
+def _dumps(record: dict) -> str:
+    return json.dumps(record, separators=(",", ":"), default=_json_safe)
+
+
+class _NullSpan:
+    """Falsy no-op span shared by every disabled-tracing call site."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def __bool__(self) -> bool:
+        return False
+
+    def set(self, **attrs) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One live span; use as a context manager, add attributes via :meth:`set`.
+
+    Attributes are observed data only — estimator code must never read them
+    back.  The span is truthy, so instrumentation can guard expensive
+    attribute computation with ``if sp:``.
+    """
+
+    __slots__ = ("name", "attrs", "span_id", "parent_id", "depth", "_tracer", "_t0", "_wall")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = -1
+        self.parent_id: int | None = None
+        self.depth = 0
+        self._t0 = 0.0
+        self._wall = 0.0
+
+    def __bool__(self) -> bool:
+        return True
+
+    def set(self, **attrs) -> None:
+        """Attach (or overwrite) structured attributes on this span."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        self._tracer._enter(self)
+        self._wall = time.time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        dur = time.perf_counter() - self._t0
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._exit(self, dur)
+        return False
+
+
+class Tracer:
+    """Writes span/event/metrics records to a JSONL file, sidecar-per-pid.
+
+    Parameters
+    ----------
+    path:
+        The main trace file.  The process whose pid equals ``root_pid``
+        appends here; any other process appends to ``<path>.w<pid>``.
+    root_pid:
+        Pid of the process that owns the main file.  Defaults to the
+        current process.
+    """
+
+    def __init__(self, path: str, *, root_pid: int | None = None) -> None:
+        self.path = str(path)
+        self.root_pid = int(root_pid) if root_pid is not None else os.getpid()
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._fh = None
+        self._fh_pid: int | None = None
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # sink
+    # ------------------------------------------------------------------
+    def sink_path(self) -> str:
+        """This process's output file (main file for the root pid)."""
+        pid = os.getpid()
+        return self.path if pid == self.root_pid else f"{self.path}.w{pid}"
+
+    def _file(self):
+        pid = os.getpid()
+        if self._fh is None or self._fh_pid != pid:
+            # First write in this process (or first after a fork): (re)open
+            # this pid's own sink and stamp it with a meta record.
+            if self._fh is not None and self._fh_pid == pid:
+                return self._fh
+            self._fh = open(self.sink_path(), "a", encoding="utf-8")
+            self._fh_pid = pid
+            self._fh.write(
+                _dumps(
+                    {
+                        "t": "meta",
+                        "version": _FORMAT_VERSION,
+                        "pid": pid,
+                        "root": self.root_pid,
+                        "wall": time.time(),
+                    }
+                )
+                + "\n"
+            )
+            self._fh.flush()
+        return self._fh
+
+    def _write(self, record: dict) -> None:
+        line = _dumps(record) + "\n"
+        with self._lock:
+            fh = self._file()
+            fh.write(line)
+            fh.flush()
+
+    def flush(self) -> None:
+        """Flush the underlying file (writes already flush per record)."""
+        with self._lock:
+            if self._fh is not None and self._fh_pid == os.getpid():
+                self._fh.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None and self._fh_pid == os.getpid():
+                self._fh.close()
+            self._fh = None
+            self._fh_pid = None
+
+    # ------------------------------------------------------------------
+    # spans
+    # ------------------------------------------------------------------
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, **attrs) -> Span:
+        """A new span; nest by entering it while another span is active."""
+        return Span(self, name, attrs)
+
+    def _enter(self, span: Span) -> None:
+        stack = self._stack()
+        with self._lock:
+            span.span_id = self._next_id
+            self._next_id += 1
+        span.parent_id = stack[-1].span_id if stack else None
+        span.depth = len(stack)
+        stack.append(span)
+
+    def _exit(self, span: Span, dur: float) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # exited out of order: drop it and its orphans
+            del stack[stack.index(span):]
+        self._write(
+            {
+                "t": "span",
+                "pid": os.getpid(),
+                "id": span.span_id,
+                "parent": span.parent_id,
+                "depth": span.depth,
+                "name": span.name,
+                "wall": span._wall,
+                "dur": dur,
+                "attrs": span.attrs,
+            }
+        )
+
+    def event(self, name: str, **attrs) -> None:
+        """Write one instantaneous event record."""
+        self._write(
+            {
+                "t": "event",
+                "pid": os.getpid(),
+                "name": name,
+                "wall": time.time(),
+                "attrs": attrs,
+            }
+        )
+
+    def write_metrics(self, snapshot: dict) -> None:
+        """Write the current metrics snapshot as one cumulative record."""
+        record = {"t": "metrics", "pid": os.getpid(), "wall": time.time()}
+        record.update(snapshot)
+        self._write(record)
+
+
+# ----------------------------------------------------------------------
+# module-level state
+# ----------------------------------------------------------------------
+_tracer: Tracer | None = None
+_env_checked = False
+
+
+def tracer() -> Tracer | None:
+    """The active tracer, initialising once from ``REPRO_TRACE`` if set."""
+    global _tracer, _env_checked
+    if _tracer is None and not _env_checked:
+        _env_checked = True
+        path = os.environ.get(TRACE_ENV)
+        if path:
+            root = os.environ.get(TRACE_ROOT_ENV)
+            if root is None:
+                # First process to initialise owns the main file; children
+                # (fork or spawn) see the pid via the environment and write
+                # sidecars instead.
+                os.environ[TRACE_ROOT_ENV] = str(os.getpid())
+                root = str(os.getpid())
+            _tracer = Tracer(path, root_pid=int(root))
+    return _tracer
+
+
+def configure(path: str | os.PathLike | None) -> Tracer | None:
+    """Enable tracing to ``path`` (or disable with ``None``).
+
+    Also exports ``REPRO_TRACE``/``REPRO_TRACE_ROOT`` so worker processes —
+    forked or spawned — route their records to per-worker sidecar files of
+    the same trace.
+    """
+    global _tracer, _env_checked
+    _env_checked = True
+    if _tracer is not None:
+        _tracer.close()
+    if path is None:
+        _tracer = None
+        os.environ.pop(TRACE_ENV, None)
+        os.environ.pop(TRACE_ROOT_ENV, None)
+        return None
+    _tracer = Tracer(str(path))
+    os.environ[TRACE_ENV] = str(path)
+    os.environ[TRACE_ROOT_ENV] = str(_tracer.root_pid)
+    return _tracer
+
+
+def enabled() -> bool:
+    """Whether a tracer is active in this process."""
+    return tracer() is not None
+
+
+def span(name: str, **attrs):
+    """A span under the active tracer, or the shared no-op when disabled."""
+    t = tracer()
+    if t is None:
+        return NULL_SPAN
+    return t.span(name, **attrs)
+
+
+def event(name: str, **attrs) -> None:
+    """Record one instantaneous event (no-op when tracing is disabled)."""
+    t = tracer()
+    if t is not None:
+        t.event(name, **attrs)
+
+
+def flush() -> None:
+    """Append the current metrics snapshot to the trace and flush the sink.
+
+    No-op when tracing is disabled.  Counters are cumulative per process, so
+    readers keep only the **last** metrics record of each pid and sum across
+    pids (:func:`repro.obs.report.metrics_totals` does exactly that).
+    """
+    t = tracer()
+    if t is None:
+        return
+    from . import metrics
+
+    t.write_metrics(metrics.snapshot())
+    t.flush()
+
+
+def merge_worker_traces(path: str | os.PathLike | None = None) -> int:
+    """Fold ``<path>.w<pid>`` sidecar files back into the main trace file.
+
+    Returns the number of sidecars merged (and removed).  Safe to call when
+    there are none; called automatically at the end of
+    :func:`repro.experiments.sweep.run_sweep` and before the ``obs`` CLI
+    reads a trace.
+    """
+    if path is None:
+        t = tracer()
+        if t is None:
+            return 0
+        path = t.path
+    path = str(path)
+    sidecars = sorted(_glob.glob(glob_escape(path) + ".w*"))
+    if not sidecars:
+        return 0
+    with open(path, "a", encoding="utf-8") as main:
+        for sidecar in sidecars:
+            with open(sidecar, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    if line.strip():
+                        main.write(line if line.endswith("\n") else line + "\n")
+            os.unlink(sidecar)
+    return len(sidecars)
+
+
+def glob_escape(path: str) -> str:
+    """``glob.escape`` (wrapped so the module import list stays tidy)."""
+    return _glob.escape(path)
+
+
+# ----------------------------------------------------------------------
+# ledger helpers
+# ----------------------------------------------------------------------
+def ledger_phase_cums(ledger) -> list[dict]:
+    """Per-phase air-time totals of a :class:`~repro.timing.accounting.TimeLedger`.
+
+    Walks the ledger's messages once, left to right, accumulating the same
+    float64 running total as :meth:`TimeLedger.total_seconds` (which sums
+    message costs in record order).  Returns one dict per *contiguous run*
+    of a phase::
+
+        {"phase": str, "seconds": float, "cum": float,
+         "down_bits": int, "up_slots": int, "messages": int}
+
+    ``cum`` is the running total *after* the run — the final run's ``cum``
+    is bit-identical to ``ledger.total_seconds()`` — and ``seconds`` is the
+    delta ``cum - previous cum``.  Telescoping the deltas therefore
+    reconstructs the exact total: summing the trace's per-phase ledger
+    seconds via :func:`repro.obs.report.trial_ledger_total` gives back
+    ``elapsed_seconds`` with no float drift.  This is also the obs-side
+    cross-check of the ledger ground truth (see
+    :func:`repro.obs.events.ledger_crosscheck`).
+    """
+    timing = ledger.timing
+    total = 0.0
+    runs: list[dict] = []
+    current: dict | None = None
+    for m in ledger.messages:
+        if current is None or m.phase != current["phase"]:
+            current = {
+                "phase": m.phase,
+                "start": total,
+                "seconds": 0.0,
+                "cum": total,
+                "down_bits": 0,
+                "up_slots": 0,
+                "messages": 0,
+            }
+            runs.append(current)
+        total += m.cost_seconds(timing)
+        current["cum"] = total
+        current["seconds"] = total - current["start"]
+        current["messages"] += m.count
+        if m.direction == "down":
+            current["down_bits"] += m.total_bits
+        else:
+            current["up_slots"] += m.total_bits
+    for run in runs:
+        del run["start"]
+    return runs

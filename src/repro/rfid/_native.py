@@ -256,6 +256,9 @@ def get_lib() -> ctypes.CDLL | None:
     if _lib is None and not _build_failed:
         _lib = _compile()
         _build_failed = _lib is None
+        from ..obs import metrics as _metrics
+
+        _metrics.inc("kernel.native.build.ok" if _lib else "kernel.native.build.failed")
     return _lib
 
 

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import metrics as _metrics
 from . import _native
 from .channel import Channel, PerfectChannel
 from .hashing import mix64, mix64_into
@@ -504,6 +505,7 @@ def _batched_chunk_counts(
     # event, no intermediate arrays); rn_window and compiler-less hosts use
     # the NumPy path below — both produce bit-identical counts.
     if population.persistence_mode in ("event", "static") and _native.get_lib() is not None:
+        _metrics.inc("kernel.native.bfce_counts")
         counts = _native.bfce_counts_native(
             population.tag_ids,
             population.rn,
@@ -514,6 +516,7 @@ def _batched_chunk_counts(
             population.persistence_mode == "static",
         )
         return counts[:, :observe_slots]
+    _metrics.inc("kernel.numpy.bfce_counts")
     # NumPy path: decide persistence first, then hash slots
     # only for the responding events — the ~E[p]·C·k·n survivors are the
     # only ones that pay for the slot XOR, int64 conversion and frame

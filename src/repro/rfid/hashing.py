@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs import metrics as _metrics
 from . import _native
 
 __all__ = [
@@ -225,9 +226,11 @@ def geometric_occupancy_batch(
     top_bit = np.uint64(1) << np.uint64(max_bits - 1)
     mask = _U64_MASK if max_bits == 64 else np.uint64((1 << max_bits) - 1)
     if _native.get_lib() is not None:
+        _metrics.inc("kernel.native.occupancy")
         return _native.occupancy_native(
             keys, np.ascontiguousarray(seed_mix), int(mask), int(top_bit)
         )
+    _metrics.inc("kernel.numpy.occupancy")
     rows = max(1, min(seeds.size, chunk_events // keys.size))
     buf = np.empty((rows, keys.size), dtype=np.uint64)
     tmp = np.empty_like(buf)

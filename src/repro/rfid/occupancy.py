@@ -52,6 +52,7 @@ from functools import lru_cache
 
 import numpy as np
 
+from ..obs import metrics as _metrics
 from ..timing.accounting import TimeLedger
 from ..timing.c1g2 import C1G2Timing, DEFAULT_TIMING
 from . import _native
@@ -99,11 +100,13 @@ def scatter_counts(scatter_seed: int, balls: int, n_slots: int) -> np.ndarray:
     if balls < 0:
         raise ValueError("balls must be non-negative")
     if _native.get_lib() is not None:
+        _metrics.inc("kernel.native.analytic_scatter")
         return _native.analytic_scatter_native(
             np.array([scatter_seed], dtype=np.uint64),
             np.array([balls], dtype=np.int64),
             n_slots,
         )[0]
+    _metrics.inc("kernel.numpy.analytic_scatter")
     counts = np.zeros(n_slots, dtype=np.int32)
     mod = np.uint64(n_slots)
     with np.errstate(over="ignore"):
@@ -330,6 +333,9 @@ class AnalyticReader:
             w=w,
         )
         self.ledger.record_uplink(result.observed_slots, phase=phase, label="frame")
+        _metrics.inc("frame.count")
+        _metrics.inc("frame.slots.idle", result.ones)
+        _metrics.inc("frame.slots.busy", result.observed_slots - result.ones)
         return result
 
     def sense_slots(self, busy: np.ndarray, *, phase: str = "", label: str = "slots") -> None:

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs import metrics as _metrics
 from ..timing.accounting import TimeLedger
 from ..timing.c1g2 import C1G2Timing, DEFAULT_TIMING
 from .channel import Channel, PerfectChannel
@@ -102,6 +103,9 @@ class Reader:
             channel_rng=self._rng,
         )
         self.ledger.record_uplink(result.observed_slots, phase=phase, label="frame")
+        _metrics.inc("frame.count")
+        _metrics.inc("frame.slots.idle", result.ones)
+        _metrics.inc("frame.slots.busy", result.observed_slots - result.ones)
         return result
 
     def sense_slots(self, busy: np.ndarray, *, phase: str = "", label: str = "slots") -> None:

@@ -116,7 +116,19 @@ class TimeLedger:
         self.messages.append(Message("up", bit_slots, phase, label, count))
 
     def merge(self, other: "TimeLedger") -> None:
-        """Append all of ``other``'s messages to this ledger."""
+        """Append all of ``other``'s messages to this ledger.
+
+        Both ledgers must price messages under the same timing model: a
+        :class:`Message` carries no cost of its own, so merging across
+        models would silently re-price ``other``'s history under
+        ``self.timing`` and drift the total away from the sum of the parts.
+        """
+        if other.timing != self.timing:
+            raise ValueError(
+                "cannot merge ledgers with different timing models "
+                f"({self.timing!r} != {other.timing!r}); totals would be "
+                "silently re-priced"
+            )
         self.messages.extend(other.messages)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,82 @@
+"""Metrics registry unit tests: counters/gauges/histograms + persistence."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import metrics
+
+
+def test_counters_accumulate_and_default_to_zero():
+    assert metrics.get("engine.fallback") == 0
+    metrics.inc("engine.fallback")
+    metrics.inc("engine.fallback", 2)
+    assert metrics.get("engine.fallback") == 3
+
+
+def test_gauges_last_write_wins():
+    metrics.gauge("monitor.smoothed", 10.0)
+    metrics.gauge("monitor.smoothed", 12.5)
+    assert metrics.snapshot()["gauges"] == {"monitor.smoothed": 12.5}
+
+
+def test_histogram_summary():
+    for v in (3.0, 1.0, 2.0):
+        metrics.observe("probe.rounds", v)
+    assert metrics.histograms() == {
+        "probe.rounds": {"count": 3, "sum": 6.0, "min": 1.0, "max": 3.0}
+    }
+
+
+def test_snapshot_is_a_copy_and_reset_clears():
+    metrics.inc("frame.count")
+    snap = metrics.snapshot()
+    snap["counters"]["frame.count"] = 999
+    assert metrics.get("frame.count") == 1
+    metrics.reset()
+    assert metrics.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+# ----------------------------------------------------------------------
+# cumulative cross-process persistence
+# ----------------------------------------------------------------------
+def test_fold_into_file_accumulates_counters(tmp_path):
+    path = tmp_path / "meta" / "obs_metrics.json"  # parent dir auto-created
+    metrics.fold_into_file(path, {"counters": {"sweep.cache.hit": 2}})
+    merged = metrics.fold_into_file(
+        path, {"counters": {"sweep.cache.hit": 3, "sweep.cache.miss": 1}}
+    )
+    assert merged["counters"] == {"sweep.cache.hit": 5, "sweep.cache.miss": 1}
+    assert metrics.load_file(path)["counters"] == merged["counters"]
+
+
+def test_fold_into_file_merges_gauges_and_histograms(tmp_path):
+    path = tmp_path / "m.json"
+    metrics.fold_into_file(
+        path,
+        {"gauges": {"monitor.smoothed": 1.0},
+         "histograms": {"h": {"count": 1, "sum": 5.0, "min": 5.0, "max": 5.0}}},
+    )
+    merged = metrics.fold_into_file(
+        path,
+        {"gauges": {"monitor.smoothed": 2.0},
+         "histograms": {"h": {"count": 2, "sum": 3.0, "min": 1.0, "max": 2.0}}},
+    )
+    assert merged["gauges"] == {"monitor.smoothed": 2.0}
+    assert merged["histograms"]["h"] == {
+        "count": 3, "sum": 8.0, "min": 1.0, "max": 5.0,
+    }
+
+
+def test_load_file_tolerates_missing_and_corrupt(tmp_path):
+    empty = {"counters": {}, "gauges": {}, "histograms": {}}
+    assert metrics.load_file(tmp_path / "absent.json") == empty
+    corrupt = tmp_path / "corrupt.json"
+    corrupt.write_text("{not json")
+    assert metrics.load_file(corrupt) == empty
+    wrong_shape = tmp_path / "list.json"
+    wrong_shape.write_text(json.dumps([1, 2, 3]))
+    assert metrics.load_file(wrong_shape) == empty
+    # fold over a corrupt file starts from scratch rather than raising
+    merged = metrics.fold_into_file(corrupt, {"counters": {"x": 1}})
+    assert merged["counters"] == {"x": 1}

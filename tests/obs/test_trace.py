@@ -1,0 +1,175 @@
+"""Span tracer unit tests: nesting, JSONL round-trip, sink routing."""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.report import load_trace
+from repro.obs.trace import NULL_SPAN, TRACE_ENV, TRACE_ROOT_ENV
+
+
+def _read_records(path):
+    with open(path, encoding="utf-8") as fh:
+        return [json.loads(line) for line in fh if line.strip()]
+
+
+# ----------------------------------------------------------------------
+# disabled behaviour
+# ----------------------------------------------------------------------
+def test_disabled_span_is_shared_null_singleton():
+    assert not trace.enabled()
+    sp = trace.span("trial", engine="serial")
+    assert sp is NULL_SPAN
+    assert not sp  # falsy: `if sp:` guards never fire
+    with sp as inner:
+        assert inner is NULL_SPAN
+        inner.set(n_hat=1.0)  # silently dropped
+
+
+def test_disabled_event_and_flush_are_noops(tmp_path):
+    trace.event("trial", n_hat=1.0)
+    trace.flush()
+    assert trace.merge_worker_traces() == 0
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_disabled_span_call_is_cheap():
+    # Guard the "near-zero cost when off" contract: one env-cached lookup,
+    # one `is None` test, no allocation.  ~0.1 µs/call in practice; the
+    # 2 µs/call bound only catches accidental per-call work (file probes,
+    # allocation, snapshotting), not machine noise.
+    n = 200_000
+    t0 = time.perf_counter()
+    for _ in range(n):
+        trace.span("trial")
+    per_call = (time.perf_counter() - t0) / n
+    assert per_call < 2e-6
+
+
+# ----------------------------------------------------------------------
+# enabled behaviour
+# ----------------------------------------------------------------------
+def test_span_nesting_parent_ids_and_depth(tmp_path):
+    path = tmp_path / "t.jsonl"
+    trace.configure(path)
+    with trace.span("trial", engine="serial") as t:
+        with trace.span("probe") as p:
+            with trace.span("frame", slots=32):
+                pass
+        with trace.span("rough"):
+            pass
+        t.set(n_hat=123.0)
+    assert p.attrs == {}
+
+    spans = {r["name"]: r for r in _read_records(path) if r["t"] == "span"}
+    trial, probe, frame, rough = (
+        spans["trial"], spans["probe"], spans["frame"], spans["rough"],
+    )
+    assert trial["parent"] is None and trial["depth"] == 0
+    assert probe["parent"] == trial["id"] and probe["depth"] == 1
+    assert rough["parent"] == trial["id"] and rough["depth"] == 1
+    assert frame["parent"] == probe["id"] and frame["depth"] == 2
+    # Ids are allocated at entry: sorting by id recovers entry order even
+    # though spans are written at exit (children before parents).
+    assert trial["id"] < probe["id"] < frame["id"] < rough["id"]
+    assert trial["attrs"] == {"engine": "serial", "n_hat": 123.0}
+    assert frame["attrs"] == {"slots": 32}
+    assert all(s["dur"] >= 0 for s in spans.values())
+
+
+def test_jsonl_round_trip_through_report_loader(tmp_path):
+    path = tmp_path / "t.jsonl"
+    trace.configure(path)
+    with trace.span("trial", engine="batched"):
+        trace.event("trial", seed=7, n_hat=99.5)
+    trace.flush()
+
+    data = load_trace(path)
+    assert [m["version"] for m in data.meta] == [1]
+    assert [s["name"] for s in data.spans] == ["trial"]
+    assert data.events[0]["attrs"] == {"seed": 7, "n_hat": 99.5}
+    assert len(data.metrics) == 1  # flush() appended one snapshot record
+
+
+def test_exception_inside_span_is_recorded_and_propagates(tmp_path):
+    path = tmp_path / "t.jsonl"
+    trace.configure(path)
+    with pytest.raises(ValueError):
+        with trace.span("trial"):
+            raise ValueError("boom")
+    (record,) = (r for r in _read_records(path) if r["t"] == "span")
+    assert record["attrs"]["error"] == "ValueError"
+
+
+def test_numpy_attrs_are_json_safe(tmp_path):
+    np = pytest.importorskip("numpy")
+    path = tmp_path / "t.jsonl"
+    trace.configure(path)
+    with trace.span("trial") as sp:
+        sp.set(n_hat=np.float64(1.5), slots=np.int64(32), arr=np.arange(3))
+    (record,) = (r for r in _read_records(path) if r["t"] == "span")
+    assert record["attrs"] == {"n_hat": 1.5, "slots": 32, "arr": [0, 1, 2]}
+
+
+# ----------------------------------------------------------------------
+# configuration & environment
+# ----------------------------------------------------------------------
+def test_configure_exports_env_and_none_clears_it(tmp_path):
+    path = tmp_path / "t.jsonl"
+    trace.configure(path)
+    assert trace.enabled()
+    assert os.environ[TRACE_ENV] == str(path)
+    assert os.environ[TRACE_ROOT_ENV] == str(os.getpid())
+    trace.configure(None)
+    assert not trace.enabled()
+    assert TRACE_ENV not in os.environ
+    assert TRACE_ROOT_ENV not in os.environ
+
+
+def test_tracer_initialises_once_from_env(tmp_path, monkeypatch):
+    path = tmp_path / "env.jsonl"
+    trace.configure(None)  # also resets the env-checked latch? no — set below
+    monkeypatch.setenv(TRACE_ENV, str(path))
+    # configure(None) latches _env_checked; reset it the way a fresh process
+    # would see the world.
+    trace._env_checked = False
+    trace._tracer = None
+    t = trace.tracer()
+    assert t is not None and t.path == str(path)
+    assert t.root_pid == os.getpid()
+    with trace.span("trial"):
+        pass
+    assert any(r["t"] == "span" for r in _read_records(path))
+
+
+def test_non_root_pid_writes_sidecar(tmp_path):
+    path = tmp_path / "t.jsonl"
+    t = trace.Tracer(str(path), root_pid=os.getpid() + 1)
+    assert t.sink_path() == f"{path}.w{os.getpid()}"
+    with t.span("trial"):
+        pass
+    assert not path.exists()
+    assert os.path.exists(t.sink_path())
+    t.close()
+
+
+def test_merge_worker_traces_folds_and_removes_sidecars(tmp_path):
+    path = tmp_path / "t.jsonl"
+    trace.configure(path)
+    with trace.span("trial"):
+        pass
+    sidecar = tmp_path / "t.jsonl.w99999"
+    sidecar.write_text(
+        json.dumps({"t": "span", "pid": 99999, "id": 0, "parent": None,
+                    "depth": 0, "name": "trial", "wall": 0.0, "dur": 0.1,
+                    "attrs": {}}) + "\n"
+    )
+    assert trace.merge_worker_traces() == 1
+    assert not sidecar.exists()
+    pids = {r["pid"] for r in _read_records(path) if r["t"] == "span"}
+    assert pids == {os.getpid(), 99999}

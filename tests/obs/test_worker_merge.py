@@ -1,0 +1,70 @@
+"""Process-safe sink: sweep workers write sidecars, run_sweep folds them."""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments.sweep import SweepPoint, TrialCache, run_sweep
+from repro.obs import trace
+from repro.obs.report import load_trace, metrics_totals
+
+
+def _points():
+    return [
+        SweepPoint.bfce_trials(distribution="T1", n=400, trials=1, base_seed=s)
+        for s in (1, 2)
+    ]
+
+
+def test_pool_worker_spans_merge_into_main_trace(tmp_path):
+    path = tmp_path / "sweep.jsonl"
+    trace.configure(path)
+    cache = TrialCache(tmp_path / "cache")
+    run_sweep(_points(), cache=cache, max_workers=2)
+
+    assert not list(tmp_path.glob("sweep.jsonl.w*"))  # sidecars folded
+    data = load_trace(path, merge_workers=False)
+    by_pid_names = {}
+    for s in data.spans:
+        by_pid_names.setdefault(s["pid"], set()).add(s["name"])
+    # The parent traced the scheduler; the executed points ran in workers.
+    assert "sweep.run" in by_pid_names[os.getpid()]
+    worker_pids = {
+        pid for pid, names in by_pid_names.items() if "sweep.point" in names
+    }
+    assert worker_pids and os.getpid() not in worker_pids
+
+    # Each worker flushed its metrics snapshot before os._exit; summing the
+    # last record per pid recovers the executed-trial counters.
+    totals = metrics_totals(data)
+    assert totals.get("engine.trials.batched", 0) == 2
+
+
+def test_inprocess_sweep_and_cache_counters(tmp_path):
+    path = tmp_path / "sweep.jsonl"
+    trace.configure(path)
+    cache = TrialCache(tmp_path / "cache")
+    first = run_sweep(_points(), cache=cache, max_workers=0)
+    assert cache.misses == 2 and cache.hits == 0
+
+    cache_again = TrialCache(tmp_path / "cache")
+    second = run_sweep(_points(), cache=cache_again, max_workers=0)
+    assert cache_again.hits == 2 and cache_again.misses == 0
+    assert second == first  # cached payloads identical to computed ones
+
+    # Lifetime counters persist under meta/ (outside the entry globs) and
+    # accumulate across TrialCache instances.
+    cumulative = cache_again.stats()["cumulative"]
+    assert cumulative["sweep.cache.miss"] == 2
+    assert cumulative["sweep.cache.store"] == 2
+    assert cumulative["sweep.cache.hit"] == 2
+    assert cache_again.metrics_path.is_file()
+
+
+def test_cache_clear_counts_evictions(tmp_path):
+    cache = TrialCache(tmp_path / "cache")
+    run_sweep(_points(), cache=cache, max_workers=0)
+    removed = cache.clear()
+    assert removed == 2 and cache.evicted == 2
+    cache.persist_metrics()
+    assert cache.stats()["cumulative"]["sweep.cache.evicted"] == 2
