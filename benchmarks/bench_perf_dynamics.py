@@ -1,0 +1,314 @@
+"""Perf harness for the dynamic-population tracking layer.
+
+Gates the tracking layer's two hard contracts from the design doc:
+
+1. **Accuracy per airtime** — over the benchmark churn trace, the EKF
+   tracker must beat repeated independent single-round BFCE estimates on
+   RMSE × air-seconds (the figure of merit of ``fig_dynamics``).  The
+   sliding-window tracker and the subsampled EKF (one round every 4
+   epochs) are measured alongside for the trend record but not gated.
+2. **Cache round-trip** — a grid of ``dynamics_series`` sweep points
+   (modes × trace seeds) runs cold then warm against the content-addressed
+   cache: the warm pass must hit on ≥ 90 % of points and every warm
+   payload must be **bit-identical** to its cold counterpart.
+
+In full mode the harness additionally times the scale workload from the
+acceptance criteria — a 10⁴-epoch EKF series over a 10⁶-tag trace on the
+analytic engine — and gates its wall time under 60 s.  Results go to
+``BENCH_dynamics.json``; exit 1 on any gate violation.
+
+Run as a script or module::
+
+    PYTHONPATH=src python benchmarks/bench_perf_dynamics.py
+    PYTHONPATH=src python benchmarks/bench_perf_dynamics.py --smoke
+
+``--smoke`` shrinks the traces so CI can run the harness twice (cold +
+warm process) in seconds; the accuracy and cache gates still apply, the
+scale gate does not (a tiny trace measures noise, not the engine).
+
+Knobs (environment variables, overridden by ``--smoke``):
+
+* ``REPRO_BENCH_EPOCHS``        comparison-trace epochs      (default 400)
+* ``REPRO_BENCH_N``             scale-workload cardinality   (default 1000000)
+* ``REPRO_BENCH_SCALE_EPOCHS``  scale-workload epochs        (default 10000)
+* ``REPRO_BENCH_WORKERS``       sweep worker processes       (default min(4, cpus))
+* ``REPRO_BENCH_CACHE``         cache directory              (default <repo>/.repro_cache/bench-dynamics)
+* ``REPRO_BENCH_OUT``           output path                  (default <repo>/BENCH_dynamics.json)
+
+The cache directory persists across invocations on purpose: CI runs the
+harness twice and asserts the second invocation's *cold* pass is ≥ 90 %
+hits — the on-disk round-trip, not just the in-process one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_SRC = _REPO_ROOT / "src"
+if str(_SRC) not in sys.path:  # script-mode convenience; no-op under PYTHONPATH=src
+    sys.path.insert(0, str(_SRC))
+
+from repro.experiments.dynamics import (  # noqa: E402
+    PopulationTrace,
+    run_tracking_series,
+)
+from repro.experiments.sweep import SweepPoint, TrialCache, run_sweep  # noqa: E402
+
+BASE_SEED = 2015  # ICPP'15 — fixed so every pass replays the same seeds
+
+#: Tracking variants measured on the comparison trace.  ``measure_every``
+#: scales airtime down; only independent-vs-EKF at equal airtime is gated.
+VARIANTS = (
+    ("independent", "independent", 1),
+    ("ekf", "ekf", 1),
+    ("window", "window", 1),
+    ("ekf/4", "ekf", 4),
+)
+
+
+def _fresh_trace(initial_size: int, churn_rate: float) -> PopulationTrace:
+    """The benchmark churn trace (size-only: the analytic engine needs no IDs)."""
+    return PopulationTrace(
+        initial_size=initial_size,
+        churn_rate=churn_rate,
+        seed=BASE_SEED,
+        track_ids=False,
+    )
+
+
+def run_comparison(*, initial_size: int, epochs: int, churn_rate: float) -> dict:
+    """Every tracking variant over the same trace and measurement seeds."""
+    series = {}
+    for label, mode, measure_every in VARIANTS:
+        t0 = time.perf_counter()
+        result = run_tracking_series(
+            _fresh_trace(initial_size, churn_rate),
+            epochs=epochs,
+            mode=mode,
+            base_seed=BASE_SEED + 7_000,
+            measure_every=measure_every,
+        )
+        summary = result.summary()
+        summary["wall_seconds"] = round(time.perf_counter() - t0, 4)
+        series[label] = summary
+    return series
+
+
+def run_scale(*, n: int, epochs: int) -> dict:
+    """The acceptance-criteria scale workload: 10⁴ epochs at n = 10⁶."""
+    t0 = time.perf_counter()
+    result = run_tracking_series(
+        _fresh_trace(n, 0.005),
+        epochs=epochs,
+        mode="ekf",
+        base_seed=BASE_SEED + 11_000,
+    )
+    seconds = time.perf_counter() - t0
+    summary = result.summary()
+    summary["n"] = n
+    summary["wall_seconds"] = round(seconds, 4)
+    summary["relative_rmse"] = result.rmse / n
+    return summary
+
+
+def build_cache_grid(
+    *, initial_size: int, epochs: int, seeds: int
+) -> list[SweepPoint]:
+    """Modes × trace seeds: ≥ 10 ``dynamics_series`` points in full mode."""
+    return [
+        SweepPoint.dynamics_series(
+            initial_size=initial_size,
+            epochs=epochs,
+            mode=mode,
+            churn_rate=0.01,
+            trace_seed=BASE_SEED + seed,
+            base_seed=BASE_SEED + 7_000 + seed,
+        )
+        for mode in ("independent", "ekf", "window")
+        for seed in range(seeds)
+    ]
+
+
+def _timed_sweep(
+    points: list[SweepPoint], cache_dir: Path, workers: int
+) -> tuple[float, TrialCache, list[dict]]:
+    cache = TrialCache(cache_dir)
+    t0 = time.perf_counter()
+    payloads = run_sweep(points, max_workers=workers, cache=cache)
+    return time.perf_counter() - t0, cache, payloads
+
+
+def run_dynamics_bench(
+    *,
+    epochs: int = 400,
+    scale_n: int = 1_000_000,
+    scale_epochs: int = 10_000,
+    workers: int | None = None,
+    cache_dir: Path | None = None,
+    smoke: bool = False,
+) -> dict:
+    """Run comparison, scale (full mode) and cache passes; return the report."""
+    if workers is None:
+        workers = min(4, os.cpu_count() or 1)
+    if cache_dir is None:
+        cache_dir = _REPO_ROOT / ".repro_cache" / "bench-dynamics"
+    if smoke:
+        initial_size, churn_rate, grid_seeds, grid_epochs = 20_000, 0.01, 2, 60
+    else:
+        initial_size, churn_rate, grid_seeds, grid_epochs = 100_000, 0.01, 4, 200
+
+    series = run_comparison(
+        initial_size=initial_size, epochs=epochs, churn_rate=churn_rate
+    )
+    scale = None if smoke else run_scale(n=scale_n, epochs=scale_epochs)
+
+    points = build_cache_grid(
+        initial_size=initial_size // 2, epochs=grid_epochs, seeds=grid_seeds
+    )
+    cold_seconds, cold_cache, cold_payloads = _timed_sweep(
+        points, cache_dir, workers
+    )
+    warm_seconds, warm_cache, warm_payloads = _timed_sweep(
+        points, cache_dir, workers
+    )
+    payload_mismatches = sum(
+        cold != warm for cold, warm in zip(cold_payloads, warm_payloads)
+    )
+
+    def _pass(seconds: float, cache: TrialCache) -> dict:
+        total = cache.hits + cache.misses
+        return {
+            "seconds": round(seconds, 4),
+            "hits": cache.hits,
+            "misses": cache.misses,
+            "stores": cache.stores,
+            "rejected": cache.rejected,
+            "hit_rate": round(cache.hits / total, 4) if total else 0.0,
+        }
+
+    return {
+        "benchmark": "dynamics",
+        "workload": {
+            "initial_size": initial_size,
+            "epochs": epochs,
+            "churn_rate": churn_rate,
+            "grid_points": len(points),
+            "grid_epochs": grid_epochs,
+            "base_seed": BASE_SEED,
+            "workers": workers,
+            "cache_dir": str(cache_dir),
+            "smoke": smoke,
+        },
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpus": os.cpu_count(),
+        },
+        "series": series,
+        "scale": scale,
+        "passes": {
+            "cold": _pass(cold_seconds, cold_cache),
+            "warm": _pass(warm_seconds, warm_cache),
+        },
+        "payload_mismatches": payload_mismatches,
+        "gates": {
+            "ekf_rmse_airtime": series["ekf"]["rmse_airtime"],
+            "independent_rmse_airtime": series["independent"]["rmse_airtime"],
+            "advantage": (
+                series["independent"]["rmse_airtime"]
+                / series["ekf"]["rmse_airtime"]
+                if series["ekf"]["rmse_airtime"] > 0
+                else float("inf")
+            ),
+            "scale_wall_seconds": None if scale is None else scale["wall_seconds"],
+            "scale_budget_seconds": None if scale is None else 60.0,
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    unknown = [a for a in argv if a != "--smoke"]
+    if unknown:
+        print(f"unknown argument(s): {' '.join(unknown)}", file=sys.stderr)
+        print("usage: bench_perf_dynamics.py [--smoke]", file=sys.stderr)
+        return 2
+    smoke = "--smoke" in argv
+    epochs = 120 if smoke else int(os.environ.get("REPRO_BENCH_EPOCHS", 400))
+    scale_n = int(os.environ.get("REPRO_BENCH_N", 1_000_000))
+    scale_epochs = int(os.environ.get("REPRO_BENCH_SCALE_EPOCHS", 10_000))
+    workers = 2 if smoke else int(os.environ.get("REPRO_BENCH_WORKERS", 0)) or None
+    cache_dir = Path(
+        os.environ.get(
+            "REPRO_BENCH_CACHE", _REPO_ROOT / ".repro_cache" / "bench-dynamics"
+        )
+    )
+    out = Path(os.environ.get("REPRO_BENCH_OUT", _REPO_ROOT / "BENCH_dynamics.json"))
+
+    report = run_dynamics_bench(
+        epochs=epochs,
+        scale_n=scale_n,
+        scale_epochs=scale_epochs,
+        workers=workers,
+        cache_dir=cache_dir,
+        smoke=smoke,
+    )
+    out.write_text(json.dumps(report, indent=2) + "\n")
+
+    for label, summary in report["series"].items():
+        print(
+            f"{label:>12}: rmse={summary['rmse']:9.1f}  "
+            f"air={summary['air_seconds']:8.2f}s  "
+            f"rmse*air={summary['rmse_airtime']:12.1f}  "
+            f"rounds={summary['measurements']}"
+        )
+    if report["scale"] is not None:
+        scale = report["scale"]
+        print(
+            f"       scale: {scale['epochs']} epochs @ n={scale['n']}"
+            f" -> {scale['wall_seconds']:.2f}s wall, "
+            f"rmse={scale['rmse']:.0f} ({100 * scale['relative_rmse']:.3f}% rel)"
+        )
+    passes = report["passes"]
+    for name in ("cold", "warm"):
+        p = passes[name]
+        print(
+            f"{name:>12}: {p['seconds']:.3f}s  hits={p['hits']} "
+            f"misses={p['misses']} hit_rate={p['hit_rate']:.2f}"
+        )
+    print(f"payload mismatches (cold vs warm): {report['payload_mismatches']}")
+    print(f"wrote {out}")
+
+    gates = report["gates"]
+    failures = []
+    if gates["ekf_rmse_airtime"] >= gates["independent_rmse_airtime"]:
+        failures.append(
+            f"EKF rmse*air {gates['ekf_rmse_airtime']:.1f} not better than "
+            f"independent rounds {gates['independent_rmse_airtime']:.1f}"
+        )
+    if passes["warm"]["hit_rate"] < 0.9:
+        failures.append(f"warm pass hit rate {passes['warm']['hit_rate']} < 0.9")
+    if report["payload_mismatches"]:
+        failures.append(
+            f"{report['payload_mismatches']} warm payload(s) not bit-identical "
+            f"to their cold counterparts"
+        )
+    if gates["scale_wall_seconds"] is not None:
+        if gates["scale_wall_seconds"] >= gates["scale_budget_seconds"]:
+            failures.append(
+                f"scale workload took {gates['scale_wall_seconds']:.1f}s "
+                f">= {gates['scale_budget_seconds']:.0f}s budget"
+            )
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

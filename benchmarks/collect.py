@@ -68,6 +68,18 @@ def _summarise_sweep(report: dict) -> dict:
     }
 
 
+def _summarise_dynamics(report: dict) -> dict:
+    gates = report["gates"]
+    return {
+        "headline_speedup": gates["advantage"],
+        "headline": "EKF vs independent rounds on RMSE x airtime",
+        "drift": report["payload_mismatches"],  # warm-vs-cold payload mismatches
+        "warm_hit_rate": report["passes"]["warm"]["hit_rate"],
+        "scale_wall_seconds": gates["scale_wall_seconds"],
+        "workload": report["workload"],
+    }
+
+
 def _summarise_scale(report: dict) -> dict:
     return {
         "headline_speedup": report["gates"]["speedup_vs_event"],
@@ -84,6 +96,7 @@ _SUMMARISERS = {
     "BENCH_baselines.json": ("baselines", _summarise_baselines),
     "BENCH_sweep.json": ("sweep", _summarise_sweep),
     "BENCH_scale.json": ("scale", _summarise_scale),
+    "BENCH_dynamics.json": ("dynamics", _summarise_dynamics),
 }
 
 

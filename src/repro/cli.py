@@ -44,6 +44,11 @@ EXPERIMENTS: dict[str, tuple[Callable[..., "fig_mod.FigureData"], dict, dict]] =
         {"trials": 3, "n_values": (100_000, 10_000_000)},
         {},
     ),
+    "dynamics": (
+        fig_mod.fig_dynamics,
+        {"epochs": 60, "initial_size": 20_000},
+        {},
+    ),
 }
 
 
@@ -92,6 +97,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     inv.add_argument("--n", type=int, required=True)
     inv.add_argument("--seed", type=int, default=0)
+
+    trk = sub.add_parser(
+        "track", help="track a churning population with the EKF (analytic rounds)"
+    )
+    trk.add_argument("--initial", type=int, default=100_000)
+    trk.add_argument("--epochs", type=int, default=50)
+    trk.add_argument("--churn", type=float, default=0.01,
+                     help="Poisson churn fraction per epoch")
+    trk.add_argument("--drift", type=float, default=1.0,
+                     help="multiplicative per-epoch trend")
+    trk.add_argument("--mode", default="ekf",
+                     choices=("ekf", "window", "independent"))
+    trk.add_argument("--measure-every", type=int, default=1, metavar="M",
+                     help="survey only every M-th epoch (coast in between)")
+    trk.add_argument("--window", type=int, default=16,
+                     help="rounds retained by --mode window")
+    trk.add_argument("--eps", type=float, default=0.05)
+    trk.add_argument("--delta", type=float, default=0.05)
+    trk.add_argument("--seed", type=int, default=0)
+    trk.add_argument("--max-rows", type=int, default=30)
 
     mon = sub.add_parser(
         "monitor", help="continuous monitoring demo over a dynamic trace"
@@ -259,6 +284,44 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_track(args: argparse.Namespace) -> int:
+    from .experiments.dynamics import PopulationTrace, run_tracking_series
+
+    trace = PopulationTrace(
+        initial_size=args.initial,
+        churn_rate=args.churn,
+        drift=args.drift,
+        seed=args.seed,
+        track_ids=False,
+    )
+    series = run_tracking_series(
+        trace,
+        epochs=args.epochs,
+        mode=args.mode,
+        eps=args.eps,
+        delta=args.delta,
+        base_seed=args.seed + 1,
+        measure_every=args.measure_every,
+        window=args.window,
+    )
+    stride = max(1, len(series.steps) // max(args.max_rows, 1))
+    print(f"{'epoch':>5} {'true':>10} {'round':>10} {'tracked':>10} "
+          f"{'err%':>7} {'innov':>9}")
+    for step in series.steps:
+        if step.epoch % stride and step.epoch != len(series.steps) - 1:
+            continue
+        meas = f"{step.measurement:>10,.0f}" if step.measurement is not None else f"{'—':>10}"
+        err_pct = 100.0 * step.error / max(step.n_true, 1)
+        print(f"{step.epoch:>5} {step.n_true:>10,} {meas} {step.estimate:>10,.0f} "
+              f"{err_pct:>6.2f}% {step.innovation:>9,.0f}")
+    s = series.summary()
+    print(f"\nmode={s['mode']}  epochs={s['epochs']}  rounds={s['measurements']}  "
+          f"air={s['air_seconds']:.2f}s")
+    print(f"RMSE = {s['rmse']:,.1f} tags   mean |err| = {s['mean_abs_error']:,.1f}   "
+          f"RMSE·air = {s['rmse_airtime']:,.1f}")
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from .experiments.sweep import TrialCache, cache_enabled
 
@@ -341,6 +404,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_inventory(args)
     if args.command == "monitor":
         return _cmd_monitor(args)
+    if args.command == "track":
+        return _cmd_track(args)
     if args.command == "cache":
         return _cmd_cache(args)
     if args.command == "obs":

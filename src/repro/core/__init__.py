@@ -34,6 +34,12 @@ from .planning import (
 from .refine import FrameObservation, JointMLEResult, joint_mle, refine_result
 from .probe import ProbeResult, probe_persistence
 from .rough import RoughResult, rough_estimate
+from .tracking import (
+    EKFTracker,
+    SlidingWindowTracker,
+    TrackerUpdate,
+    relative_measurement_std,
+)
 
 __all__ = [
     "CensusFilter",
@@ -76,4 +82,8 @@ __all__ = [
     "probe_persistence",
     "RoughResult",
     "rough_estimate",
+    "EKFTracker",
+    "SlidingWindowTracker",
+    "TrackerUpdate",
+    "relative_measurement_std",
 ]

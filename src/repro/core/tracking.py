@@ -1,0 +1,344 @@
+"""Dynamic tag-population tracking: EKF and sliding-window estimators.
+
+The paper estimates a *static* cardinality; real deployments churn.  When
+the population follows a known dynamic model — multiplicative drift plus
+Poisson arrival/departure churn, exactly what
+:class:`~repro.experiments.dynamics.PopulationTrace` generates — repeated
+*independent* BFCE rounds throw away everything the previous rounds
+learned.  An Extended Kalman Filter over the scalar state n(t) fuses each
+round's estimate with the model's prediction and beats independent rounds
+on accuracy-per-airtime (arXiv 1511.08355); a sliding-window variant
+(inspired by the windowed-sketch framing of arXiv 1810.13132) offers the
+same airtime win with bounded memory of the past.
+
+This module is pure filtering — no reader, no trace, no I/O — so it layers
+under :func:`repro.experiments.dynamics.run_tracking_series`, which marries
+a population trace to per-epoch BFCE measurements from the analytic engine.
+
+Model
+-----
+State ``n`` (the cardinality), propagated per epoch as::
+
+    n_{t+1} = drift · n_t + churn noise,   Var[churn] ≈ 2 · churn_rate · n
+
+(arrivals and departures are independent Poisson(churn_rate · n) counts, so
+their difference has variance 2·churn_rate·n).  The measurement is one
+BFCE round's estimate ``z``; the (ε, δ) guarantee ``P(|z − n| > εn) ≤ δ``
+is read as a Gaussian error with relative standard deviation
+``ε / Φ⁻¹(1 − δ/2)`` (:func:`relative_measurement_std`).  Both the process
+and measurement variances depend on the state — the "extended" part of the
+filter; the propagation and measurement maps themselves are linear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import NormalDist
+
+from ..obs import metrics as _metrics
+
+__all__ = [
+    "EKFTracker",
+    "SlidingWindowTracker",
+    "TrackerUpdate",
+    "relative_measurement_std",
+]
+
+
+def relative_measurement_std(eps: float, delta: float) -> float:
+    """Relative std of one BFCE round implied by its (ε, δ) guarantee.
+
+    ``P(|n̂ − n| > εn) ≤ δ`` under a Gaussian error model means ε·n is the
+    (1 − δ/2) two-sided quantile, so σ/n = ε / Φ⁻¹(1 − δ/2).  For the
+    paper's ε = δ = 0.05 this gives σ ≈ 0.0255·n.
+    """
+    if not 0 < eps < 1:
+        raise ValueError("eps must be in (0, 1)")
+    if not 0 < delta < 1:
+        raise ValueError("delta must be in (0, 1)")
+    return eps / NormalDist().inv_cdf(1 - delta / 2)
+
+
+@dataclass(frozen=True)
+class TrackerUpdate:
+    """One epoch of tracker output.
+
+    Attributes
+    ----------
+    epoch:
+        0-based epoch index (increments on every advance, measured or not).
+    predicted:
+        The model's prior estimate for this epoch, before any measurement.
+    estimate:
+        The posterior estimate (equals ``predicted`` when no measurement
+        arrived this epoch).
+    variance:
+        Posterior estimate variance.
+    innovation:
+        ``z − predicted`` (0.0 on measurement-free epochs).
+    gain:
+        Kalman gain applied (0.0 on measurement-free epochs; the sliding
+        window reports the weight its newest measurement received).
+    measured:
+        Whether a measurement was fused this epoch.
+    """
+
+    epoch: int
+    predicted: float
+    estimate: float
+    variance: float
+    innovation: float
+    gain: float
+    measured: bool
+
+
+def _validate_dynamics(drift: float, churn_rate: float) -> None:
+    if drift <= 0:
+        raise ValueError("drift must be positive")
+    if churn_rate < 0:
+        raise ValueError("churn_rate must be non-negative")
+
+
+@dataclass
+class EKFTracker:
+    """Extended Kalman Filter over the scalar population size.
+
+    Parameters
+    ----------
+    drift:
+        Expected multiplicative trend per epoch (the trace's ``drift``).
+    churn_rate:
+        Expected Poisson churn fraction per epoch (the trace's
+        ``churn_rate``); sets the process noise ``Q ≈ 2·churn_rate·n``.
+    initial_estimate / initial_variance:
+        Optional prior.  Without one the filter initialises itself from the
+        first measurement (with that measurement's variance).
+    process_var_floor:
+        Lower bound on the per-epoch process variance, so a churn-free
+        model never collapses to zero gain (model mismatch always exists).
+    """
+
+    drift: float = 1.0
+    churn_rate: float = 0.0
+    initial_estimate: float | None = None
+    initial_variance: float | None = None
+    process_var_floor: float = 1.0
+
+    _n: float | None = field(default=None, init=False, repr=False)
+    _var: float = field(default=0.0, init=False, repr=False)
+    _epoch: int = field(default=0, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        _validate_dynamics(self.drift, self.churn_rate)
+        if self.process_var_floor < 0:
+            raise ValueError("process_var_floor must be non-negative")
+        if (self.initial_estimate is None) != (self.initial_variance is None):
+            raise ValueError(
+                "initial_estimate and initial_variance must be given together"
+            )
+        if self.initial_estimate is not None:
+            if self.initial_estimate < 0 or self.initial_variance <= 0:
+                raise ValueError("prior must have estimate ≥ 0 and variance > 0")
+            self._n = float(self.initial_estimate)
+            self._var = float(self.initial_variance)
+
+    # ------------------------------------------------------------------
+    @property
+    def estimate(self) -> float | None:
+        """Current posterior estimate (None before initialisation)."""
+        return self._n
+
+    @property
+    def variance(self) -> float:
+        """Current posterior variance."""
+        return self._var
+
+    def process_variance(self, n: float) -> float:
+        """Per-epoch process noise at level ``n`` (floored)."""
+        return max(2.0 * self.churn_rate * max(n, 0.0), self.process_var_floor)
+
+    def advance(
+        self, measurement: float | None, *, variance: float | None = None
+    ) -> TrackerUpdate:
+        """Propagate one epoch and (optionally) fuse one measurement.
+
+        ``measurement=None`` is a measurement-free epoch: the state coasts
+        on the process model and the variance grows.  A measurement must
+        come with its ``variance`` (e.g. ``(relative_measurement_std(ε, δ)
+        · z)²``).
+        """
+        if measurement is not None and (variance is None or variance <= 0):
+            raise ValueError("a measurement requires a positive variance")
+        epoch = self._epoch
+        self._epoch += 1
+
+        if self._n is None:
+            if measurement is None:
+                raise ValueError(
+                    "tracker has no prior: the first advance() needs a "
+                    "measurement (or construct with initial_estimate)"
+                )
+            self._n = max(float(measurement), 0.0)
+            self._var = float(variance)
+            _metrics.inc("tracking.updates")
+            return TrackerUpdate(
+                epoch=epoch,
+                predicted=self._n,
+                estimate=self._n,
+                variance=self._var,
+                innovation=0.0,
+                gain=1.0,
+                measured=True,
+            )
+
+        # Predict.
+        n_pred = self.drift * self._n
+        var_pred = self.drift**2 * self._var + self.process_variance(n_pred)
+
+        if measurement is None:
+            self._n, self._var = n_pred, var_pred
+            _metrics.inc("tracking.predictions")
+            return TrackerUpdate(
+                epoch=epoch,
+                predicted=n_pred,
+                estimate=n_pred,
+                variance=var_pred,
+                innovation=0.0,
+                gain=0.0,
+                measured=False,
+            )
+
+        # Update.
+        innovation = float(measurement) - n_pred
+        gain = var_pred / (var_pred + float(variance))
+        self._n = max(n_pred + gain * innovation, 0.0)
+        self._var = (1.0 - gain) * var_pred
+        _metrics.inc("tracking.updates")
+        _metrics.gauge("tracking.innovation", innovation)
+        _metrics.observe("tracking.gain", gain)
+        return TrackerUpdate(
+            epoch=epoch,
+            predicted=n_pred,
+            estimate=self._n,
+            variance=self._var,
+            innovation=innovation,
+            gain=gain,
+            measured=True,
+        )
+
+    def reset(self) -> None:
+        """Forget all state (prior included)."""
+        self._epoch = 0
+        if self.initial_estimate is not None:
+            self._n = float(self.initial_estimate)
+            self._var = float(self.initial_variance)
+        else:
+            self._n = None
+            self._var = 0.0
+
+
+@dataclass
+class SlidingWindowTracker:
+    """Windowed tracker: inverse-variance fusion of the last ``window`` rounds.
+
+    Each stored measurement is projected to the present through the drift
+    model (``z · drift^age``) and its variance inflated by the process
+    noise accumulated since it was taken, then the window is fused as an
+    inverse-variance weighted mean.  This is the tracking analogue of a
+    sliding-window sketch: bounded memory, old rounds age out entirely, and
+    a level shift is fully absorbed after ``window`` epochs.
+    """
+
+    window: int = 16
+    drift: float = 1.0
+    churn_rate: float = 0.0
+    process_var_floor: float = 1.0
+
+    #: (age-projected measurement, projected variance) pairs, newest last.
+    _entries: list[tuple[float, float]] = field(default_factory=list, init=False, repr=False)
+    _epoch: int = field(default=0, init=False, repr=False)
+    _last_estimate: float | None = field(default=None, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        _validate_dynamics(self.drift, self.churn_rate)
+        if self.window < 1:
+            raise ValueError("window must be ≥ 1")
+        if self.process_var_floor < 0:
+            raise ValueError("process_var_floor must be non-negative")
+
+    @property
+    def estimate(self) -> float | None:
+        """Current fused estimate (None before the first measurement)."""
+        return self._last_estimate
+
+    def advance(
+        self, measurement: float | None, *, variance: float | None = None
+    ) -> TrackerUpdate:
+        """Age the window one epoch and (optionally) push one measurement."""
+        if measurement is not None and (variance is None or variance <= 0):
+            raise ValueError("a measurement requires a positive variance")
+        epoch = self._epoch
+        self._epoch += 1
+
+        # Age every stored round one epoch: project through the drift and
+        # widen by the process noise the population accrued meanwhile.
+        aged = []
+        for z, var in self._entries:
+            z_new = z * self.drift
+            var_new = var * self.drift**2 + max(
+                2.0 * self.churn_rate * max(z_new, 0.0), self.process_var_floor
+            )
+            aged.append((z_new, var_new))
+        self._entries = aged
+
+        innovation = 0.0
+        gain = 0.0
+        if measurement is not None:
+            prior = self._fused()
+            if prior is not None:
+                innovation = float(measurement) - prior[0]
+            self._entries.append((float(measurement), float(variance)))
+            if len(self._entries) > self.window:
+                del self._entries[: len(self._entries) - self.window]
+            _metrics.inc("tracking.updates")
+            _metrics.gauge("tracking.innovation", innovation)
+
+        fused = self._fused()
+        if fused is None:
+            raise ValueError(
+                "tracker has no prior: the first advance() needs a measurement"
+            )
+        est, var = fused
+        if measurement is not None:
+            # Weight the newest round received in the fusion.
+            total = sum(1.0 / v for _, v in self._entries)
+            gain = (1.0 / float(self._entries[-1][1])) / total
+        predicted = (
+            self._last_estimate * self.drift
+            if self._last_estimate is not None
+            else est
+        )
+        self._last_estimate = est
+        return TrackerUpdate(
+            epoch=epoch,
+            predicted=predicted,
+            estimate=est,
+            variance=var,
+            innovation=innovation,
+            gain=gain,
+            measured=measurement is not None,
+        )
+
+    def _fused(self) -> tuple[float, float] | None:
+        if not self._entries:
+            return None
+        weights = [1.0 / var for _, var in self._entries]
+        total = sum(weights)
+        est = sum(w * z for w, (z, _) in zip(weights, self._entries)) / total
+        return max(est, 0.0), 1.0 / total
+
+    def reset(self) -> None:
+        """Drop every stored round."""
+        self._entries.clear()
+        self._epoch = 0
+        self._last_estimate = None

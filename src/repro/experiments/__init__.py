@@ -9,7 +9,13 @@ from .ablations import (
     sweep_rn_source,
     sweep_w,
 )
-from .dynamics import BatchEvent, PopulationTrace
+from .dynamics import (
+    BatchEvent,
+    PopulationTrace,
+    TrackingSeries,
+    TrackingStep,
+    run_tracking_series,
+)
 from .figures import (
     FigureData,
     fig2_protocol_trace,
@@ -20,6 +26,7 @@ from .figures import (
     fig7_accuracy,
     fig8_cdf,
     fig9_fig10_comparison,
+    fig_dynamics,
     lower_bound_validity,
 )
 from .batch import BatchBFCE, batching_is_sound, run_bfce_trials_batched
@@ -85,6 +92,9 @@ __all__ = [
     "save_records_csv",
     "BatchEvent",
     "PopulationTrace",
+    "TrackingSeries",
+    "TrackingStep",
+    "run_tracking_series",
     "check_rho_normality",
     "check_slot_independence",
     "check_slot_marginal",
@@ -97,6 +107,7 @@ __all__ = [
     "fig7_accuracy",
     "fig8_cdf",
     "fig9_fig10_comparison",
+    "fig_dynamics",
     "lower_bound_validity",
     "render_bars",
     "render_figure",

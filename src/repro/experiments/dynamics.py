@@ -1,4 +1,4 @@
-"""Dynamic tag-population traces for continuous-monitoring experiments.
+"""Dynamic tag-population traces and the tracking driver built on them.
 
 Real deployments are not static: pallets arrive in batches, orders deplete
 stock, readers see churn.  A :class:`PopulationTrace` produces the tag set
@@ -9,8 +9,24 @@ present at each survey epoch from a compositional event model:
 * **batch events** — scheduled large moves (a truck arriving at epoch 7);
 * **level drift** — a multiplicative trend (seasonal fill-up / drain).
 
-Traces are deterministic given their seed and generate IDs lazily, so a
-500-epoch trace over 10⁵-tag populations stays cheap.
+Traces are deterministic given their seed.  Two RNG streams are derived
+from it — one for the *counts* (Poisson draws) and one for *membership*
+(which tags depart) — so the **size-only mode** (``track_ids=False``),
+which never materialises an ID array, walks bit-identical sizes to the
+full-ID mode.  That is what lets a 10⁴-epoch trace over 10⁶-tag
+populations run in milliseconds and feed the analytic measurement engine.
+
+Per-epoch transition order (fixed, documented, and relied on by the sweep
+cache): scheduled batch events in declaration order, then drift, then
+churn.  Churn samples **departures from the pre-arrival population** —
+tags arriving in an epoch are guaranteed present in that epoch's emitted
+population, so the effective turnover matches ``churn_rate`` instead of
+being biased below it.
+
+:func:`run_tracking_series` drives a tracker
+(:mod:`repro.core.tracking`) over a trace: each measured epoch runs one
+BFCE round on the analytic engine (O(w) per round regardless of n) and
+fuses the round's estimate; skipped epochs coast on the process model.
 """
 
 from __future__ import annotations
@@ -19,9 +35,27 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core.accuracy import AccuracyRequirement
+from ..core.config import BFCEConfig, DEFAULT_CONFIG
+from ..core.tracking import EKFTracker, SlidingWindowTracker, relative_measurement_std
+from ..obs import metrics as _metrics
+from ..obs.trace import span as _span
 from ..rfid.tags import TagPopulation
 
-__all__ = ["BatchEvent", "PopulationTrace"]
+__all__ = [
+    "BatchEvent",
+    "PopulationTrace",
+    "TRACKING_MODES",
+    "TrackingSeries",
+    "TrackingStep",
+    "run_tracking_series",
+]
+
+#: Sub-stream discriminators: the trace seed is extended to ``[seed, TAG]``
+#: so count draws and membership draws never share a stream (size-only and
+#: full-ID modes must agree on every size).
+_COUNT_STREAM = 0xC0
+_MEMBER_STREAM = 0x3E
 
 
 @dataclass(frozen=True)
@@ -41,7 +75,7 @@ class BatchEvent:
 
 @dataclass
 class PopulationTrace:
-    """Generator of per-epoch tag populations.
+    """Generator of per-epoch tag populations (or sizes).
 
     Parameters
     ----------
@@ -54,9 +88,17 @@ class PopulationTrace:
         Multiplicative per-epoch trend on the population level (e.g. 1.02
         grows 2% per epoch).
     events:
-        Scheduled batch arrivals/departures.
+        Scheduled batch arrivals/departures.  Multiple events in the same
+        epoch apply in declaration order.
     seed:
         Trace seed; the full trace is deterministic.
+    track_ids:
+        ``True`` (default) maintains the tagID array and :meth:`step`
+        returns full :class:`~repro.rfid.tags.TagPopulation` objects.
+        ``False`` tracks only the size — O(1) per epoch instead of O(n) —
+        for analytic-engine consumers (:meth:`step_size` /
+        :meth:`run_sizes`); the emitted sizes are bit-identical to the
+        full mode's for the same seed.
     """
 
     initial_size: int
@@ -64,9 +106,13 @@ class PopulationTrace:
     drift: float = 1.0
     events: tuple[BatchEvent, ...] = ()
     seed: int = 0
+    track_ids: bool = True
 
-    _rng: np.random.Generator = field(init=False, repr=False)
-    _current: np.ndarray = field(init=False, repr=False)
+    _count_rng: np.random.Generator = field(init=False, repr=False)
+    _member_rng: np.random.Generator = field(init=False, repr=False)
+    _events_by_epoch: dict[int, tuple[BatchEvent, ...]] = field(init=False, repr=False)
+    _size: int = field(init=False, repr=False)
+    _current: np.ndarray | None = field(init=False, repr=False)
     _next_id: int = field(init=False, repr=False)
     _epoch: int = field(init=False, default=0, repr=False)
 
@@ -77,10 +123,25 @@ class PopulationTrace:
             raise ValueError("churn_rate must be in [0, 1)")
         if self.drift <= 0:
             raise ValueError("drift must be positive")
-        self._rng = np.random.default_rng(self.seed)
-        self._current = np.arange(1, self.initial_size + 1, dtype=np.uint64)
+        self._count_rng = np.random.default_rng([self.seed, _COUNT_STREAM])
+        self._member_rng = np.random.default_rng([self.seed, _MEMBER_STREAM])
+        self._size = int(self.initial_size)
+        self._current = (
+            np.arange(1, self.initial_size + 1, dtype=np.uint64)
+            if self.track_ids
+            else None
+        )
         self._next_id = self.initial_size + 1
-        self.events = tuple(sorted(self.events, key=lambda e: e.epoch))
+        self.events = tuple(self.events)
+        # Index events by epoch once: step() is O(events this epoch), not
+        # O(all events), and same-epoch events keep their declaration order
+        # instead of relying on sort stability.
+        by_epoch: dict[int, list[BatchEvent]] = {}
+        for event in self.events:
+            by_epoch.setdefault(event.epoch, []).append(event)
+        self._events_by_epoch = {
+            epoch: tuple(evs) for epoch, evs in by_epoch.items()
+        }
 
     # ------------------------------------------------------------------
     @property
@@ -90,49 +151,278 @@ class PopulationTrace:
 
     @property
     def current_size(self) -> int:
-        return int(self._current.size)
+        return self._size
 
     def _arrive(self, count: int) -> None:
-        new = np.arange(self._next_id, self._next_id + count, dtype=np.uint64)
+        if count <= 0:
+            return
+        self._size += count
+        if self._current is not None:
+            new = np.arange(self._next_id, self._next_id + count, dtype=np.uint64)
+            self._current = np.concatenate([self._current, new])
         self._next_id += count
-        self._current = np.concatenate([self._current, new])
 
     def _depart(self, count: int) -> None:
-        count = min(count, self._current.size)
-        if count == 0:
+        count = min(count, self._size)
+        if count <= 0:
             return
-        keep = self._rng.choice(
-            self._current.size, size=self._current.size - count, replace=False
-        )
-        self._current = self._current[np.sort(keep)]
+        self._size -= count
+        if self._current is not None:
+            keep = self._member_rng.choice(
+                self._current.size, size=self._current.size - count, replace=False
+            )
+            self._current = self._current[np.sort(keep)]
+
+    def _advance(self) -> None:
+        """One epoch transition: events → drift → churn (fixed order)."""
+        for event in self._events_by_epoch.get(self._epoch, ()):
+            if event.delta > 0:
+                self._arrive(event.delta)
+            else:
+                self._depart(-event.delta)
+        # Drift.
+        if self.drift != 1.0 and self._size:
+            target = int(round(self._size * self.drift))
+            if target > self._size:
+                self._arrive(target - self._size)
+            elif target < self._size:
+                self._depart(self._size - target)
+        # Poisson churn: both counts are drawn up front and departures are
+        # sampled from the *pre-arrival* population, so a tag arriving this
+        # epoch cannot depart in the same epoch (the effective turnover
+        # would otherwise be biased below churn_rate).
+        if self.churn_rate > 0 and self._size:
+            lam = self.churn_rate * self._size
+            arrivals = int(self._count_rng.poisson(lam))
+            departures = int(self._count_rng.poisson(lam))
+            self._depart(departures)
+            self._arrive(arrivals)
+        self._epoch += 1
 
     def step(self) -> TagPopulation:
         """Advance one epoch and return the population present in it."""
-        epoch = self._epoch
-        # Scheduled batches first.
-        for event in self.events:
-            if event.epoch == epoch:
-                if event.delta > 0:
-                    self._arrive(event.delta)
-                else:
-                    self._depart(-event.delta)
-        # Drift.
-        if self.drift != 1.0 and self._current.size:
-            target = int(round(self._current.size * self.drift))
-            if target > self._current.size:
-                self._arrive(target - self._current.size)
-            elif target < self._current.size:
-                self._depart(self._current.size - target)
-        # Poisson churn.
-        if self.churn_rate > 0 and self._current.size:
-            lam = self.churn_rate * self._current.size
-            self._arrive(int(self._rng.poisson(lam)))
-            self._depart(int(self._rng.poisson(lam)))
-        self._epoch += 1
+        if self._current is None:
+            raise RuntimeError(
+                "trace was built with track_ids=False; use step_size()/run_sizes()"
+            )
+        self._advance()
         return TagPopulation(self._current.copy())
+
+    def step_size(self) -> int:
+        """Advance one epoch and return only the resulting population size."""
+        self._advance()
+        return self._size
 
     def run(self, epochs: int) -> list[TagPopulation]:
         """Emit ``epochs`` consecutive populations."""
         if epochs < 0:
             raise ValueError("epochs must be non-negative")
         return [self.step() for _ in range(epochs)]
+
+    def run_sizes(self, epochs: int) -> np.ndarray:
+        """Emit ``epochs`` consecutive population sizes (int64 array)."""
+        if epochs < 0:
+            raise ValueError("epochs must be non-negative")
+        return np.array([self.step_size() for _ in range(epochs)], dtype=np.int64)
+
+
+# ----------------------------------------------------------------------
+# Tracking driver: trace → per-epoch BFCE measurement → tracker
+# ----------------------------------------------------------------------
+
+#: Supported tracking modes: repeated independent rounds (the static
+#: baseline), the EKF, and the sliding-window fusion.
+TRACKING_MODES = ("independent", "ekf", "window")
+
+
+@dataclass(frozen=True)
+class TrackingStep:
+    """One epoch of a tracking run against ground truth."""
+
+    epoch: int
+    n_true: int
+    measurement: float | None
+    estimate: float
+    variance: float
+    innovation: float
+    air_seconds: float
+
+    @property
+    def error(self) -> float:
+        """Signed estimate error vs the true size."""
+        return self.estimate - self.n_true
+
+
+@dataclass(frozen=True)
+class TrackingSeries:
+    """A full tracking run plus its summary statistics."""
+
+    mode: str
+    steps: list[TrackingStep]
+
+    @property
+    def epochs(self) -> int:
+        return len(self.steps)
+
+    @property
+    def measurements(self) -> int:
+        """Epochs on which a BFCE round was actually spent."""
+        return sum(1 for s in self.steps if s.measurement is not None)
+
+    @property
+    def air_seconds(self) -> float:
+        """Total metered air time across the series."""
+        return float(sum(s.air_seconds for s in self.steps))
+
+    @property
+    def rmse(self) -> float:
+        """Root-mean-square tracking error vs ground truth."""
+        if not self.steps:
+            return 0.0
+        return float(
+            np.sqrt(np.mean([(s.estimate - s.n_true) ** 2 for s in self.steps]))
+        )
+
+    @property
+    def mean_abs_error(self) -> float:
+        if not self.steps:
+            return 0.0
+        return float(np.mean([abs(s.estimate - s.n_true) for s in self.steps]))
+
+    @property
+    def rmse_airtime(self) -> float:
+        """RMSE · air-seconds — the accuracy-per-airtime figure of merit.
+
+        Lower is better on both axes, so the product orders trackers that
+        trade accuracy against airtime: halving either halves the score.
+        """
+        return self.rmse * self.air_seconds
+
+    def summary(self) -> dict:
+        """JSON-ready summary (what the sweep payload embeds)."""
+        return {
+            "mode": self.mode,
+            "epochs": self.epochs,
+            "measurements": self.measurements,
+            "air_seconds": self.air_seconds,
+            "rmse": self.rmse,
+            "mean_abs_error": self.mean_abs_error,
+            "rmse_airtime": self.rmse_airtime,
+        }
+
+
+def run_tracking_series(
+    trace: PopulationTrace,
+    *,
+    epochs: int,
+    mode: str = "ekf",
+    eps: float = 0.05,
+    delta: float = 0.05,
+    base_seed: int = 0,
+    measure_every: int = 1,
+    window: int = 16,
+    config: BFCEConfig = DEFAULT_CONFIG,
+    persistence_mode: str = "event",
+) -> TrackingSeries:
+    """Track ``trace`` for ``epochs`` epochs with one tracker.
+
+    Every ``measure_every``-th epoch (starting at 0) runs one BFCE round on
+    the analytic engine against the trace's current size and feeds the
+    round's estimate to the tracker; other epochs coast on the process
+    model (``"independent"`` mode simply holds the last round's estimate —
+    it has no model to coast on).  Air time is metered per round by the
+    protocol ledger, so accuracy-per-airtime comparisons are exact.
+
+    The run is deterministic given ``(trace seed, base_seed)``: epoch ``t``
+    measures with reader seed ``base_seed + t``, independent of
+    ``measure_every``, so subsampled and dense runs measure identical
+    rounds where they overlap.
+    """
+    from ..core.bfce import BFCE
+
+    if mode not in TRACKING_MODES:
+        raise ValueError(f"mode must be one of {TRACKING_MODES}, got {mode!r}")
+    if epochs < 0:
+        raise ValueError("epochs must be non-negative")
+    if measure_every < 1:
+        raise ValueError("measure_every must be ≥ 1")
+
+    bfce = BFCE(config=config, requirement=AccuracyRequirement(eps, delta))
+    rel_std = relative_measurement_std(eps, delta)
+    tracker = None
+    if mode == "ekf":
+        tracker = EKFTracker(drift=trace.drift, churn_rate=trace.churn_rate)
+    elif mode == "window":
+        tracker = SlidingWindowTracker(
+            window=window, drift=trace.drift, churn_rate=trace.churn_rate
+        )
+
+    steps: list[TrackingStep] = []
+    last_estimate: float | None = None
+    with _span("tracking.series", mode=mode, epochs=epochs) as series_sp:
+        for epoch in range(epochs):
+            with _span("tracking.epoch", epoch=epoch, mode=mode) as sp:
+                n_true = trace.step_size()
+                measurement: float | None = None
+                air = 0.0
+                r_var: float | None = None
+                if epoch % measure_every == 0:
+                    result = bfce.estimate_analytic(
+                        n_true,
+                        seed=base_seed + epoch,
+                        persistence_mode=persistence_mode,
+                    )
+                    measurement = result.n_hat
+                    air = result.elapsed_seconds
+                    r_var = (rel_std * max(measurement, 1.0)) ** 2
+                if tracker is not None:
+                    update = tracker.advance(measurement, variance=r_var)
+                    estimate = update.estimate
+                    variance = update.variance
+                    innovation = update.innovation
+                else:  # independent rounds: the round estimate, held between
+                    if measurement is not None:
+                        innovation = (
+                            measurement - last_estimate
+                            if last_estimate is not None
+                            else 0.0
+                        )
+                        estimate = measurement
+                    elif last_estimate is not None:
+                        innovation = 0.0
+                        estimate = last_estimate
+                    else:
+                        raise ValueError(
+                            "independent mode needs a measurement at epoch 0"
+                        )
+                    variance = (rel_std * max(estimate, 1.0)) ** 2
+                last_estimate = estimate
+                steps.append(
+                    TrackingStep(
+                        epoch=epoch,
+                        n_true=n_true,
+                        measurement=measurement,
+                        estimate=estimate,
+                        variance=variance,
+                        innovation=innovation,
+                        air_seconds=air,
+                    )
+                )
+                _metrics.inc("tracking.epochs")
+                if measurement is not None:
+                    _metrics.observe(
+                        "tracking.innovation.abs", abs(float(innovation))
+                    )
+                if sp:
+                    sp.set(
+                        n_true=n_true,
+                        measurement=measurement,
+                        estimate=estimate,
+                        innovation=innovation,
+                        air_seconds=air,
+                    )
+        series = TrackingSeries(mode=mode, steps=steps)
+        _metrics.inc("tracking.series")
+        if series_sp:
+            series_sp.set(**series.summary())
+    return series

@@ -77,6 +77,7 @@ _TOKEN_FILES = (
     "experiments/runner.py",
     "experiments/parallel.py",
     "experiments/workloads.py",
+    "experiments/dynamics.py",
 )
 
 
@@ -332,6 +333,69 @@ class SweepPoint:
                 "n": int(n),
                 "seed": int(seed),
                 "bins": int(bins),
+            }
+        )
+
+    # -- time-series points --------------------------------------------
+    @classmethod
+    def dynamics_series(
+        cls,
+        *,
+        initial_size: int,
+        epochs: int,
+        mode: str = "ekf",
+        churn_rate: float = 0.0,
+        drift: float = 1.0,
+        events: Sequence = (),
+        trace_seed: int = 0,
+        eps: float = 0.05,
+        delta: float = 0.05,
+        base_seed: int = 0,
+        measure_every: int = 1,
+        window: int = 16,
+        w: int | None = None,
+    ) -> "SweepPoint":
+        """One tracked time-series over a dynamic population trace.
+
+        Runs :func:`~repro.experiments.dynamics.run_tracking_series` over a
+        size-only :class:`~repro.experiments.dynamics.PopulationTrace`:
+        per-epoch BFCE measurements come from the analytic engine, so a
+        10⁴-epoch series at n = 10⁶ is seconds of work and the whole
+        series caches as one content-addressed point.  ``events`` is a
+        sequence of ``BatchEvent``s or ``(epoch, delta[, label])`` tuples;
+        ``w`` overrides the frame size (``BFCEConfig.scaled(w)``) for
+        populations beyond the default design range.
+        """
+        from .dynamics import TRACKING_MODES, BatchEvent
+
+        if mode not in TRACKING_MODES:
+            raise ValueError(f"mode must be one of {TRACKING_MODES}, got {mode!r}")
+        canonical_events = []
+        for event in events:
+            if isinstance(event, BatchEvent):
+                canonical_events.append([event.epoch, event.delta, event.label])
+            else:
+                # NB: local names must not shadow the (eps, delta) kwargs.
+                ev_epoch, ev_delta, *ev_label = event
+                canonical_events.append(
+                    [int(ev_epoch), int(ev_delta), str(ev_label[0]) if ev_label else ""]
+                )
+        return cls.from_spec(
+            {
+                "kind": "dynamics_series",
+                "initial_size": int(initial_size),
+                "epochs": int(epochs),
+                "mode": str(mode),
+                "churn_rate": float(churn_rate),
+                "drift": float(drift),
+                "events": canonical_events,
+                "trace_seed": int(trace_seed),
+                "eps": float(eps),
+                "delta": float(delta),
+                "base_seed": int(base_seed),
+                "measure_every": int(measure_every),
+                "window": int(window),
+                "w": None if w is None else int(w),
             }
         )
 
@@ -719,6 +783,44 @@ def _exec_id_histogram(spec: dict) -> dict:
     return {"counts": [int(c) for c in counts]}
 
 
+def _exec_dynamics_series(spec: dict) -> dict:
+    from ..core.config import DEFAULT_CONFIG, BFCEConfig
+    from .dynamics import BatchEvent, PopulationTrace, run_tracking_series
+
+    trace = PopulationTrace(
+        initial_size=spec["initial_size"],
+        churn_rate=spec["churn_rate"],
+        drift=spec["drift"],
+        events=tuple(
+            BatchEvent(epoch, delta, label) for epoch, delta, label in spec["events"]
+        ),
+        seed=spec["trace_seed"],
+        track_ids=False,  # the analytic measurement never needs tagIDs
+    )
+    config = DEFAULT_CONFIG if spec["w"] is None else BFCEConfig.scaled(spec["w"])
+    series = run_tracking_series(
+        trace,
+        epochs=spec["epochs"],
+        mode=spec["mode"],
+        eps=spec["eps"],
+        delta=spec["delta"],
+        base_seed=spec["base_seed"],
+        measure_every=spec["measure_every"],
+        window=spec["window"],
+        config=config,
+    )
+    return {
+        "summary": series.summary(),
+        "epoch": [s.epoch for s in series.steps],
+        "n_true": [s.n_true for s in series.steps],
+        "measurement": [s.measurement for s in series.steps],
+        "estimate": [s.estimate for s in series.steps],
+        "variance": [s.variance for s in series.steps],
+        "innovation": [s.innovation for s in series.steps],
+        "air_seconds": [s.air_seconds for s in series.steps],
+    }
+
+
 def _exec_rough_bound(spec: dict) -> dict:
     from ..core.config import BFCEConfig
     from ..core.probe import probe_persistence
@@ -744,6 +846,7 @@ _EXECUTORS: dict[str, Callable[[dict], dict]] = {
     "f1f2_curve": _exec_f1f2_curve,
     "id_histogram": _exec_id_histogram,
     "rough_bound": _exec_rough_bound,
+    "dynamics_series": _exec_dynamics_series,
 }
 
 

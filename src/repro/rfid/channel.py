@@ -18,9 +18,21 @@ __all__ = ["Channel", "PerfectChannel", "NoisyChannel"]
 
 
 class Channel:
-    """Interface: map per-slot response counts to observed busy flags."""
+    """Interface: map per-slot response counts to observed busy flags.
 
-    def observe(self, counts: np.ndarray, rng: np.random.Generator | None = None) -> np.ndarray:
+    ``rng`` is the randomness for stochastic channels: an explicit
+    ``np.random.Generator`` or an integer seed.  Deterministic channels
+    ignore it; stochastic channels **require** it — a silent fresh
+    ``default_rng()`` fallback would make runs irreproducible and poison
+    the content-addressed sweep cache (two "identical" runs would disagree
+    bit-for-bit).
+    """
+
+    def observe(
+        self,
+        counts: np.ndarray,
+        rng: np.random.Generator | int | None = None,
+    ) -> np.ndarray:
         """Return a boolean array: True where the reader senses a busy slot."""
         raise NotImplementedError
 
@@ -29,7 +41,11 @@ class Channel:
 class PerfectChannel(Channel):
     """The paper's model: a slot is busy iff at least one tag responds."""
 
-    def observe(self, counts: np.ndarray, rng: np.random.Generator | None = None) -> np.ndarray:
+    def observe(
+        self,
+        counts: np.ndarray,
+        rng: np.random.Generator | int | None = None,
+    ) -> np.ndarray:
         counts = np.asarray(counts)
         if np.any(counts < 0):
             raise ValueError("response counts must be non-negative")
@@ -59,12 +75,22 @@ class NoisyChannel(Channel):
         if not 0 <= self.false_alarm_prob <= 1:
             raise ValueError("false_alarm_prob must be in [0, 1]")
 
-    def observe(self, counts: np.ndarray, rng: np.random.Generator | None = None) -> np.ndarray:
+    def observe(
+        self,
+        counts: np.ndarray,
+        rng: np.random.Generator | int | None = None,
+    ) -> np.ndarray:
         counts = np.asarray(counts)
         if np.any(counts < 0):
             raise ValueError("response counts must be non-negative")
         if rng is None:
-            rng = np.random.default_rng()
+            raise ValueError(
+                "NoisyChannel.observe requires an explicit rng (a "
+                "np.random.Generator or an int seed): a fresh default_rng() "
+                "would make the run irreproducible and un-cacheable"
+            )
+        if isinstance(rng, (int, np.integer)):
+            rng = np.random.default_rng(int(rng))
         busy = counts > 0
         out = np.empty(counts.shape, dtype=bool)
         # Busy slots survive unless all m responses are individually missed.

@@ -132,7 +132,9 @@ def run_bfce_frame(
     channel:
         Channel model; defaults to the paper's perfect channel.
     channel_rng:
-        RNG for noisy channels (ignored by the perfect channel).
+        RNG for noisy channels (ignored by the perfect channel; stochastic
+        channels raise without one — reproducibility is load-bearing for
+        the sweep cache).
     """
     if observe_slots is None:
         observe_slots = w
@@ -574,9 +576,10 @@ def run_bfce_frame_batch(
         per frame so stateful noise models keep their exact serial RNG
         consumption order.
     channel_rngs:
-        Optional per-frame RNG list for noisy channels (ignored by the
-        perfect channel); ``channel_rngs[t]`` plays the role of the serial
-        kernel's ``channel_rng`` for frame ``t``.
+        Per-frame RNG list for noisy channels (ignored by the perfect
+        channel; stochastic channels raise without one);
+        ``channel_rngs[t]`` plays the role of the serial kernel's
+        ``channel_rng`` for frame ``t``.
     """
     seeds = np.asarray(seeds, dtype=np.uint64)
     if seeds.ndim != 2 or seeds.shape[0] == 0 or seeds.shape[1] == 0:

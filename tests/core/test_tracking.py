@@ -1,0 +1,210 @@
+"""Unit tests for the EKF / sliding-window population trackers."""
+
+import numpy as np
+import pytest
+
+from repro.core.tracking import (
+    EKFTracker,
+    SlidingWindowTracker,
+    TrackerUpdate,
+    relative_measurement_std,
+)
+
+REL_STD = relative_measurement_std(0.05, 0.05)
+
+
+def _noisy_series(true_sizes, rel_std=REL_STD, seed=0):
+    """Synthetic BFCE measurements: Gaussian with the (ε, δ)-implied std."""
+    rng = np.random.default_rng(seed)
+    return [n * (1 + rel_std * rng.standard_normal()) for n in true_sizes]
+
+
+class TestRelativeMeasurementStd:
+    def test_paper_point(self):
+        # ε = δ = 0.05: σ/n = 0.05 / Φ⁻¹(0.975) ≈ 0.0255.
+        assert relative_measurement_std(0.05, 0.05) == pytest.approx(0.02551, abs=1e-4)
+
+    def test_tighter_eps_means_smaller_std(self):
+        assert relative_measurement_std(0.01, 0.05) < relative_measurement_std(
+            0.05, 0.05
+        )
+
+    @pytest.mark.parametrize("eps,delta", [(0.0, 0.05), (1.0, 0.05), (0.05, 0.0), (0.05, 1.0)])
+    def test_validation(self, eps, delta):
+        with pytest.raises(ValueError):
+            relative_measurement_std(eps, delta)
+
+
+class TestEKFTracker:
+    def test_initialises_from_first_measurement(self):
+        tracker = EKFTracker()
+        update = tracker.advance(1_000.0, variance=25.0)
+        assert isinstance(update, TrackerUpdate)
+        assert update.estimate == 1_000.0
+        assert update.variance == 25.0
+        assert update.gain == 1.0 and update.measured
+
+    def test_first_advance_without_measurement_or_prior_raises(self):
+        with pytest.raises(ValueError, match="no prior"):
+            EKFTracker().advance(None)
+
+    def test_measurement_requires_positive_variance(self):
+        tracker = EKFTracker(initial_estimate=100.0, initial_variance=10.0)
+        with pytest.raises(ValueError, match="positive variance"):
+            tracker.advance(100.0)
+        with pytest.raises(ValueError, match="positive variance"):
+            tracker.advance(100.0, variance=0.0)
+
+    def test_prior_must_come_as_a_pair(self):
+        with pytest.raises(ValueError):
+            EKFTracker(initial_estimate=100.0)
+        with pytest.raises(ValueError):
+            EKFTracker(initial_variance=10.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"drift": 0.0},
+            {"churn_rate": -0.1},
+            {"process_var_floor": -1.0},
+            {"initial_estimate": -1.0, "initial_variance": 1.0},
+            {"initial_estimate": 1.0, "initial_variance": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            EKFTracker(**kwargs)
+
+    def test_coasting_applies_drift_and_grows_variance(self):
+        tracker = EKFTracker(
+            drift=1.1, churn_rate=0.0, initial_estimate=1_000.0, initial_variance=4.0
+        )
+        update = tracker.advance(None)
+        assert update.estimate == pytest.approx(1_100.0)
+        # drift² · P + floored process noise > drift² · P.
+        assert update.variance > 1.1**2 * 4.0
+        assert not update.measured and update.gain == 0.0
+
+    def test_update_moves_toward_measurement_and_shrinks_variance(self):
+        tracker = EKFTracker(initial_estimate=1_000.0, initial_variance=100.0)
+        update = tracker.advance(1_050.0, variance=100.0)
+        assert 1_000.0 < update.estimate < 1_050.0
+        assert update.variance < 100.0
+        assert update.innovation == pytest.approx(1_050.0 - 1_000.0)
+        assert 0.0 < update.gain < 1.0
+
+    def test_variance_converges_under_repeated_measurement(self):
+        tracker = EKFTracker(initial_estimate=1_000.0, initial_variance=1e6)
+        variances = [tracker.advance(1_000.0, variance=650.0).variance for _ in range(30)]
+        assert variances[-1] < variances[0]
+        # Steady state: posterior variance is below the per-round variance.
+        assert variances[-1] < 650.0
+
+    def test_estimate_clamped_non_negative(self):
+        tracker = EKFTracker(initial_estimate=5.0, initial_variance=1e9)
+        update = tracker.advance(-500.0, variance=1.0)
+        assert update.estimate == 0.0
+
+    def test_convergence_on_synthetic_trace(self):
+        # A drifting population measured with BFCE-like noise: the filtered
+        # RMSE must beat the raw measurements' RMSE.
+        drift = 1.01
+        true_sizes = [10_000 * drift**t for t in range(200)]
+        measurements = _noisy_series(true_sizes, seed=42)
+        tracker = EKFTracker(drift=drift, churn_rate=0.0)
+        estimates = [
+            tracker.advance(z, variance=(REL_STD * max(z, 1.0)) ** 2).estimate
+            for z in measurements
+        ]
+        rmse_raw = np.sqrt(np.mean((np.array(measurements) - true_sizes) ** 2))
+        rmse_filtered = np.sqrt(np.mean((np.array(estimates) - true_sizes) ** 2))
+        assert rmse_filtered < 0.5 * rmse_raw
+
+    def test_process_variance_floor(self):
+        tracker = EKFTracker(churn_rate=0.0, process_var_floor=7.0)
+        assert tracker.process_variance(1_000.0) == 7.0
+        churny = EKFTracker(churn_rate=0.05)
+        assert churny.process_variance(1_000.0) == pytest.approx(100.0)
+
+    def test_reset(self):
+        tracker = EKFTracker()
+        tracker.advance(1_000.0, variance=25.0)
+        tracker.reset()
+        assert tracker.estimate is None
+        primed = EKFTracker(initial_estimate=50.0, initial_variance=2.0)
+        primed.advance(70.0, variance=2.0)
+        primed.reset()
+        assert primed.estimate == 50.0
+
+
+class TestSlidingWindowTracker:
+    def test_first_advance_without_measurement_raises(self):
+        with pytest.raises(ValueError, match="no prior"):
+            SlidingWindowTracker().advance(None)
+
+    def test_measurement_requires_positive_variance(self):
+        with pytest.raises(ValueError, match="positive variance"):
+            SlidingWindowTracker().advance(100.0)
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"window": 0}, {"drift": 0.0}, {"churn_rate": -0.1}]
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            SlidingWindowTracker(**kwargs)
+
+    def test_fusion_shrinks_variance_vs_single_round(self):
+        tracker = SlidingWindowTracker(window=8)
+        var = None
+        for _ in range(8):
+            var = tracker.advance(1_000.0, variance=650.0).variance
+        # Eight aged copies still beat one fresh round.
+        assert var < 650.0
+
+    def test_window_bounds_memory(self):
+        tracker = SlidingWindowTracker(window=4)
+        for i in range(10):
+            tracker.advance(float(i), variance=1.0)
+        assert len(tracker._entries) == 4
+
+    def test_level_shift_fully_absorbed_after_window(self):
+        tracker = SlidingWindowTracker(window=4, process_var_floor=0.0)
+        for _ in range(4):
+            tracker.advance(1_000.0, variance=1.0)
+        for _ in range(4):
+            update = tracker.advance(2_000.0, variance=1.0)
+        # All pre-shift rounds have aged out: the fused estimate is the
+        # new level exactly (process_var_floor=0 keeps weights equal).
+        assert update.estimate == pytest.approx(2_000.0)
+
+    def test_coasting_projects_through_drift(self):
+        tracker = SlidingWindowTracker(window=4, drift=1.1)
+        tracker.advance(1_000.0, variance=25.0)
+        update = tracker.advance(None)
+        assert update.estimate == pytest.approx(1_100.0)
+        assert not update.measured
+
+    def test_gain_is_newest_round_weight(self):
+        tracker = SlidingWindowTracker(window=4)
+        tracker.advance(1_000.0, variance=100.0)
+        update = tracker.advance(1_000.0, variance=100.0)
+        assert 0.0 < update.gain < 1.0
+
+    def test_tracks_synthetic_trace_better_than_raw(self):
+        true_sizes = [50_000.0] * 100
+        measurements = _noisy_series(true_sizes, seed=7)
+        tracker = SlidingWindowTracker(window=16)
+        estimates = [
+            tracker.advance(z, variance=(REL_STD * max(z, 1.0)) ** 2).estimate
+            for z in measurements
+        ]
+        rmse_raw = np.sqrt(np.mean((np.array(measurements) - true_sizes) ** 2))
+        rmse_filtered = np.sqrt(np.mean((np.array(estimates) - true_sizes) ** 2))
+        assert rmse_filtered < rmse_raw
+
+    def test_reset(self):
+        tracker = SlidingWindowTracker()
+        tracker.advance(1_000.0, variance=1.0)
+        tracker.reset()
+        assert tracker.estimate is None
+        assert tracker._entries == []

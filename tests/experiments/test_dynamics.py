@@ -1,9 +1,14 @@
-"""Unit tests for the dynamic population traces."""
+"""Unit tests for the dynamic population traces and the tracking driver."""
 
 import numpy as np
 import pytest
 
-from repro.experiments.dynamics import BatchEvent, PopulationTrace
+from repro.experiments.dynamics import (
+    BatchEvent,
+    PopulationTrace,
+    TrackingSeries,
+    run_tracking_series,
+)
 
 
 class TestBatchEvent:
@@ -82,3 +87,170 @@ class TestPopulationTrace:
     def test_run_validates_epochs(self):
         with pytest.raises(ValueError):
             PopulationTrace(initial_size=1).run(-1)
+
+    def test_run_zero_epochs(self):
+        trace = PopulationTrace(initial_size=100, churn_rate=0.1, seed=4)
+        assert trace.run(0) == []
+        assert trace.epoch == 0
+        assert len(PopulationTrace(initial_size=5, track_ids=False).run_sizes(0)) == 0
+
+    def test_same_epoch_arrivals_cannot_depart(self):
+        # Churn ordering pin: departures are sampled from the pre-arrival
+        # population, so every tag arriving in an epoch must be present in
+        # that epoch's emitted population.
+        for seed in range(5):
+            trace = PopulationTrace(initial_size=2_000, churn_rate=0.3, seed=seed)
+            before_next_id = trace._next_id
+            for _ in range(10):
+                pop = trace.step()
+                arrived = np.arange(
+                    before_next_id, trace._next_id, dtype=np.uint64
+                )
+                present = np.isin(arrived, pop.tag_ids)
+                assert present.all(), "a same-epoch arrival departed"
+                before_next_id = trace._next_id
+
+    def test_effective_turnover_matches_churn_rate(self):
+        # Statistical pin for the ordering fix: the fraction of an epoch's
+        # pre-existing tags that depart should average churn_rate, not
+        # churn_rate · n/(n + arrivals) (the bias of sampling departures
+        # after arrivals).  50 one-epoch traces at churn 0.2 put the biased
+        # mean at ≈ 0.1667 — far outside the ±0.01 band around 0.2.
+        rate = 0.2
+        fractions = []
+        for seed in range(50):
+            trace = PopulationTrace(initial_size=5_000, churn_rate=rate, seed=seed)
+            original = np.arange(1, 5_001, dtype=np.uint64)
+            pop = trace.step()
+            kept = np.isin(original, pop.tag_ids).sum()
+            fractions.append(1.0 - kept / 5_000)
+        assert abs(np.mean(fractions) - rate) < 0.01
+
+    def test_same_epoch_events_apply_in_declaration_order(self):
+        # -80 then +50 on a 100-tag floor: forward order bottoms at 20,
+        # reversed order would bottom at 70 with different survivors.
+        forward = PopulationTrace(
+            initial_size=100, events=(BatchEvent(0, -80), BatchEvent(0, +50))
+        )
+        pop = forward.step()
+        assert pop.size == 70
+        # The +50 arrivals (IDs 101..150) must all be present: they landed
+        # after the departure.
+        assert np.isin(np.arange(101, 151, dtype=np.uint64), pop.tag_ids).all()
+
+    def test_churn_departures_exceeding_population_clamp_at_zero(self):
+        # Poisson departures can exceed the current size: the trace clamps
+        # instead of going negative.
+        trace = PopulationTrace(initial_size=2, churn_rate=0.9, seed=11)
+        for _ in range(20):
+            assert trace.step().size >= 0
+
+    def test_drift_shrinks_through_zero(self):
+        trace = PopulationTrace(initial_size=10, drift=0.5)
+        sizes = [trace.step().size for _ in range(8)]
+        assert sizes[:5] == [5, 2, 1, 0, 0]  # int(round(1 * 0.5)) == 0
+        assert all(s == 0 for s in sizes[4:])  # absorbing once empty
+
+    def test_sizes_only_mode_matches_full_mode(self):
+        # The split count/membership RNG streams make track_ids=False walk
+        # bit-identical sizes to the full-ID mode.
+        kwargs = dict(
+            initial_size=3_000,
+            churn_rate=0.15,
+            drift=1.01,
+            events=(BatchEvent(2, +400), BatchEvent(5, -250)),
+            seed=9,
+        )
+        full = PopulationTrace(**kwargs)
+        slim = PopulationTrace(**kwargs, track_ids=False)
+        full_sizes = [p.size for p in full.run(12)]
+        assert np.array_equal(slim.run_sizes(12), full_sizes)
+
+    def test_sizes_only_mode_rejects_step(self):
+        trace = PopulationTrace(initial_size=10, track_ids=False)
+        with pytest.raises(RuntimeError, match="track_ids=False"):
+            trace.step()
+        assert trace.step_size() == 10
+
+    def test_bit_identical_id_traces_across_runs(self):
+        # Same seed ⇒ the emitted ID arrays are bit-identical across fresh
+        # trace objects, epoch by epoch, including events and drift.
+        kwargs = dict(
+            initial_size=1_500,
+            churn_rate=0.1,
+            drift=0.99,
+            events=(BatchEvent(1, +200, "truck"),),
+            seed=13,
+        )
+        runs = [PopulationTrace(**kwargs).run(8) for _ in range(3)]
+        for pops in zip(*runs):
+            first = pops[0].tag_ids
+            assert first.dtype == np.uint64
+            for other in pops[1:]:
+                assert np.array_equal(first, other.tag_ids)
+
+
+class TestRunTrackingSeries:
+    def _trace(self, **overrides):
+        kwargs = dict(
+            initial_size=5_000, churn_rate=0.05, seed=3, track_ids=False
+        )
+        kwargs.update(overrides)
+        return PopulationTrace(**kwargs)
+
+    @pytest.mark.parametrize("mode", ["independent", "ekf", "window"])
+    def test_modes_run_and_summarise(self, mode):
+        series = run_tracking_series(self._trace(), epochs=6, mode=mode)
+        assert isinstance(series, TrackingSeries)
+        assert series.epochs == 6 and series.measurements == 6
+        assert series.air_seconds > 0
+        summary = series.summary()
+        assert summary["mode"] == mode
+        assert summary["rmse_airtime"] == pytest.approx(
+            series.rmse * series.air_seconds
+        )
+        # Tracking error stays within a loose band of the (ε, δ) guarantee.
+        assert series.rmse < 0.2 * 5_000
+
+    def test_deterministic_given_seeds(self):
+        first = run_tracking_series(self._trace(), epochs=5, mode="ekf", base_seed=77)
+        second = run_tracking_series(self._trace(), epochs=5, mode="ekf", base_seed=77)
+        assert [s.estimate for s in first.steps] == [s.estimate for s in second.steps]
+        assert [s.n_true for s in first.steps] == [s.n_true for s in second.steps]
+        assert [s.air_seconds for s in first.steps] == [
+            s.air_seconds for s in second.steps
+        ]
+
+    def test_measure_every_coasts_between_rounds(self):
+        series = run_tracking_series(
+            self._trace(), epochs=9, mode="ekf", measure_every=3
+        )
+        assert series.measurements == 3  # epochs 0, 3, 6
+        for step in series.steps:
+            if step.epoch % 3 == 0:
+                assert step.measurement is not None and step.air_seconds > 0
+            else:
+                assert step.measurement is None and step.air_seconds == 0.0
+
+    def test_subsampling_reduces_airtime(self):
+        dense = run_tracking_series(self._trace(), epochs=8, mode="ekf")
+        sparse = run_tracking_series(
+            self._trace(), epochs=8, mode="ekf", measure_every=4
+        )
+        assert sparse.air_seconds < dense.air_seconds
+        # Measured epochs share reader seeds, so the rounds agree exactly.
+        assert sparse.steps[0].measurement == dense.steps[0].measurement
+        assert sparse.steps[4].measurement == dense.steps[4].measurement
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="mode"):
+            run_tracking_series(self._trace(), epochs=2, mode="kalman")
+        with pytest.raises(ValueError, match="epochs"):
+            run_tracking_series(self._trace(), epochs=-1)
+        with pytest.raises(ValueError, match="measure_every"):
+            run_tracking_series(self._trace(), epochs=2, measure_every=0)
+
+    def test_zero_epochs(self):
+        series = run_tracking_series(self._trace(), epochs=0)
+        assert series.epochs == 0
+        assert series.rmse == 0.0 and series.air_seconds == 0.0

@@ -1,0 +1,109 @@
+"""Sweep-layer integration of dynamics_series points.
+
+A tracked time-series is one content-addressed point: its identity must
+cover the trace (seed, churn, drift, events), the tracker (mode, window,
+subsampling) and the measurement design (eps, delta, base_seed, w), and
+the cached payload must replay bit-identically regardless of worker count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.dynamics import BatchEvent
+from repro.experiments.sweep import SweepPoint, TrialCache, run_sweep
+
+POINT_KWARGS = dict(initial_size=3_000, epochs=12, churn_rate=0.05, trace_seed=5)
+
+
+class TestDynamicsSeriesSpec:
+    def test_canonicalisation_is_stable(self):
+        a = SweepPoint.dynamics_series(mode="ekf", **POINT_KWARGS)
+        b = SweepPoint.dynamics_series(mode="ekf", **POINT_KWARGS)
+        assert a.canonical == b.canonical
+        assert a.spec["kind"] == "dynamics_series"
+
+    def test_unknown_mode_rejected_at_spec_time(self):
+        with pytest.raises(ValueError, match="mode"):
+            SweepPoint.dynamics_series(mode="kalman", **POINT_KWARGS)
+
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"mode": "window"},
+            {"trace_seed": 6},
+            {"base_seed": 1},
+            {"measure_every": 2},
+            {"churn_rate": 0.06},
+            {"drift": 1.01},
+            {"eps": 0.04},
+            {"window": 8},
+            {"w": 1 << 14},
+            {"events": ((0, +100),)},
+        ],
+    )
+    def test_every_parameter_is_part_of_the_identity(self, override):
+        base = SweepPoint.dynamics_series(mode="ekf", **POINT_KWARGS)
+        kwargs = dict(mode="ekf", **POINT_KWARGS)
+        kwargs.update(override)
+        assert SweepPoint.dynamics_series(**kwargs).canonical != base.canonical
+
+    def test_events_canonicalise_from_tuples_and_batchevents(self):
+        from_tuples = SweepPoint.dynamics_series(
+            events=[(1, +200, "truck"), (3, -50)], **POINT_KWARGS
+        )
+        from_objects = SweepPoint.dynamics_series(
+            events=[BatchEvent(1, +200, "truck"), BatchEvent(3, -50)], **POINT_KWARGS
+        )
+        assert from_tuples.canonical == from_objects.canonical
+        assert from_tuples.spec["events"] == [[1, 200, "truck"], [3, -50, ""]]
+
+
+class TestDynamicsSeriesExecution:
+    def _run(self, tmp_path, *, max_workers, cache=None, **overrides):
+        kwargs = dict(mode="ekf", base_seed=42, **POINT_KWARGS)
+        kwargs.update(overrides)
+        point = SweepPoint.dynamics_series(**kwargs)
+        cache = cache if cache is not None else TrialCache(tmp_path)
+        [payload] = run_sweep([point], max_workers=max_workers, cache=cache)
+        return payload, cache
+
+    def test_payload_shape(self, tmp_path):
+        payload, _ = self._run(tmp_path, max_workers=0)
+        assert payload["summary"]["mode"] == "ekf"
+        assert payload["summary"]["epochs"] == 12
+        assert len(payload["epoch"]) == 12
+        for key in ("n_true", "measurement", "estimate", "variance",
+                    "innovation", "air_seconds"):
+            assert len(payload[key]) == 12
+        assert payload["summary"]["air_seconds"] > 0
+
+    def test_deterministic_across_worker_counts(self, tmp_path):
+        inline, _ = self._run(tmp_path / "a", max_workers=0)
+        pooled, _ = self._run(tmp_path / "b", max_workers=2)
+        assert inline == pooled
+
+    def test_cache_round_trip_is_bit_identical(self, tmp_path):
+        cold, cold_cache = self._run(tmp_path, max_workers=0)
+        assert cold_cache.stores == 1
+        warm, warm_cache = self._run(
+            tmp_path, max_workers=0, cache=TrialCache(tmp_path)
+        )
+        assert warm_cache.hits == 1 and warm_cache.misses == 0
+        assert warm == cold
+
+    def test_subsampled_series_spends_less_air(self, tmp_path):
+        dense, _ = self._run(tmp_path / "a", max_workers=0)
+        sparse, _ = self._run(tmp_path / "b", max_workers=0, measure_every=4)
+        assert sparse["summary"]["measurements"] == 3
+        assert sparse["summary"]["air_seconds"] < dense["summary"]["air_seconds"]
+        # Shared reader seeds: overlapping measured epochs agree exactly.
+        assert sparse["measurement"][0] == dense["measurement"][0]
+        assert sparse["measurement"][4] == dense["measurement"][4]
+
+    def test_scaled_frame_override(self, tmp_path):
+        payload, _ = self._run(tmp_path, max_workers=0, w=1 << 14)
+        assert payload["summary"]["epochs"] == 12
+        # A bigger frame costs more air per round than the default design.
+        default, _ = self._run(tmp_path / "d", max_workers=0)
+        assert payload["summary"]["air_seconds"] > default["summary"]["air_seconds"]

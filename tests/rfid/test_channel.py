@@ -73,7 +73,18 @@ class TestNoisyChannel:
         with pytest.raises(ValueError):
             NoisyChannel(**kwargs)
 
-    def test_default_rng_when_none(self):
+    def test_missing_rng_rejected(self):
+        # A silent fresh default_rng() here would make noisy-channel runs
+        # irreproducible (and un-cacheable); the channel must refuse.
         ch = NoisyChannel(miss_prob=0.5)
-        busy = ch.observe(np.ones(10, dtype=int))  # should not raise
-        assert busy.shape == (10,)
+        with pytest.raises(ValueError, match="explicit rng"):
+            ch.observe(np.ones(10, dtype=int))
+
+    def test_int_seed_accepted_and_deterministic(self):
+        ch = NoisyChannel(miss_prob=0.5)
+        counts = np.ones(1000, dtype=int)
+        a = ch.observe(counts, rng=42)
+        b = ch.observe(counts, rng=42)
+        c = ch.observe(counts, rng=np.random.default_rng(42))
+        assert np.array_equal(a, b)
+        assert np.array_equal(a, c)

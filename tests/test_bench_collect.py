@@ -52,6 +52,26 @@ def _write_scale_report(directory: Path) -> None:
     )
 
 
+def _write_dynamics_report(directory: Path) -> None:
+    (directory / "BENCH_dynamics.json").write_text(
+        json.dumps(
+            {
+                "benchmark": "dynamics",
+                "workload": {"initial_size": 20_000, "epochs": 120},
+                "passes": {"warm": {"hit_rate": 1.0}},
+                "payload_mismatches": 0,
+                "gates": {
+                    "ekf_rmse_airtime": 2899.6,
+                    "independent_rmse_airtime": 9171.5,
+                    "advantage": 3.16,
+                    "scale_wall_seconds": 3.82,
+                    "scale_budget_seconds": 60.0,
+                },
+            }
+        )
+    )
+
+
 class TestCollectTrajectory:
     def test_merges_present_reports_and_notes_missing(self, collect, tmp_path):
         _write_engine_report(tmp_path)
@@ -60,6 +80,7 @@ class TestCollectTrajectory:
         assert set(trajectory["benchmarks"]) == {"engine", "scale"}
         assert sorted(trajectory["missing"]) == [
             "BENCH_baselines.json",
+            "BENCH_dynamics.json",
             "BENCH_sweep.json",
         ]
         engine = trajectory["benchmarks"]["engine"]
@@ -76,10 +97,20 @@ class TestCollectTrajectory:
         assert scale["error_max"] == 0.03
         assert scale["flatness_ratio"] == 1.6
 
+    def test_dynamics_summary_carries_cache_and_scale_gates(self, collect, tmp_path):
+        _write_dynamics_report(tmp_path)
+        dynamics = collect.collect_trajectory(tmp_path)["benchmarks"]["dynamics"]
+        assert dynamics["headline_speedup"] == 3.16
+        # "Drift" for the tracking layer is warm-vs-cold payload mismatches.
+        assert dynamics["drift"] == 0
+        assert dynamics["warm_hit_rate"] == 1.0
+        assert dynamics["scale_wall_seconds"] == 3.82
+        assert dynamics["source"] == "BENCH_dynamics.json"
+
     def test_empty_directory_collects_nothing(self, collect, tmp_path):
         trajectory = collect.collect_trajectory(tmp_path)
         assert trajectory["benchmarks"] == {}
-        assert len(trajectory["missing"]) == 4
+        assert len(trajectory["missing"]) == 5
 
 
 class TestMain:

@@ -66,3 +66,29 @@ class TestTrace:
         assert "air-interface trace" in out
         assert "reader->tags" in out and "tags->reader" in out
         assert "[accurate] frame" in out
+
+
+class TestTrack:
+    def test_ekf_series(self, capsys):
+        assert main([
+            "track", "--initial", "5000", "--epochs", "8", "--churn", "0.05",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "tracked" in out  # per-epoch table header
+        assert "mode=ekf" in out and "rounds=8" in out
+        assert "RMSE" in out and "RMSE·air" in out
+
+    def test_subsampled_window_mode(self, capsys):
+        assert main([
+            "track", "--initial", "5000", "--epochs", "8",
+            "--mode", "window", "--measure-every", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "mode=window" in out and "rounds=2" in out
+        assert "—" in out  # coasting epochs print no round estimate
+
+    def test_unknown_mode_rejected(self):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main(["track", "--mode", "kalman"])
