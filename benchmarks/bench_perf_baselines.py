@@ -33,7 +33,6 @@ from __future__ import annotations
 
 import json
 import os
-import platform
 import sys
 import time
 from pathlib import Path
@@ -48,6 +47,7 @@ from repro.core.accuracy import AccuracyRequirement  # noqa: E402
 from repro.experiments.runner import run_trials  # noqa: E402
 from repro.rfid.ids import uniform_ids  # noqa: E402
 from repro.rfid.tags import TagPopulation  # noqa: E402
+from repro.obs.host import host_block  # noqa: E402
 
 BASE_SEED = 2015  # ICPP'15 — fixed so both engines replay the same seeds
 
@@ -122,11 +122,7 @@ def run_baseline_bench(
             "channel": "perfect",
             "repeats_best_of": repeats,
         },
-        "host": {
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-            "cpus": os.cpu_count(),
-        },
+        "host": host_block(),
         "baselines": baselines,
         "aggregate": {
             "serial_seconds": round(serial_total, 4),

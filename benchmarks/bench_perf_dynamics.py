@@ -44,7 +44,6 @@ from __future__ import annotations
 
 import json
 import os
-import platform
 import sys
 import time
 from pathlib import Path
@@ -59,6 +58,7 @@ from repro.experiments.dynamics import (  # noqa: E402
     run_tracking_series,
 )
 from repro.experiments.sweep import SweepPoint, TrialCache, run_sweep  # noqa: E402
+from repro.obs.host import host_block  # noqa: E402
 
 BASE_SEED = 2015  # ICPP'15 — fixed so every pass replays the same seeds
 
@@ -205,11 +205,7 @@ def run_dynamics_bench(
             "cache_dir": str(cache_dir),
             "smoke": smoke,
         },
-        "host": {
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-            "cpus": os.cpu_count(),
-        },
+        "host": host_block(),
         "series": series,
         "scale": scale,
         "passes": {

@@ -35,7 +35,6 @@ from __future__ import annotations
 
 import json
 import os
-import platform
 import sys
 import time
 from pathlib import Path
@@ -47,6 +46,7 @@ if str(_SRC) not in sys.path:  # script-mode convenience; no-op under PYTHONPATH
 
 from repro.experiments.parallel import run_bfce_trials_parallel  # noqa: E402
 from repro.experiments.runner import run_bfce_trials  # noqa: E402
+from repro.obs.host import host_block  # noqa: E402
 from repro.rfid.ids import uniform_ids  # noqa: E402
 from repro.rfid.tags import TagPopulation  # noqa: E402
 
@@ -64,6 +64,27 @@ def _time_best_of(fn, repeats: int):
     return best, records
 
 
+def _pinned_threads(value: str, fn):
+    """Run ``fn`` with ``REPRO_NATIVE_THREADS`` pinned, restoring after.
+
+    The kernels re-read the env var on every call, so pinning around one
+    engine run measures exactly that run at the pinned thread count — no
+    rebuild, no process restart, and bit-identical outputs either way.
+    """
+    def runner():
+        old = os.environ.get("REPRO_NATIVE_THREADS")
+        os.environ["REPRO_NATIVE_THREADS"] = value
+        try:
+            return fn()
+        finally:
+            if old is None:
+                os.environ.pop("REPRO_NATIVE_THREADS", None)
+            else:
+                os.environ["REPRO_NATIVE_THREADS"] = old
+
+    return runner
+
+
 def run_engine_bench(
     *,
     n: int = 100_000,
@@ -76,13 +97,17 @@ def run_engine_bench(
         workers = min(4, os.cpu_count() or 1)
     population = TagPopulation(uniform_ids(n, seed=1))
 
+    batched = lambda: run_bfce_trials(  # noqa: E731
+        population, trials=trials, base_seed=BASE_SEED, engine="batched"
+    )
     engines = {
         "serial": lambda: run_bfce_trials(
             population, trials=trials, base_seed=BASE_SEED, engine="serial"
         ),
-        "batched": lambda: run_bfce_trials(
-            population, trials=trials, base_seed=BASE_SEED, engine="batched"
-        ),
+        # Same batched engine pinned to one kernel thread: the baseline the
+        # multicore gate measures the threaded run against.
+        "batched_1t": _pinned_threads("1", batched),
+        "batched": batched,
         "parallel": lambda: run_bfce_trials_parallel(
             population, trials=trials, base_seed=BASE_SEED, max_workers=workers
         ),
@@ -110,6 +135,7 @@ def run_engine_bench(
             results[name]["trials_per_sec"] / serial_tps, 2
         )
 
+    host = host_block()
     return {
         "benchmark": "engine_throughput",
         "workload": {
@@ -120,10 +146,15 @@ def run_engine_bench(
             "repeats_best_of": repeats,
             "parallel_workers": workers,
         },
-        "host": {
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-            "cpus": os.cpu_count(),
+        "host": host,
+        "multicore": {
+            "cpus_visible": host["cpus_affinity"],
+            "threads": host["native_threads"],
+            "speedup_threaded_vs_1t": round(
+                results["batched"]["trials_per_sec"]
+                / results["batched_1t"]["trials_per_sec"],
+                2,
+            ),
         },
         "engines": results,
     }
@@ -147,6 +178,26 @@ def _check_floor(report: dict) -> list[str]:
         failures.append(
             f"batched speedup {batched}x fell below the stored floor {floor}x"
         )
+    # Multicore gate: threaded kernels vs the same engine pinned to one
+    # thread.  Meaningless on a host whose affinity mask exposes a single
+    # core — then it auto-skips, visibly, instead of failing or silently
+    # passing a vacuous 1.0x.
+    threaded_floor = floors.get("engine_threaded_speedup_min")
+    cpus_visible = report["multicore"]["cpus_visible"]
+    if threaded_floor is not None:
+        if cpus_visible < 2:
+            print(
+                "SKIP: multicore speedup gate skipped — host affinity exposes "
+                f"{cpus_visible} core(s); need >= 2 for a meaningful measurement"
+            )
+        else:
+            threaded = report["multicore"]["speedup_threaded_vs_1t"]
+            if threaded < threaded_floor:
+                failures.append(
+                    f"threaded batched speedup {threaded}x over single-thread "
+                    f"fell below the stored floor {threaded_floor}x "
+                    f"(cpus_visible={cpus_visible})"
+                )
     return failures
 
 

@@ -47,7 +47,6 @@ from __future__ import annotations
 
 import json
 import os
-import platform
 import sys
 import time
 from pathlib import Path
@@ -67,6 +66,7 @@ from repro.experiments.sweep import (  # noqa: E402
     run_sweep,
 )
 from repro.experiments.workloads import population  # noqa: E402
+from repro.obs.host import host_block  # noqa: E402
 
 BASE_SEED = 2015  # ICPP'15 — fixed so every pass replays the same seeds
 
@@ -266,11 +266,7 @@ def run_sweep_bench(
             "cache_dir": str(cache_dir),
             "smoke": smoke,
         },
-        "host": {
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-            "cpus": os.cpu_count(),
-        },
+        "host": host_block(),
         "passes": {
             "serial_reference": {"seconds": round(serial_seconds, 4)},
             "cold": _pass(cold_seconds, cold_cache),

@@ -31,14 +31,34 @@ _REPO_ROOT = Path(__file__).resolve().parent.parent
 __all__ = ["collect_trajectory", "main"]
 
 
+def _host_summary(report: dict) -> dict | None:
+    """The multicore-relevant slice of a report's host block.
+
+    Older BENCH files predate the extended host block; whatever fields they
+    do carry pass through so trajectories remain comparable across report
+    generations.
+    """
+    host = report.get("host")
+    if not isinstance(host, dict):
+        return None
+    return {
+        key: host[key]
+        for key in ("cpus", "cpus_affinity", "native_threads", "native_threads_env")
+        if key in host
+    }
+
+
 def _summarise_engine(report: dict) -> dict:
     engines = report["engines"]
-    return {
+    summary = {
         "headline_speedup": engines["batched"]["speedup_vs_serial"],
         "headline": "batched vs serial BFCE trials",
         "drift": max(e["max_abs_dn_hat_vs_serial"] for e in engines.values()),
         "workload": report["workload"],
     }
+    if "multicore" in report:
+        summary["multicore"] = report["multicore"]
+    return summary
 
 
 def _summarise_baselines(report: dict) -> dict:
@@ -132,6 +152,7 @@ def _collect_obs(directory: Path) -> dict[str, dict]:
             "ledger_crosscheck_mismatches": summary[
                 "ledger_crosscheck_mismatches"
             ],
+            "native_threads_used": summary.get("native_threads_used", 0),
         }
     return summaries
 
@@ -151,6 +172,9 @@ def collect_trajectory(directory: Path | str | None = None) -> dict:
         summary = summarise(report)
         summary["source"] = filename
         summary["benchmark"] = report["benchmark"]
+        host = _host_summary(report)
+        if host is not None:
+            summary["host"] = host
         benchmarks[key] = summary
     return {
         "benchmark": "trajectory",

@@ -52,6 +52,7 @@ import numpy as np
 
 from ..obs import metrics as _metrics
 from ..obs.trace import event as _event, span as _span
+from ..rfid import _native
 from ..rfid.hashing import first_idle_from_occupancy, geometric_occupancy_batch
 from ..rfid.tags import TagPopulation
 from ..timing.accounting import BatchLedger
@@ -79,6 +80,13 @@ __all__ = [
 
 #: Widest lottery frame the uint64 occupancy kernel can represent.
 _MAX_OCCUPANCY_BITS = 64
+
+#: Per-core event budget (frames × population) of one streamed occupancy
+#: block — matches the frame engine's cache-resident chunk size.  The
+#: threaded kernel parallelises over the frames within a block, so the
+#: effective block budget scales by the kernel thread count: every core
+#: works a single-core-sized slice while the block feeds all of them.
+_STREAM_EVENT_BUDGET = 300_000
 
 
 def baseline_batchable(estimator: CardinalityEstimator) -> bool:
@@ -113,17 +121,26 @@ def _lottery_first_idle(
     """First-idle indices of ``rounds`` lottery frames per trial.
 
     Draws each trial's round seeds from its own stream (in round order, as
-    serial LOF does), runs every frame through one occupancy-kernel call,
-    meters the per-round seed broadcast + frame on all trials, and returns
-    the ``(T, rounds)`` float64 first-idle matrix.
+    serial LOF does), streams the ``T × rounds`` frames through the
+    occupancy kernel in cache-resident blocks (``_STREAM_EVENT_BUDGET``
+    events per core), meters the per-round seed broadcast + frame on all
+    trials, and returns the ``(T, rounds)`` float64 first-idle matrix.
+    Per-frame occupancies depend only on their own seed, so the block
+    size never changes a single output bit.
     """
     seed_matrix = np.empty((len(rngs), rounds), dtype=np.uint64)
     for t, rng in enumerate(rngs):
         for r in range(rounds):
             seed_matrix[t, r] = _fresh_seed(rng)
-    occupancy = geometric_occupancy_batch(
-        population.tag_ids, seed_matrix.ravel(), max_bits=frame_slots
-    )
+    flat_seeds = seed_matrix.ravel()
+    budget = _STREAM_EVENT_BUDGET * _native.effective_threads()
+    block = max(1, budget // max(1, population.size))
+    occupancy = np.empty(flat_seeds.size, dtype=np.uint64)
+    for lo in range(0, flat_seeds.size, block):
+        hi = min(lo + block, flat_seeds.size)
+        occupancy[lo:hi] = geometric_occupancy_batch(
+            population.tag_ids, flat_seeds[lo:hi], max_bits=frame_slots
+        )
     first_idle = (
         first_idle_from_occupancy(occupancy, frame_slots)
         .reshape(len(rngs), rounds)

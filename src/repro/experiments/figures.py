@@ -551,11 +551,17 @@ def lower_bound_validity(
 
 
 # ----------------------------------------------------------------------
-# Scale extension — Fig. 7-style accuracy at n = 10⁵ … 10⁸ (analytic engine)
+# Scale extension — Fig. 7-style accuracy at n = 10⁵ … 10⁹ (analytic engine)
 # ----------------------------------------------------------------------
 def scale_accuracy(
     *,
-    n_values: Sequence[int] = (100_000, 1_000_000, 10_000_000, 100_000_000),
+    n_values: Sequence[int] = (
+        100_000,
+        1_000_000,
+        10_000_000,
+        100_000_000,
+        1_000_000_000,
+    ),
     trials: int = 20,
     eps: float = 0.05,
     delta: float = 0.05,
@@ -563,12 +569,12 @@ def scale_accuracy(
     base_seed: int = 0,
     max_workers: int | None = None,
 ) -> FigureData:
-    """BFCE accuracy versus n beyond the event engines' reach (10⁷–10⁸ tags).
+    """BFCE accuracy versus n beyond the event engines' reach (10⁷–10⁹ tags).
 
     The paper's Fig. 7 stops at n = 5·10⁵ because every event-driven trial
     hashes all n tags; the analytic occupancy engine samples each frame's
     slot counts from their exact distribution in O(w), so accuracy curves
-    extend to 10⁸ tags at constant per-trial cost.  The default w = 8192
+    extend to 10⁹ tags at constant per-trial cost.  The default w = 8192
     caps the estimable range near 1.94·10⁷ (DESIGN.md §2.5), so this sweep
     uses the scaled configuration at w = 2¹⁷ throughout
     (:meth:`BFCEConfig.scaled`: the persistence grid refines with the
@@ -607,7 +613,7 @@ def scale_accuracy(
         )
     return FigureData(
         figure="scale",
-        title=f"BFCE accuracy at n = 10⁵…10⁸ (analytic engine, w = {int(w)})",
+        title=f"BFCE accuracy at n = 10⁵…10⁹ (analytic engine, w = {int(w)})",
         rows=rows,
         meta={"trials": trials, "w": int(w), "engine": "analytic"},
     )

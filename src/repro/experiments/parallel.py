@@ -35,6 +35,7 @@ from concurrent.futures import ProcessPoolExecutor
 import numpy as np
 
 from ..core.config import BFCEConfig, DEFAULT_CONFIG
+from ..rfid import _native
 from ..rfid.tags import TagPopulation
 from .runner import TrialRecord
 
@@ -145,6 +146,13 @@ def run_bfce_trials_parallel(
     if workers <= 1:
         chunks = [_run_chunk(task) for task in tasks]
     else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        # Each worker's native kernels get an equal share of the visible
+        # cores (unless REPRO_NATIVE_THREADS pins it) — process parallelism
+        # and kernel threads must not multiply into oversubscription.
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_native.divide_thread_budget,
+            initargs=(workers,),
+        ) as pool:
             chunks = list(pool.map(_run_chunk, tasks))
     return [record for chunk in chunks for record in chunk]

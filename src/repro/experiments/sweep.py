@@ -48,6 +48,7 @@ from typing import Callable, Iterable, Sequence
 
 from ..obs import metrics as _metrics
 from ..obs import trace as _trace
+from ..rfid import _native
 
 __all__ = [
     "SweepPoint",
@@ -81,6 +82,22 @@ _TOKEN_FILES = (
 )
 
 
+def engine_token_paths() -> list[Path]:
+    """Every source file hashed into :func:`engine_version_token`.
+
+    Exposed so tests can assert result-shaping modules — in particular the
+    native kernel source embedded in ``rfid/_native.py``, whose threading
+    behaviour must invalidate cached sweeps when it changes — are covered
+    by the token.
+    """
+    pkg = Path(__file__).resolve().parents[1]
+    paths: list[Path] = []
+    for name in _TOKEN_PACKAGES:
+        paths.extend(sorted((pkg / name).glob("*.py")))
+    paths.extend(pkg / rel for rel in _TOKEN_FILES)
+    return paths
+
+
 @lru_cache(maxsize=1)
 def engine_version_token() -> str:
     """Hash of every source file that can influence trial results.
@@ -91,11 +108,7 @@ def engine_version_token() -> str:
     """
     pkg = Path(__file__).resolve().parents[1]
     digest = hashlib.sha256()
-    paths: list[Path] = []
-    for name in _TOKEN_PACKAGES:
-        paths.extend(sorted((pkg / name).glob("*.py")))
-    paths.extend(pkg / rel for rel in _TOKEN_FILES)
-    for path in paths:
+    for path in engine_token_paths():
         digest.update(str(path.relative_to(pkg)).encode())
         digest.update(b"\0")
         digest.update(path.read_bytes())
@@ -910,7 +923,14 @@ def run_sweep(
             if workers <= 1:
                 payloads = [_execute_canonical(c) for c in missing]
             else:
-                with ProcessPoolExecutor(max_workers=workers) as pool:
+                # Split the native kernel-thread budget across workers so
+                # process fan-out and kernel threads don't multiply into
+                # workers × cores oversubscription (bit-identity unaffected).
+                with ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_native.divide_thread_budget,
+                    initargs=(workers,),
+                ) as pool:
                     payloads = list(pool.map(_execute_canonical, missing))
                 # Fold the pool workers' sidecar traces (spans + their final
                 # metrics snapshots) back into the parent's trace file.

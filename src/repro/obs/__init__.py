@@ -22,7 +22,7 @@ or :func:`configure` in code::
 
 from __future__ import annotations
 
-from . import metrics, report
+from . import host, metrics, report
 from .events import (
     EngineFallbackWarning,
     LedgerDriftWarning,
@@ -57,6 +57,7 @@ __all__ = [
     "event",
     "flush",
     "ledger_crosscheck",
+    "host",
     "ledger_phase_cums",
     "merge_worker_traces",
     "metrics",

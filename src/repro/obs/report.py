@@ -17,6 +17,8 @@ from pathlib import Path
 __all__ = [
     "TraceData",
     "load_trace",
+    "metrics_gauges",
+    "metrics_histograms",
     "metrics_totals",
     "render_flame",
     "render_summary",
@@ -73,16 +75,52 @@ def load_trace(path: str | Path, *, merge_workers: bool = True) -> TraceData:
     return data
 
 
-def metrics_totals(trace: TraceData) -> dict:
-    """Counters summed across processes (last cumulative record per pid)."""
+def _last_metrics_by_pid(trace: TraceData) -> list[dict]:
+    """Last cumulative metrics record of every process in the trace."""
     last_by_pid: dict[int, dict] = {}
     for record in trace.metrics:
         last_by_pid[record["pid"]] = record
+    return list(last_by_pid.values())
+
+
+def metrics_totals(trace: TraceData) -> dict:
+    """Counters summed across processes (last cumulative record per pid)."""
     counters: dict[str, float] = {}
-    for record in last_by_pid.values():
+    for record in _last_metrics_by_pid(trace):
         for name, value in (record.get("counters") or {}).items():
             counters[name] = counters.get(name, 0) + value
     return counters
+
+
+def metrics_gauges(trace: TraceData) -> dict:
+    """Gauges across processes: per-name max of each pid's last value.
+
+    Max is the useful cross-process fold for the gauges we emit —
+    ``native.threads_used`` reads as "widest kernel fan-out seen anywhere
+    in the run", which is what thread-utilisation questions ask.
+    """
+    gauges: dict[str, float] = {}
+    for record in _last_metrics_by_pid(trace):
+        for name, value in (record.get("gauges") or {}).items():
+            if name not in gauges or value > gauges[name]:
+                gauges[name] = value
+    return gauges
+
+
+def metrics_histograms(trace: TraceData) -> dict:
+    """Histogram summaries merged across processes (count/sum/min/max)."""
+    merged: dict[str, dict] = {}
+    for record in _last_metrics_by_pid(trace):
+        for name, h in (record.get("histograms") or {}).items():
+            cur = merged.get(name)
+            if cur is None:
+                merged[name] = dict(h)
+            else:
+                cur["count"] += h["count"]
+                cur["sum"] += h["sum"]
+                cur["min"] = min(cur["min"], h["min"])
+                cur["max"] = max(cur["max"], h["max"])
+    return merged
 
 
 def trials(trace: TraceData) -> list[dict]:
@@ -123,6 +161,13 @@ def summarise(path: str | Path) -> dict:
     trace = load_trace(path)
     trial_list = trials(trace)
     counters = metrics_totals(trace)
+    gauges = metrics_gauges(trace)
+    hists = metrics_histograms(trace)
+    kernel_seconds = {
+        name[len("kernel.native.") : -len(".seconds")]: h
+        for name, h in hists.items()
+        if name.startswith("kernel.native.") and name.endswith(".seconds")
+    }
 
     engines: dict[str, int] = {}
     phase_air: dict[str, float] = {}
@@ -158,7 +203,11 @@ def summarise(path: str | Path) -> dict:
         "wall_by_span": wall_by_name,
         "engine_fallbacks": counters.get("engine.fallback", 0),
         "ledger_crosscheck_mismatches": counters.get("ledger.crosscheck.mismatch", 0),
+        "native_threads_used": gauges.get("native.threads_used", 0),
+        "native_calls_threaded": counters.get("kernel.native.calls_threaded", 0),
+        "kernel_native_seconds": kernel_seconds,
         "counters": counters,
+        "gauges": gauges,
     }
 
 
@@ -176,6 +225,8 @@ def render_summary(summary: dict) -> str:
         f"air time   : {summary['air_seconds_total'] * 1e3:.2f} ms total",
         f"fallbacks  : {summary['engine_fallbacks']:.0f} engine fallback(s), "
         f"{summary['ledger_crosscheck_mismatches']:.0f} ledger mismatch(es)",
+        f"kernels    : {summary.get('native_threads_used', 0):.0f} thread(s) peak, "
+        f"{summary.get('native_calls_threaded', 0):.0f} threaded call(s)",
         "",
         f"{'phase':>12} {'air ms':>12} {'down bits':>12} {'up slots':>12}",
     ]
@@ -195,6 +246,15 @@ def render_summary(summary: dict) -> str:
         lines.append(
             f"{name:>16} {agg['count']:>8} {agg['wall_seconds'] * 1e3:>12.2f}"
         )
+    kernels = summary.get("kernel_native_seconds") or {}
+    if kernels:
+        lines.append("")
+        lines.append(f"{'native kernel':>16} {'calls':>8} {'wall ms':>12} {'max ms':>12}")
+        for name, h in sorted(kernels.items(), key=lambda kv: -kv[1]["sum"]):
+            lines.append(
+                f"{name:>16} {h['count']:>8} {h['sum'] * 1e3:>12.2f} "
+                f"{h['max'] * 1e3:>12.2f}"
+            )
     return "\n".join(lines)
 
 

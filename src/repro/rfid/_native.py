@@ -16,11 +16,30 @@ ALOHA join test uses the same integer threshold comparison
 i.e. every tag joins).  The equivalence suites therefore pin the native
 path against the serial estimators whenever it is active.
 
+Threading model (DESIGN.md §6): every kernel's outer axis iterates over
+*independent* work items — lottery frames, ALOHA frames, BFCE frames, or
+(for the single-frame analytic scatter) disjoint ball ranges merged by
+exact integer addition.  Each item's SplitMix64 stream is a pure function
+of its own seed and each item writes a disjoint output row, so splitting
+the axis into contiguous per-thread blocks cannot change any output bit:
+threaded results are **bit-identical** to the single-threaded path at any
+thread count.  The thread count comes from :func:`native_thread_count`
+(``REPRO_NATIVE_THREADS`` env, affinity-aware default) and is re-read on
+every call, so benchmarks can flip it without rebuilding; tiny calls stay
+single-threaded (see ``_MT_MIN_EVENTS``).  When pthreads are unavailable
+(or ``REPRO_NATIVE_PTHREADS=0``) the build falls back to a serial variant
+of the same source — same results, one core.
+
 Build model: the C source below is compiled on first use with the system C
 compiler into ``build/`` at the repo root (cached by content hash, so the
-cost is one ``cc`` invocation per source revision, not per process).  When
-no compiler is available, the build fails, or ``REPRO_NATIVE=0`` is set,
-callers transparently keep the pure-NumPy path — same results, just slower.
+cost is one ``cc`` invocation per source revision, not per process; set
+``REPRO_NATIVE_BUILD_DIR`` to relocate).  Concurrent first users — e.g.
+process-pool workers racing on a cold build directory — serialise on an
+exclusive file lock and publish the shared object by atomic rename, so
+exactly one compile runs and no process ever loads a half-written library.
+When no compiler is available, the build fails, or ``REPRO_NATIVE=0`` is
+set, callers transparently keep the pure-NumPy path — same results, just
+slower.
 """
 
 from __future__ import annotations
@@ -30,6 +49,8 @@ import hashlib
 import os
 import subprocess
 import tempfile
+import time
+from contextlib import contextmanager
 from pathlib import Path
 
 import numpy as np
@@ -37,6 +58,9 @@ import numpy as np
 __all__ = [
     "get_lib",
     "native_enabled",
+    "native_thread_count",
+    "effective_threads",
+    "threads_supported",
     "occupancy_native",
     "aloha_empty_native",
     "bfce_counts_native",
@@ -47,6 +71,84 @@ _SOURCE = r"""
 #include <stdint.h>
 #include <stddef.h>
 #include <string.h>
+
+#ifdef REPRO_MT
+#include <pthread.h>
+#endif
+
+/* ------------------------------------------------------------------ */
+/* Trial-block threading runtime.                                     */
+/*                                                                    */
+/* Every kernel below is embarrassingly parallel over its outer axis: */
+/* item j depends only on its own seed(s) and writes only its own     */
+/* output row, so running contiguous [lo, hi) blocks on separate      */
+/* threads is bit-identical to the serial loop.  run_blocks() splits  */
+/* `items` into at most `n_threads` balanced blocks; thread creation  */
+/* failures degrade gracefully by running the unspawned blocks inline */
+/* on the calling thread (still correct — blocks are independent).    */
+/* ------------------------------------------------------------------ */
+
+#define REPRO_MAX_THREADS 64
+
+typedef void (*block_fn)(void *ctx, size_t lo, size_t hi, int tid);
+
+int threads_compiled(void) {
+#ifdef REPRO_MT
+    return 1;
+#else
+    return 0;
+#endif
+}
+
+#ifdef REPRO_MT
+typedef struct { block_fn fn; void *ctx; size_t lo, hi; int tid; } block_job;
+
+static void *run_block_job(void *arg) {
+    block_job *job = (block_job *)arg;
+    job->fn(job->ctx, job->lo, job->hi, job->tid);
+    return NULL;
+}
+#endif
+
+static void run_blocks(block_fn fn, void *ctx, size_t items, int n_threads) {
+    if (items == 0)
+        return;
+#ifdef REPRO_MT
+    size_t nt = n_threads < 1 ? 1 : (size_t)n_threads;
+    if (nt > items)
+        nt = items;
+    if (nt > REPRO_MAX_THREADS)
+        nt = REPRO_MAX_THREADS;
+    if (nt > 1) {
+        block_job jobs[REPRO_MAX_THREADS];
+        pthread_t handles[REPRO_MAX_THREADS];
+        size_t base = items / nt, rem = items % nt, lo = 0;
+        for (size_t t = 0; t < nt; t++) {
+            size_t len = base + (t < rem ? 1 : 0);
+            jobs[t].fn = fn; jobs[t].ctx = ctx;
+            jobs[t].lo = lo; jobs[t].hi = lo + len; jobs[t].tid = (int)t;
+            lo += len;
+        }
+        size_t started = nt;
+        for (size_t t = 1; t < nt; t++) {
+            if (pthread_create(&handles[t], NULL, run_block_job, &jobs[t]) != 0) {
+                /* Spawn failed: run this and all later blocks inline. */
+                for (size_t u = t; u < nt; u++)
+                    jobs[u].fn(jobs[u].ctx, jobs[u].lo, jobs[u].hi, jobs[u].tid);
+                started = t;
+                break;
+            }
+        }
+        jobs[0].fn(jobs[0].ctx, jobs[0].lo, jobs[0].hi, 0);
+        for (size_t t = 1; t < started; t++)
+            pthread_join(handles[t], NULL);
+        return;
+    }
+#else
+    (void)n_threads;
+#endif
+    fn(ctx, 0, items, 0);
+}
 
 /* SplitMix64 mixer — must match repro.rfid.hashing.mix64 exactly
  * (golden-ratio increment, then the finalizer). */
@@ -64,48 +166,82 @@ static inline uint64_t mix64(uint64_t x) {
  * seed_mix[j] = mix64(seed_j) is precomputed by the caller; out[j] gets
  * bit b set iff some id hashes to bucket b, with top_bit marking the
  * all-zero-hash event (bucket max_bits-1), exactly like the NumPy kernel.
+ * Threaded over seeds: out[j] is a pure function of seed_mix[j].
  */
-void occupancy_batch(const uint64_t *ids, size_t n,
-                     const uint64_t *seed_mix, size_t m,
-                     uint64_t mask, uint64_t top_bit, uint64_t *out) {
-    for (size_t j = 0; j < m; j++) {
-        const uint64_t sm = seed_mix[j];
+typedef struct {
+    const uint64_t *ids; size_t n;
+    const uint64_t *seed_mix;
+    uint64_t mask, top_bit;
+    uint64_t *out;
+} occupancy_ctx;
+
+static void occupancy_block(void *p, size_t lo, size_t hi, int tid) {
+    occupancy_ctx *c = (occupancy_ctx *)p;
+    (void)tid;
+    for (size_t j = lo; j < hi; j++) {
+        const uint64_t sm = c->seed_mix[j];
         uint64_t occ = 0, zero = 0;
-        for (size_t i = 0; i < n; i++) {
-            uint64_t h = mix64(ids[i] ^ sm) & mask;
+        for (size_t i = 0; i < c->n; i++) {
+            uint64_t h = mix64(c->ids[i] ^ sm) & c->mask;
             occ |= h & (~h + 1);   /* 0 contributes nothing */
             zero |= (uint64_t)(h == 0);
         }
-        out[j] = occ | (zero ? top_bit : 0);
+        c->out[j] = occ | (zero ? c->top_bit : 0);
     }
+}
+
+void occupancy_batch(const uint64_t *ids, size_t n,
+                     const uint64_t *seed_mix, size_t m,
+                     uint64_t mask, uint64_t top_bit, uint64_t *out,
+                     int n_threads) {
+    occupancy_ctx c = {ids, n, seed_mix, mask, top_bit, out};
+    run_blocks(occupancy_block, &c, m, n_threads);
 }
 
 /* Empty-slot counts of many framed-ALOHA frames.
  * thresholds[j] = ceil(rho_j * 2^53); join iff (h >> 11) < T, tested as
  * h < T << 11 (T = 2^53 means rho = 1: everyone joins).  counts is caller
- * scratch of frame_size int64 entries.
+ * scratch of n_threads x frame_size int64 entries — each thread owns the
+ * row indexed by its tid, so frames can thread without sharing slots.
  */
+typedef struct {
+    const uint64_t *ids; size_t n;
+    const uint64_t *join_mix, *slot_mix, *thresholds;
+    uint64_t frame_size;
+    int64_t *counts;
+    int64_t *empty_out;
+} aloha_ctx;
+
+static void aloha_block(void *p, size_t lo, size_t hi, int tid) {
+    aloha_ctx *c = (aloha_ctx *)p;
+    const uint64_t full = (uint64_t)1 << 53;
+    int64_t *counts = c->counts + (size_t)tid * c->frame_size;
+    for (size_t j = lo; j < hi; j++) {
+        const uint64_t jm = c->join_mix[j], sm = c->slot_mix[j];
+        const uint64_t t = c->thresholds[j];
+        const int all_join = t >= full;
+        const uint64_t thr = all_join ? 0 : (t << 11);
+        memset(counts, 0, c->frame_size * sizeof(int64_t));
+        for (size_t i = 0; i < c->n; i++) {
+            const uint64_t id = c->ids[i];
+            if (all_join || mix64(id ^ jm) < thr)
+                counts[mix64(id ^ sm) % c->frame_size]++;
+        }
+        int64_t empty = 0;
+        for (uint64_t s = 0; s < c->frame_size; s++)
+            empty += (counts[s] == 0);
+        c->empty_out[j] = empty;
+    }
+}
+
 void aloha_empty_batch(const uint64_t *ids, size_t n,
                        const uint64_t *join_mix, const uint64_t *slot_mix,
                        const uint64_t *thresholds, size_t m,
                        uint64_t frame_size, int64_t *counts,
-                       int64_t *empty_out) {
-    const uint64_t full = (uint64_t)1 << 53;
-    for (size_t j = 0; j < m; j++) {
-        const uint64_t jm = join_mix[j], sm = slot_mix[j], t = thresholds[j];
-        const int all_join = t >= full;
-        const uint64_t thr = all_join ? 0 : (t << 11);
-        memset(counts, 0, frame_size * sizeof(int64_t));
-        for (size_t i = 0; i < n; i++) {
-            const uint64_t id = ids[i];
-            if (all_join || mix64(id ^ jm) < thr)
-                counts[mix64(id ^ sm) % frame_size]++;
-        }
-        int64_t empty = 0;
-        for (uint64_t s = 0; s < frame_size; s++)
-            empty += (counts[s] == 0);
-        empty_out[j] = empty;
-    }
+                       int64_t *empty_out, int n_threads) {
+    aloha_ctx c = {ids, n, join_mix, slot_mix, thresholds, frame_size,
+                   counts, empty_out};
+    run_blocks(aloha_block, &c, m, n_threads);
 }
 
 /* Per-slot response counts of dense (full or near-full) BFCE frames.
@@ -118,68 +254,152 @@ void aloha_empty_batch(const uint64_t *ids, size_t n,
  * hash entirely (everybody responds).  mode_static = 1 reuses the j = 0
  * decision for every hash index (the "static" persistence mode); 0 decides
  * per event ("event" mode).  The rn_window mode stays on the NumPy path.
+ * Threaded over frames: each frame's row is written by exactly one thread.
+ * Within a frame the loop streams (id, rn) pairs once, deciding all k hash
+ * indices per tag, so the event buffers are read one cache-resident pass
+ * per frame while the w-sized count row stays L2-resident.
  */
-void bfce_counts_batch(const uint64_t *ids, const uint32_t *rn, size_t n,
-                       const uint32_t *rs32, const uint64_t *mes,
-                       const int64_t *pn, size_t c_frames, size_t k,
-                       uint32_t w_mask, int mode_static, int64_t *counts) {
-    const uint64_t w = (uint64_t)w_mask + 1;
-    for (size_t c = 0; c < c_frames; c++) {
-        int64_t *row = counts + c * w;
+typedef struct {
+    const uint64_t *ids; const uint32_t *rn; size_t n;
+    const uint32_t *rs32; const uint64_t *mes; const int64_t *pn;
+    size_t k; uint32_t w_mask; int mode_static;
+    int64_t *counts;
+} bfce_ctx;
+
+static void bfce_block(void *p, size_t lo, size_t hi, int tid) {
+    bfce_ctx *c = (bfce_ctx *)p;
+    (void)tid;
+    const uint64_t w = (uint64_t)c->w_mask + 1;
+    const size_t k = c->k;
+    for (size_t f = lo; f < hi; f++) {
+        int64_t *row = c->counts + f * w;
         memset(row, 0, w * sizeof(int64_t));
-        const int64_t p = pn[c];
-        if (p <= 0)
+        const int64_t pn = c->pn[f];
+        if (pn <= 0)
             continue;
-        const int all_join = p >= 1024;
-        const uint64_t thr = all_join ? 0 : ((uint64_t)p << 54);
-        if (mode_static) {
-            const uint64_t sm = mes[c * k];
-            for (size_t i = 0; i < n; i++) {
-                if (all_join || mix64(ids[i] ^ sm) < thr) {
-                    const uint32_t r = rn[i];
+        const int all_join = pn >= 1024;
+        const uint64_t thr = all_join ? 0 : ((uint64_t)pn << 54);
+        const uint32_t *rs = c->rs32 + f * k;
+        const uint64_t *mes = c->mes + f * k;
+        if (c->mode_static) {
+            const uint64_t sm = mes[0];
+            for (size_t i = 0; i < c->n; i++) {
+                if (all_join || mix64(c->ids[i] ^ sm) < thr) {
+                    const uint32_t r = c->rn[i];
                     for (size_t j = 0; j < k; j++)
-                        row[(r ^ rs32[c * k + j]) & w_mask]++;
+                        row[(r ^ rs[j]) & c->w_mask]++;
                 }
             }
         } else {
-            for (size_t j = 0; j < k; j++) {
-                const uint64_t sm = mes[c * k + j];
-                const uint32_t rs = rs32[c * k + j];
-                for (size_t i = 0; i < n; i++) {
-                    if (all_join || mix64(ids[i] ^ sm) < thr)
-                        row[(rn[i] ^ rs) & w_mask]++;
+            for (size_t i = 0; i < c->n; i++) {
+                const uint64_t id = c->ids[i];
+                const uint32_t r = c->rn[i];
+                for (size_t j = 0; j < k; j++) {
+                    if (all_join || mix64(id ^ mes[j]) < thr)
+                        row[(r ^ rs[j]) & c->w_mask]++;
                 }
             }
         }
     }
 }
 
+void bfce_counts_batch(const uint64_t *ids, const uint32_t *rn, size_t n,
+                       const uint32_t *rs32, const uint64_t *mes,
+                       const int64_t *pn, size_t c_frames, size_t k,
+                       uint32_t w_mask, int mode_static, int64_t *counts,
+                       int n_threads) {
+    bfce_ctx c = {ids, rn, n, rs32, mes, pn, k, w_mask, mode_static, counts};
+    run_blocks(bfce_block, &c, c_frames, n_threads);
+}
+
 /* Uniform ball scatter of the analytic occupancy engine.  Frame j throws
  * balls[j] i.i.d. uniform balls into n_slots slots; ball i (1-based) lands
  * in slot mix64(seed_j + i) % n_slots — the same counter-mode SplitMix64
  * stream as repro.rfid.occupancy.scatter_counts, so the two paths are
- * bit-identical.  counts is m rows of n_slots int64 entries.
+ * bit-identical.  counts is m rows of n_slots int32 entries.
+ * Threaded over frames (each row independent); the common single-frame
+ * call threads over ball ranges instead via analytic_scatter_balls below.
  */
-void analytic_scatter_batch(const uint64_t *seeds, const int64_t *balls,
-                            size_t m, uint64_t n_slots, int32_t *counts) {
-    /* int32 rows: the loop is latency-bound on random increments, so
-     * halving the row footprint (512 KiB at w = 2^17) roughly halves the
-     * cache-miss cost.  BFCE slot counts are powers of two, so the
-     * per-ball 64-bit modulo (~30 cycles) collapses to a mask; the
-     * generic path stays for SRC's arbitrary frame sizes. */
+typedef struct {
+    const uint64_t *seeds; const int64_t *balls;
+    uint64_t n_slots;
+    int32_t *counts;
+} scatter_ctx;
+
+static void scatter_row(uint64_t seed, int64_t lo, int64_t hi,
+                        uint64_t n_slots, int32_t *row) {
+    /* Balls (lo, hi]: 1-based counter-mode stream.  int32 rows: the loop
+     * is latency-bound on random increments, so halving the row footprint
+     * (512 KiB at w = 2^17) roughly halves the cache-miss cost.  BFCE slot
+     * counts are powers of two, so the per-ball 64-bit modulo (~30 cycles)
+     * collapses to a mask; the generic path stays for SRC's arbitrary
+     * frame sizes. */
     const int pow2 = (n_slots & (n_slots - 1)) == 0;
     const uint64_t mask = n_slots - 1;
-    for (size_t j = 0; j < m; j++) {
-        int32_t *row = counts + j * n_slots;
+    if (pow2)
+        for (int64_t i = lo + 1; i <= hi; i++)
+            row[mix64(seed + (uint64_t)i) & mask]++;
+    else
+        for (int64_t i = lo + 1; i <= hi; i++)
+            row[mix64(seed + (uint64_t)i) % n_slots]++;
+}
+
+static void scatter_block(void *p, size_t lo, size_t hi, int tid) {
+    scatter_ctx *c = (scatter_ctx *)p;
+    (void)tid;
+    for (size_t j = lo; j < hi; j++) {
+        int32_t *row = c->counts + j * c->n_slots;
+        memset(row, 0, c->n_slots * sizeof(int32_t));
+        scatter_row(c->seeds[j], 0, c->balls[j], c->n_slots, row);
+    }
+}
+
+void analytic_scatter_batch(const uint64_t *seeds, const int64_t *balls,
+                            size_t m, uint64_t n_slots, int32_t *counts,
+                            int n_threads) {
+    scatter_ctx c = {seeds, balls, n_slots, counts};
+    run_blocks(scatter_block, &c, m, n_threads);
+}
+
+/* Single-frame scatter threaded over disjoint ball ranges.  Thread 0
+ * scatters its range directly into the output row; thread t > 0 into its
+ * own caller-provided scratch row, merged by integer addition afterwards.
+ * Slot totals are sums of per-ball increments, so any partition of the
+ * ball range produces identical counts — bit-identical to the serial
+ * scatter at every thread count.
+ */
+typedef struct {
+    uint64_t seed; int64_t balls;
+    uint64_t n_slots;
+    int32_t *row;       /* output row (thread 0) */
+    int32_t *scratch;   /* (n_threads - 1) x n_slots partial rows */
+} balls_ctx;
+
+static void balls_block(void *p, size_t lo, size_t hi, int tid) {
+    balls_ctx *c = (balls_ctx *)p;
+    int32_t *row = tid == 0 ? c->row : c->scratch + (size_t)(tid - 1) * c->n_slots;
+    memset(row, 0, c->n_slots * sizeof(int32_t));
+    scatter_row(c->seed, (int64_t)lo, (int64_t)hi, c->n_slots, row);
+}
+
+void analytic_scatter_balls(uint64_t seed, int64_t balls, uint64_t n_slots,
+                            int32_t *row, int32_t *scratch, int n_threads) {
+    balls_ctx c = {seed, balls, n_slots, row, scratch};
+    int nt = n_threads < 1 ? 1 : n_threads;
+    run_blocks(balls_block, &c, (size_t)balls, nt);
+    if (balls == 0)
         memset(row, 0, n_slots * sizeof(int32_t));
-        const uint64_t s = seeds[j];
-        const int64_t b = balls[j];
-        if (pow2)
-            for (int64_t i = 1; i <= b; i++)
-                row[mix64(s + (uint64_t)i) & mask]++;
-        else
-            for (int64_t i = 1; i <= b; i++)
-                row[mix64(s + (uint64_t)i) % n_slots]++;
+#ifndef REPRO_MT
+    nt = 1;   /* serial build: everything landed in row, nothing to merge */
+#endif
+    if (nt > (int)balls)
+        nt = balls > 0 ? (int)balls : 1;
+    if (nt > REPRO_MAX_THREADS)
+        nt = REPRO_MAX_THREADS;
+    for (int t = 1; t < nt; t++) {
+        const int32_t *part = scratch + (size_t)(t - 1) * n_slots;
+        for (uint64_t s = 0; s < n_slots; s++)
+            row[s] += part[s];
     }
 }
 """
@@ -192,59 +412,238 @@ _I32P = ctypes.POINTER(ctypes.c_int32)
 _lib: ctypes.CDLL | None = None
 _build_failed = False
 
+#: Hard cap on kernel threads (matches REPRO_MAX_THREADS in the C source;
+#: requests above it are clamped — an over-subscription guard, not a tuning
+#: knob).
+_THREAD_CAP = 64
+
+#: Minimum (item × per-item) event volume before a call spreads over
+#: threads: spawning a pthread costs tens of microseconds, so calls smaller
+#: than this finish faster on one core.  Purely a scheduling choice — the
+#: outputs are bit-identical either way.
+_MT_MIN_EVENTS = 1 << 17
+
 
 def native_enabled() -> bool:
     """Native kernels wanted (default) — ``REPRO_NATIVE=0`` opts out."""
     return os.environ.get("REPRO_NATIVE", "1") != "0"
 
 
+def _pthreads_wanted() -> bool:
+    """Build the pthread variant (default) — ``REPRO_NATIVE_PTHREADS=0``
+    forces the serial-fallback build (used by tests and as a manual escape
+    hatch on toolchains whose ``-pthread`` is broken)."""
+    return os.environ.get("REPRO_NATIVE_PTHREADS", "1") != "0"
+
+
+def native_thread_count() -> int:
+    """Kernel threads per native call, from ``REPRO_NATIVE_THREADS``.
+
+    Parsing rules (re-read on every call, so benchmarks can flip the env
+    var without reloading):
+
+    * a positive integer requests exactly that many threads, clamped to the
+      over-subscription cap (``64``);
+    * unset, empty, ``0``, negative, or unparsable values mean *auto*: the
+      affinity-visible core count (``len(os.sched_getaffinity(0))`` where
+      available, else ``os.cpu_count()``), clamped the same way — on a
+      pinned CI runner or cgroup-limited container this sees the cores the
+      process may actually use, not the machine total.
+    """
+    raw = os.environ.get("REPRO_NATIVE_THREADS", "").strip()
+    if raw:
+        try:
+            requested = int(raw)
+        except ValueError:
+            requested = 0  # garbage falls back to auto
+        if requested >= 1:
+            return min(requested, _THREAD_CAP)
+    try:
+        auto = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        auto = os.cpu_count() or 1
+    return max(1, min(auto, _THREAD_CAP))
+
+
+def divide_thread_budget(workers: int) -> None:
+    """Process-pool worker initializer: split the auto kernel-thread budget.
+
+    Without this, every worker of a ``workers``-process pool would
+    auto-detect all visible cores and the host would run workers × cores
+    kernel threads.  Called inside each worker (pass as the executor's
+    ``initializer`` with ``initargs=(workers,)``), it caps the worker's
+    kernel threads at ``max(1, visible // workers)`` — an explicitly set
+    ``REPRO_NATIVE_THREADS`` is inherited from the parent and respected
+    untouched.  Purely a scheduling knob: outputs are bit-identical at any
+    thread count.
+    """
+    if os.environ.get("REPRO_NATIVE_THREADS", "").strip():
+        return
+    try:
+        auto = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        auto = os.cpu_count() or 1
+    os.environ["REPRO_NATIVE_THREADS"] = str(max(1, auto // max(1, workers)))
+
+
+def threads_supported() -> bool:
+    """Whether the loaded kernel library was built with pthread support."""
+    lib = get_lib()
+    return bool(lib is not None and lib.threads_compiled())
+
+
+def effective_threads() -> int:
+    """Threads a large native call would actually use right now.
+
+    1 when the native library is absent or was built without pthreads;
+    otherwise :func:`native_thread_count`.  Callers sizing work chunks for
+    the threaded kernels (e.g. the batched frame engine's streaming budget)
+    use this rather than the raw env parse.
+    """
+    lib = get_lib()
+    if lib is None or not lib.threads_compiled():
+        return 1
+    return native_thread_count()
+
+
+def _threads_for(items: int, events: int) -> int:
+    """Thread count for one kernel call of ``items`` blocks / ``events`` work."""
+    if items <= 1 or events < _MT_MIN_EVENTS:
+        return 1
+    return max(1, min(effective_threads(), items))
+
+
+def _record_call(kernel: str, threads: int, seconds: float) -> None:
+    """Per-block observability: thread fan-out + kernel wall time."""
+    from ..obs import metrics as _metrics
+
+    _metrics.gauge("native.threads_used", threads)
+    _metrics.inc("kernel.native.calls")
+    if threads > 1:
+        _metrics.inc("kernel.native.calls_threaded")
+    _metrics.observe(f"kernel.native.{kernel}.seconds", seconds)
+
+
+def _build_dir() -> Path:
+    """Where compiled kernels live (``REPRO_NATIVE_BUILD_DIR`` overrides)."""
+    override = os.environ.get("REPRO_NATIVE_BUILD_DIR")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parents[3] / "build"
+
+
+@contextmanager
+def _build_lock(build_dir: Path):
+    """Exclusive advisory lock serialising first-use compiles.
+
+    Concurrent process-pool workers racing a cold build directory must not
+    compile on top of each other: the winner compiles while the rest block,
+    then find the finished ``.so``.  Falls back to unlocked operation where
+    ``fcntl`` is unavailable — the atomic-rename publish still prevents a
+    torn library, the lock only avoids duplicate compiles.
+    """
+    try:
+        import fcntl
+    except ImportError:  # pragma: no cover - non-POSIX
+        yield
+        return
+    lock_path = build_dir / ".build.lock"
+    try:
+        fh = open(lock_path, "a+")
+    except OSError:  # pragma: no cover - unwritable dir already handled
+        yield
+        return
+    try:
+        fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+        yield
+    finally:
+        fh.close()  # releases the lock
+
+
+def _compile_variant(
+    build_dir: Path, tag: str, variant: str, extra_cc: list[str]
+) -> Path | None:
+    """Compile one build variant under the lock; returns the .so path."""
+    so_path = build_dir / f"_native_kernels_{tag}_{variant}.so"
+    if so_path.exists():
+        return so_path
+    src_path = build_dir / f"_native_kernels_{tag}.c"
+    if not src_path.exists():
+        tmp_src = build_dir / f".{src_path.name}.{os.getpid()}.tmp"
+        tmp_src.write_text(_SOURCE)
+        os.replace(tmp_src, src_path)
+    cc = os.environ.get("CC", "cc")
+    tmp_so = build_dir / f".{so_path.name}.{os.getpid()}.tmp"
+    try:
+        subprocess.run(
+            [cc, "-O3", "-shared", "-fPIC", *extra_cc, str(src_path), "-o", str(tmp_so)],
+            check=True,
+            capture_output=True,
+            timeout=120,
+        )
+    except (OSError, subprocess.SubprocessError):
+        tmp_so.unlink(missing_ok=True)
+        return None
+    os.replace(tmp_so, so_path)  # atomic publish: loaders never see a torn .so
+    return so_path
+
+
 def _compile() -> ctypes.CDLL | None:
-    """Compile the kernel source (cached by content hash) and load it."""
+    """Compile the kernel source (cached by content hash) and load it.
+
+    Tries the pthread build first, then a serial fallback of the same
+    source (``REPRO_MT`` undefined) on hosts whose toolchain lacks
+    ``-pthread`` — the kernels then run their single-threaded path with
+    identical outputs.
+    """
     tag = hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
-    build_dir = Path(__file__).resolve().parents[3] / "build"
-    so_path = build_dir / f"_native_kernels_{tag}.so"
-    if not so_path.exists():
-        try:
-            build_dir.mkdir(parents=True, exist_ok=True)
-        except OSError:
-            build_dir = Path(tempfile.mkdtemp(prefix="repro_native_"))
-            so_path = build_dir / f"_native_kernels_{tag}.so"
-        src_path = build_dir / f"_native_kernels_{tag}.c"
-        src_path.write_text(_SOURCE)
-        cc = os.environ.get("CC", "cc")
-        try:
-            subprocess.run(
-                [cc, "-O3", "-shared", "-fPIC", str(src_path), "-o", str(so_path)],
-                check=True,
-                capture_output=True,
-                timeout=120,
-            )
-        except (OSError, subprocess.SubprocessError):
-            return None
+    build_dir = _build_dir()
+    try:
+        build_dir.mkdir(parents=True, exist_ok=True)
+    except OSError:
+        build_dir = Path(tempfile.mkdtemp(prefix="repro_native_"))
+    variants = [("mt", ["-pthread", "-DREPRO_MT"]), ("st", [])]
+    if not _pthreads_wanted():
+        variants = [("st", [])]
+    so_path = None
+    with _build_lock(build_dir):
+        for variant, extra_cc in variants:
+            so_path = _compile_variant(build_dir, tag, variant, extra_cc)
+            if so_path is not None:
+                break
+    if so_path is None:
+        return None
     try:
         lib = ctypes.CDLL(str(so_path))
     except OSError:
         return None
+    lib.threads_compiled.argtypes = []
+    lib.threads_compiled.restype = ctypes.c_int
     lib.occupancy_batch.argtypes = [
         _U64P, ctypes.c_size_t, _U64P, ctypes.c_size_t,
-        ctypes.c_uint64, ctypes.c_uint64, _U64P,
+        ctypes.c_uint64, ctypes.c_uint64, _U64P, ctypes.c_int,
     ]
     lib.occupancy_batch.restype = None
     lib.aloha_empty_batch.argtypes = [
         _U64P, ctypes.c_size_t, _U64P, _U64P, _U64P, ctypes.c_size_t,
-        ctypes.c_uint64, _I64P, _I64P,
+        ctypes.c_uint64, _I64P, _I64P, ctypes.c_int,
     ]
     lib.aloha_empty_batch.restype = None
     lib.bfce_counts_batch.argtypes = [
         _U64P, _U32P, ctypes.c_size_t, _U32P, _U64P, _I64P,
         ctypes.c_size_t, ctypes.c_size_t, ctypes.c_uint32,
-        ctypes.c_int, _I64P,
+        ctypes.c_int, _I64P, ctypes.c_int,
     ]
     lib.bfce_counts_batch.restype = None
     lib.analytic_scatter_batch.argtypes = [
-        _U64P, _I64P, ctypes.c_size_t, ctypes.c_uint64, _I32P,
+        _U64P, _I64P, ctypes.c_size_t, ctypes.c_uint64, _I32P, ctypes.c_int,
     ]
     lib.analytic_scatter_batch.restype = None
+    lib.analytic_scatter_balls.argtypes = [
+        ctypes.c_uint64, ctypes.c_int64, ctypes.c_uint64, _I32P, _I32P,
+        ctypes.c_int,
+    ]
+    lib.analytic_scatter_balls.restype = None
     return lib
 
 
@@ -259,6 +658,10 @@ def get_lib() -> ctypes.CDLL | None:
         from ..obs import metrics as _metrics
 
         _metrics.inc("kernel.native.build.ok" if _lib else "kernel.native.build.failed")
+        if _lib is not None:
+            _metrics.gauge(
+                "native.threads_supported", float(bool(_lib.threads_compiled()))
+            )
     return _lib
 
 
@@ -272,10 +675,14 @@ def occupancy_native(
     """C fast path of the occupancy kernel (caller checked :func:`get_lib`)."""
     lib = get_lib()
     out = np.empty(seed_mix.size, dtype=np.uint64)
+    nt = _threads_for(seed_mix.size, seed_mix.size * ids.size)
+    t0 = time.perf_counter()
     lib.occupancy_batch(
         _as_u64p(ids), ids.size, _as_u64p(seed_mix), seed_mix.size,
         ctypes.c_uint64(mask), ctypes.c_uint64(top_bit), _as_u64p(out),
+        ctypes.c_int(nt),
     )
+    _record_call("occupancy", nt, time.perf_counter() - t0)
     return out
 
 
@@ -286,15 +693,19 @@ def aloha_empty_native(
     thresholds: np.ndarray,
     frame_size: int,
 ) -> np.ndarray:
-    """C fast path of the ALOHA empty-count kernel."""
+    """C fast path of the ALOHA empty-count kernel (one scratch row per thread)."""
     lib = get_lib()
-    counts = np.empty(frame_size, dtype=np.int64)
+    nt = _threads_for(thresholds.size, thresholds.size * ids.size)
+    counts = np.empty(nt * frame_size, dtype=np.int64)
     empty = np.empty(thresholds.size, dtype=np.int64)
+    t0 = time.perf_counter()
     lib.aloha_empty_batch(
         _as_u64p(ids), ids.size, _as_u64p(join_mix), _as_u64p(slot_mix),
         _as_u64p(thresholds), thresholds.size, ctypes.c_uint64(frame_size),
         counts.ctypes.data_as(_I64P), empty.ctypes.data_as(_I64P),
+        ctypes.c_int(nt),
     )
+    _record_call("aloha_empty", nt, time.perf_counter() - t0)
     return empty
 
 
@@ -312,7 +723,9 @@ def bfce_counts_native(
     ``rs32``/``mes`` are the chunk's ``(C, k)`` slot seeds and premixed
     event seeds, ``pn`` the ``(C,)`` persistence numerators.  Returns int64
     counts of shape ``(C, w)``, row-identical to the NumPy dense path of
-    :func:`repro.rfid.frames._batched_chunk_counts`.
+    :func:`repro.rfid.frames._batched_chunk_counts` — threading is over
+    frames (rows), so the chunk size chosen by the caller bounds the
+    usable parallelism.
     """
     lib = get_lib()
     c_frames, k = rs32.shape
@@ -322,13 +735,16 @@ def bfce_counts_native(
     mes = np.ascontiguousarray(mes, dtype=np.uint64)
     pn = np.ascontiguousarray(pn, dtype=np.int64)
     counts = np.empty((c_frames, w), dtype=np.int64)
+    nt = _threads_for(c_frames, c_frames * k * ids.size)
+    t0 = time.perf_counter()
     lib.bfce_counts_batch(
         _as_u64p(ids), rn.ctypes.data_as(_U32P), ids.size,
         rs32.ctypes.data_as(_U32P), _as_u64p(mes),
         pn.ctypes.data_as(_I64P), c_frames, k,
         ctypes.c_uint32(w - 1), ctypes.c_int(int(static_mode)),
-        counts.ctypes.data_as(_I64P),
+        counts.ctypes.data_as(_I64P), ctypes.c_int(nt),
     )
+    _record_call("bfce_counts", nt, time.perf_counter() - t0)
     return counts
 
 
@@ -340,6 +756,10 @@ def analytic_scatter_native(
     ``seeds``/``balls`` are aligned per-frame scatter seeds and ball counts;
     returns int32 counts of shape ``(len(seeds), n_slots)``, row-identical
     to the NumPy path of :func:`repro.rfid.occupancy.scatter_counts`.
+    Multi-frame calls thread over frames; the single-frame call (the
+    analytic engine's steady state) threads over disjoint ball ranges with
+    per-thread partial rows merged by exact integer addition — identical
+    counts at every thread count.
     """
     lib = get_lib()
     seeds = np.ascontiguousarray(seeds, dtype=np.uint64)
@@ -347,8 +767,23 @@ def analytic_scatter_native(
     if balls.size and int(balls.max()) >= 1 << 31:
         raise ValueError("per-frame ball count must fit int32")
     counts = np.empty((seeds.size, n_slots), dtype=np.int32)
+    if seeds.size == 1:
+        n_balls = int(balls[0])
+        nt = _threads_for(n_balls, n_balls)
+        scratch = np.empty((max(0, nt - 1), n_slots), dtype=np.int32)
+        t0 = time.perf_counter()
+        lib.analytic_scatter_balls(
+            ctypes.c_uint64(int(seeds[0])), ctypes.c_int64(n_balls),
+            ctypes.c_uint64(n_slots), counts.ctypes.data_as(_I32P),
+            scratch.ctypes.data_as(_I32P), ctypes.c_int(nt),
+        )
+        _record_call("analytic_scatter", nt, time.perf_counter() - t0)
+        return counts
+    nt = _threads_for(seeds.size, int(balls.sum()))
+    t0 = time.perf_counter()
     lib.analytic_scatter_batch(
         _as_u64p(seeds), balls.ctypes.data_as(_I64P), seeds.size,
-        ctypes.c_uint64(n_slots), counts.ctypes.data_as(_I32P),
+        ctypes.c_uint64(n_slots), counts.ctypes.data_as(_I32P), ctypes.c_int(nt),
     )
+    _record_call("analytic_scatter", nt, time.perf_counter() - t0)
     return counts

@@ -596,7 +596,19 @@ def run_bfce_frame_batch(
     if channel_rngs is not None and len(channel_rngs) != n_frames:
         raise ValueError("channel_rngs must supply one generator per frame")
     counts = np.empty((n_frames, observe_slots), dtype=np.int64)
-    chunk = max(1, _BATCH_EVENT_BUDGET // max(1, k * population.size))
+    # Cache-resident streaming: frames are processed in chunks whose event
+    # volume (k·n per frame) keeps each pass inside the cache budget.  The
+    # threaded dense kernel parallelises over the frames *within* one chunk,
+    # so when it will run the budget scales by the thread count — each
+    # thread's block of frames stays at the single-core budget while the
+    # chunk carries enough frames to feed every core.
+    dense_native = (
+        observe_slots * 4 > w
+        and population.persistence_mode in ("event", "static")
+        and _native.get_lib() is not None
+    )
+    budget = _BATCH_EVENT_BUDGET * (_native.effective_threads() if dense_native else 1)
+    chunk = max(1, budget // max(1, k * population.size))
     ws = _BatchWorkspace()
     es = _event_seeds(seeds, k)  # (T, k), shared by every chunk
     mes = None if population.persistence_mode == "rn_window" else mix64(es)

@@ -91,6 +91,10 @@ class TestGamma:
         """Sec. IV-B: w = 8192 covers > 19 million tags."""
         assert max_estimable_cardinality(8192) > 19e6
 
+    def test_scaled_grid_covers_billion_scale(self):
+        """w = 2¹⁷ on the scaled 1/16384 grid covers n = 10⁹ (γ_max·w ≈ 6.9·10⁹)."""
+        assert max_estimable_cardinality(1 << 17, resolution=16384) > 1e9
+
     def test_gamma_scalar(self):
         assert gamma(np.exp(-1.0), 1 / 3, k=3) == pytest.approx(1.0)
 

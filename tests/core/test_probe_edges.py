@@ -87,3 +87,13 @@ class TestProbeUnderAnalyticSampler:
         result = BFCE(config=cfg).estimate_analytic(10**8, seed=4)
         assert abs(result.n_hat - 10**8) / 10**8 < 0.1
         assert result.pn_optimal >= cfg.pn_min
+
+    def test_scaled_grid_reaches_billion_scale_with_guarantee(self):
+        # γ_max on the scaled grid puts the w = 2¹⁷ ceiling near 6.9·10⁹,
+        # so n = 10⁹ sits inside the guaranteed range: the analytic protocol
+        # must complete with the (ε, δ) plan intact, not as best-effort.
+        cfg = BFCEConfig.scaled(1 << 17)
+        result = BFCE(config=cfg).estimate_analytic(10**9, seed=4)
+        assert abs(result.n_hat - 10**9) / 10**9 < 0.1
+        assert result.guarantee_met
+        assert result.pn_optimal >= cfg.pn_min

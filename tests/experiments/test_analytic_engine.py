@@ -36,6 +36,7 @@ from scipy.stats import chi2_contingency, ks_2samp
 
 from repro.baselines import LOF, SRC, ZOE
 from repro.core.bfce import BFCE
+from repro.core.config import BFCEConfig
 from repro.experiments.runner import run_bfce_trials, run_trials
 from repro.experiments.workloads import population
 from repro.rfid.frames import slot_response_counts
@@ -122,6 +123,35 @@ class TestBaselineEquivalence:
         ks = ks_2samp([r.n_hat for r in event], [r.n_hat for r in analytic])
         assert ks.pvalue > P_THRESHOLD, f"{estimator_cls.__name__} KS p={ks.pvalue}"
         assert all(r.extra["engine"] == "analytic" for r in analytic)
+
+
+class TestBillionScaleAnalytic:
+    """n = 10⁹ on the scaled persistence grid (bench_perf_scale's regime).
+
+    No event-engine pairing is possible at this scale (10⁹ tag hashes per
+    frame), so the contract checked is the analysis' own accuracy claim:
+    with w = 2¹⁷ the guaranteed range reaches ~6.9·10⁹, and every trial
+    must land inside the ε = 0.05 envelope with the (ε, δ) plan intact.
+    """
+
+    def test_error_envelope_and_guarantee_at_1e9(self):
+        cfg = BFCEConfig.scaled(1 << 17)
+        bfce = BFCE(config=cfg)
+        results = [bfce.estimate_analytic(10**9, seed=s) for s in range(30)]
+        errors = np.array([abs(r.n_hat - 10**9) / 10**9 for r in results])
+        assert errors.max() < 0.05, f"max relative error {errors.max()}"
+        assert all(r.guarantee_met for r in results)
+
+    def test_trials_runner_reaches_1e9(self):
+        records = run_bfce_trials(
+            10**9,
+            trials=3,
+            engine="analytic",
+            base_seed=7,
+            config=BFCEConfig.scaled(1 << 17),
+        )
+        assert [r.n_true for r in records] == [10**9] * 3
+        assert all(abs(r.error) < 0.05 for r in records)
 
 
 class TestEnginePlumbing:

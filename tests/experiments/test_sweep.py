@@ -166,6 +166,16 @@ class TestKeySensitivity:
         assert len(token) == 16
         assert token == engine_version_token()  # stable within a process
 
+    def test_token_paths_include_native_kernels(self):
+        # The C kernels are embedded in _native.py as a source string, so
+        # hashing that file means any kernel change invalidates the cache.
+        import importlib
+
+        sweep_mod = importlib.import_module("repro.experiments.sweep")
+        names = {path.name for path in sweep_mod.engine_token_paths()}
+        assert "_native.py" in names
+        assert all(path.is_file() for path in sweep_mod.engine_token_paths())
+
 
 class TestEntryVerification:
     @pytest.mark.parametrize(

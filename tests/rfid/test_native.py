@@ -7,7 +7,19 @@ runs once with the native library active and once with ``REPRO_NATIVE=0``
 (forcing the NumPy path) on the same inputs.  On machines without a C
 compiler the native half is skipped and the NumPy path is the only one —
 still covered by the serial-equivalence suites.
+
+The threading layer adds a second contract: kernel outputs must be
+bit-identical at *every* ``REPRO_NATIVE_THREADS`` setting (trial-block
+parallelism over independent seed streams, plus commutative integer
+merges for the single-frame ball split).  The suites below pin the env
+parsing, the threaded-vs-NumPy equivalence at 1/2/7 threads, the
+single-thread fallback build, the first-use build-race lock, and the
+thread-utilisation metrics.
 """
+
+import os
+import subprocess
+import sys
 
 import numpy as np
 import pytest
@@ -102,6 +114,223 @@ class TestNativeMatchesNumpy:
         assert np.array_equal(empty, np.full(5, 64))
         occ = geometric_occupancy_batch(np.array([], dtype=np.uint64), seeds)
         assert np.array_equal(occ, np.zeros(5, dtype=np.uint64))
+
+
+class TestThreadCountParsing:
+    """``REPRO_NATIVE_THREADS`` parsing: explicit values, auto fallbacks, clamp."""
+
+    def _auto(self):
+        try:
+            visible = len(os.sched_getaffinity(0))
+        except (AttributeError, OSError):
+            visible = os.cpu_count() or 1
+        return max(1, min(visible, 64))
+
+    @pytest.mark.parametrize("raw", [None, "", "0", "-3", "garbage", "2.5"])
+    def test_auto_fallbacks(self, raw, monkeypatch):
+        if raw is None:
+            monkeypatch.delenv("REPRO_NATIVE_THREADS", raising=False)
+        else:
+            monkeypatch.setenv("REPRO_NATIVE_THREADS", raw)
+        assert _native.native_thread_count() == self._auto()
+
+    @pytest.mark.parametrize("raw,expected", [("1", 1), ("2", 2), ("7", 7), ("64", 64)])
+    def test_explicit_values(self, raw, expected, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE_THREADS", raw)
+        assert _native.native_thread_count() == expected
+
+    def test_oversubscription_clamped_to_cap(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE_THREADS", "100000")
+        assert _native.native_thread_count() == 64
+
+    def test_effective_threads_is_one_without_native(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        monkeypatch.setenv("REPRO_NATIVE_THREADS", "8")
+        assert _native.effective_threads() == 1
+
+    def test_divide_thread_budget_respects_explicit_setting(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE_THREADS", "3")
+        _native.divide_thread_budget(4)
+        assert os.environ["REPRO_NATIVE_THREADS"] == "3"
+
+    def test_divide_thread_budget_splits_auto(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NATIVE_THREADS", raising=False)
+        _native.divide_thread_budget(4)
+        try:
+            visible = len(os.sched_getaffinity(0))
+        except (AttributeError, OSError):
+            visible = os.cpu_count() or 1
+        assert os.environ["REPRO_NATIVE_THREADS"] == str(max(1, visible // 4))
+        monkeypatch.delenv("REPRO_NATIVE_THREADS", raising=False)
+
+
+@needs_native
+class TestThreadedEquivalence:
+    """Threaded kernels bit-identical to NumPy at 1, 2 and 7 threads.
+
+    The workloads are sized past the minimum-event threshold so the thread
+    fan-out actually engages (when the build has pthreads); on serial-only
+    builds the env var is ignored and the comparison still holds.
+    """
+
+    @pytest.fixture(params=["1", "2", "7"])
+    def threads(self, request, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE_THREADS", request.param)
+        return int(request.param)
+
+    def test_occupancy_kernel_threaded(self, threads, monkeypatch):
+        keys = uniform_ids(5_000, seed=11)
+        seeds = np.random.default_rng(12).integers(0, 1 << 32, 60, dtype=np.uint64)
+        native = geometric_occupancy_batch(keys, seeds, max_bits=32)
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        reference = geometric_occupancy_batch(keys, seeds, max_bits=32)
+        assert np.array_equal(native, reference)
+
+    def test_aloha_kernel_threaded(self, threads, monkeypatch):
+        pop = TagPopulation(uniform_ids(5_000, seed=13))
+        rng = np.random.default_rng(14)
+        seeds = rng.integers(0, 1 << 32, 40, dtype=np.uint64)
+        probs = rng.uniform(0.0, 1.0, seeds.size)
+        native = aloha_empty_counts_batch(
+            pop, frame_size=257, sampling_probs=probs, seeds=seeds
+        )
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        reference = aloha_empty_counts_batch(
+            pop, frame_size=257, sampling_probs=probs, seeds=seeds
+        )
+        assert np.array_equal(native, reference)
+
+    @pytest.mark.parametrize("mode", ["event", "static"])
+    def test_bfce_dense_kernel_threaded(self, mode, threads, monkeypatch):
+        from repro.rfid.frames import run_bfce_frame_batch
+
+        pop = TagPopulation(uniform_ids(6_000, seed=15), persistence_mode=mode)
+        rng = np.random.default_rng(16)
+        seeds = rng.integers(0, 1 << 32, size=(9, 3), dtype=np.uint64)
+        pns = np.array([0, 1024, 1, 102, 512, 1023, 300, 7, 900], dtype=np.int64)
+        native = run_bfce_frame_batch(pop, w=1024, seeds=seeds, p_n=pns)
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        reference = run_bfce_frame_batch(pop, w=1024, seeds=seeds, p_n=pns)
+        assert np.array_equal(native.blooms, reference.blooms)
+        assert np.array_equal(native.responses, reference.responses)
+
+    def test_scatter_multi_frame_threaded(self, threads, monkeypatch):
+        from repro.rfid.occupancy import scatter_counts
+
+        rng = np.random.default_rng(17)
+        # Multi-frame path: one row per (seed, balls) pair.
+        natives = [
+            scatter_counts(int(s), int(b), 4096)
+            for s, b in zip(
+                rng.integers(0, 1 << 63, 5, dtype=np.uint64),
+                [0, 1, 1000, 60_000, 200_000],
+            )
+        ]
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        rng = np.random.default_rng(17)
+        references = [
+            scatter_counts(int(s), int(b), 4096)
+            for s, b in zip(
+                rng.integers(0, 1 << 63, 5, dtype=np.uint64),
+                [0, 1, 1000, 60_000, 200_000],
+            )
+        ]
+        for native, reference in zip(natives, references):
+            assert np.array_equal(native, reference)
+
+    def test_scatter_ball_split_threaded(self, threads, monkeypatch):
+        """Single-frame scatter splits the ball range across threads; the
+        integer-addition merge must reproduce the serial row exactly."""
+        from repro.rfid.occupancy import scatter_counts
+
+        native = scatter_counts(0xABCDEF, 500_000, 1 << 13)
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        reference = scatter_counts(0xABCDEF, 500_000, 1 << 13)
+        assert int(native.sum()) == 500_000
+        assert np.array_equal(native, reference)
+
+
+@needs_native
+class TestThreadObservability:
+    def test_kernel_calls_emit_thread_gauge_and_timings(self, monkeypatch):
+        from repro.obs import metrics
+
+        monkeypatch.setenv("REPRO_NATIVE_THREADS", "2")
+        keys = uniform_ids(5_000, seed=18)
+        seeds = np.random.default_rng(19).integers(0, 1 << 32, 60, dtype=np.uint64)
+        before = metrics.snapshot()
+        geometric_occupancy_batch(keys, seeds, max_bits=32)
+        after = metrics.snapshot()
+        assert "native.threads_used" in after["gauges"]
+        hist = after["histograms"]["kernel.native.occupancy.seconds"]
+        prior = before["histograms"].get("kernel.native.occupancy.seconds")
+        assert hist["count"] == (prior["count"] if prior else 0) + 1
+        assert (
+            after["counters"]["kernel.native.calls"]
+            == before["counters"].get("kernel.native.calls", 0) + 1
+        )
+        if _native.threads_supported():
+            assert after["gauges"]["native.threads_used"] == 2
+
+
+_BUILDER_SNIPPET = r"""
+import numpy as np
+from repro.rfid import _native
+lib = _native.get_lib()
+assert lib is not None, "native build failed"
+ids = np.arange(1000, dtype=np.uint64)
+seed_mix = np.arange(8, dtype=np.uint64)
+out = _native.occupancy_native(ids, seed_mix, (1 << 32) - 1, 1 << 31)
+assert out.shape == (8,)
+print("BUILD_OK", int(lib.threads_compiled()))
+"""
+
+
+def _spawn_builder(build_dir, extra_env=None):
+    env = dict(os.environ, REPRO_NATIVE_BUILD_DIR=str(build_dir))
+    env.pop("REPRO_NATIVE", None)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    if extra_env:
+        env.update(extra_env)
+    return subprocess.Popen(
+        [sys.executable, "-c", _BUILDER_SNIPPET],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+class TestBuildIsolation:
+    def test_concurrent_builders_race_cleanly(self, tmp_path):
+        """Several processes hitting a cold build dir must all succeed, with
+        the lock serialising compiles and atomic rename publishing one .so —
+        no process may ever load a torn library."""
+        build_dir = tmp_path / "cold_build"
+        procs = [_spawn_builder(build_dir) for _ in range(4)]
+        for proc in procs:
+            out, err = proc.communicate(timeout=180)
+            assert proc.returncode == 0, err
+            assert "BUILD_OK" in out
+        libs = list(build_dir.glob("*.so"))
+        assert len(libs) == 1, f"expected one published .so, got {libs}"
+        assert not list(build_dir.glob("*.tmp")), "leftover temp artifacts"
+
+    def test_single_thread_fallback_build(self, tmp_path):
+        """``REPRO_NATIVE_PTHREADS=0`` forces the serial variant: the library
+        reports no thread support, a thread request is ignored, and results
+        still match the pthread build bit-for-bit (checked via the kernels'
+        NumPy contract in the threaded suites)."""
+        proc = _spawn_builder(
+            tmp_path / "st_build",
+            extra_env={"REPRO_NATIVE_PTHREADS": "0", "REPRO_NATIVE_THREADS": "8"},
+        )
+        out, err = proc.communicate(timeout=180)
+        assert proc.returncode == 0, err
+        assert "BUILD_OK 0" in out
+        libs = list((tmp_path / "st_build").glob("*_st.so"))
+        assert len(libs) == 1
 
 
 class TestNumpyFallbackEndToEnd:

@@ -31,6 +31,19 @@ def _write_engine_report(directory: Path) -> None:
                     "serial": {"speedup_vs_serial": 1.0, "max_abs_dn_hat_vs_serial": 0.0},
                     "batched": {"speedup_vs_serial": 4.5, "max_abs_dn_hat_vs_serial": 0.0},
                 },
+                "host": {
+                    "python": "3.11.0",
+                    "machine": "x86_64",
+                    "cpus": 8,
+                    "cpus_affinity": 4,
+                    "native_threads": 4,
+                    "native_threads_env": None,
+                },
+                "multicore": {
+                    "cpus_visible": 4,
+                    "threads": 4,
+                    "speedup_threaded_vs_1t": 2.1,
+                },
             }
         )
     )
@@ -87,6 +100,24 @@ class TestCollectTrajectory:
         assert engine["headline_speedup"] == 4.5
         assert engine["drift"] == 0.0
         assert engine["source"] == "BENCH_engine.json"
+
+    def test_engine_summary_folds_host_and_multicore(self, collect, tmp_path):
+        _write_engine_report(tmp_path)
+        engine = collect.collect_trajectory(tmp_path)["benchmarks"]["engine"]
+        # Only the multicore-relevant host fields survive the fold — not the
+        # python/machine strings.
+        assert engine["host"] == {
+            "cpus": 8,
+            "cpus_affinity": 4,
+            "native_threads": 4,
+            "native_threads_env": None,
+        }
+        assert engine["multicore"]["speedup_threaded_vs_1t"] == 2.1
+
+    def test_reports_without_host_block_still_fold(self, collect, tmp_path):
+        _write_scale_report(tmp_path)
+        scale = collect.collect_trajectory(tmp_path)["benchmarks"]["scale"]
+        assert "host" not in scale
 
     def test_scale_summary_is_distributional(self, collect, tmp_path):
         _write_scale_report(tmp_path)
