@@ -2,8 +2,10 @@
 
 Each perf harness writes its own report at the repo root — engine
 throughput (``BENCH_engine.json``), baseline engines
-(``BENCH_baselines.json``), the sweep cache (``BENCH_sweep.json``) and the
-analytic scale sweep (``BENCH_scale.json``).  CI uploads them individually,
+(``BENCH_baselines.json``), the sweep cache (``BENCH_sweep.json``), the
+analytic scale sweep (``BENCH_scale.json``), dynamic tracking
+(``BENCH_dynamics.json``) and the estimation service
+(``BENCH_service.json``).  CI uploads them individually,
 but trend tracking wants one artifact: this script collapses whichever
 reports exist into ``BENCH_trajectory.json``, keeping for each benchmark
 its headline speedup, its drift against the bit-identical reference (absent
@@ -111,12 +113,27 @@ def _summarise_scale(report: dict) -> dict:
     }
 
 
+def _summarise_service(report: dict) -> dict:
+    warm, cold = report["warm"], report["cold"]
+    return {
+        "headline_speedup": round(warm["rps"] / cold["rps"], 2) if cold["rps"] else None,
+        "headline": "warm-cache vs cold serving throughput",
+        "drift": report["equivalence"]["max_abs_dn_hat"],
+        "warm_rps": round(warm["rps"], 1),
+        "warm_p99_ms": round(warm["p99_ms"], 3),
+        "cold_requests_per_engine_call": cold["requests_per_engine_call"],
+        "shed": warm["shed"] + cold["shed"],
+        "workload": report["workload"],
+    }
+
+
 _SUMMARISERS = {
     "BENCH_engine.json": ("engine", _summarise_engine),
     "BENCH_baselines.json": ("baselines", _summarise_baselines),
     "BENCH_sweep.json": ("sweep", _summarise_sweep),
     "BENCH_scale.json": ("scale", _summarise_scale),
     "BENCH_dynamics.json": ("dynamics", _summarise_dynamics),
+    "BENCH_service.json": ("service", _summarise_service),
 }
 
 

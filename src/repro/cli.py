@@ -7,10 +7,12 @@ Usage::
     repro-rfid run fig9 --trials 3
     repro-rfid overhead
     repro-rfid estimate --n 100000 --eps 0.05 --delta 0.05
+    repro-rfid serve --zones 64 --n 1000000 --port 7912
 
 ``run`` executes a figure generator and prints its data table; ``overhead``
 prints the Sec. IV-E.1 closed-form breakdown; ``estimate`` runs one BFCE
-execution against a synthetic population.
+execution against a synthetic population; ``serve`` runs the long-lived
+multi-zone estimation service (newline-JSON over TCP — see DESIGN.md).
 """
 
 from __future__ import annotations
@@ -137,6 +139,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="prune: evict least-recently-used entries above this size")
     cache.add_argument("--max-age", type=float, default=None, metavar="DAYS",
                        help="prune: evict entries not used within this many days")
+    cache.add_argument("--json", action="store_true",
+                       help="stats: print machine-readable JSON instead of text")
 
     obs = sub.add_parser(
         "obs", help="inspect a structured trace produced under REPRO_TRACE"
@@ -148,6 +152,37 @@ def build_parser() -> argparse.ArgumentParser:
                      help="flame: bar width in characters")
     obs.add_argument("--max-spans", type=int, default=200,
                      help="trace: maximum spans to list")
+    obs.add_argument("--json", action="store_true",
+                     help="summary: print machine-readable JSON instead of text")
+
+    serve = sub.add_parser(
+        "serve", help="run the multi-zone estimation service (newline-JSON TCP)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7912,
+                       help="listening port (0 picks an ephemeral one)")
+    serve.add_argument("--zones", type=int, default=8,
+                       help="number of synthetic zones z0..z{N-1} to pre-create")
+    serve.add_argument("--n", type=int, default=100_000,
+                       help="population size of every pre-created zone")
+    serve.add_argument("--engine", default="analytic",
+                       choices=("analytic", "batched", "serial"))
+    serve.add_argument("--eps", type=float, default=0.05)
+    serve.add_argument("--delta", type=float, default=0.05)
+    serve.add_argument("--tracker", default=None, choices=("ekf", "window"),
+                       help="attach a tracker to every pre-created zone")
+    serve.add_argument("--zones-file", default=None, metavar="PATH",
+                       help="JSON file {name: zone-config} overriding --zones/--n")
+    serve.add_argument("--tick", type=float, default=0.002,
+                       help="coalescing tick in seconds")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="engine executor threads")
+    serve.add_argument("--max-concurrent", type=int, default=64,
+                       help="admission: concurrent estimate slots")
+    serve.add_argument("--max-queue", type=int, default=256,
+                       help="admission: waiting requests before shedding")
+    serve.add_argument("--duration", type=float, default=None, metavar="SECONDS",
+                       help="stop after this long (default: run until shutdown)")
     return parser
 
 
@@ -342,6 +377,12 @@ def _cmd_cache(args: argparse.Namespace) -> int:
               f"{summary['kept']} remain ({summary['bytes'] / 1024:.1f} KiB)")
         return 0
     stats = cache.stats()
+    if getattr(args, "json", False):
+        import json as _json
+
+        stats["enabled"] = cache_enabled()
+        print(_json.dumps(stats, indent=2, sort_keys=True))
+        return 0
     print(f"cache directory : {stats['directory']}")
     print(f"engine token    : {stats['token']}")
     print(f"entries         : {stats['entries']}")
@@ -370,7 +411,13 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         return 2
     try:
         if args.action == "summary":
-            print(obs_report.render_summary(obs_report.summarise(path)))
+            summary = obs_report.summarise(path)
+            if getattr(args, "json", False):
+                import json as _json
+
+                print(_json.dumps(summary, indent=2, sort_keys=True))
+            else:
+                print(obs_report.render_summary(summary))
         elif args.action == "flame":
             trace = obs_report.load_trace(path)
             print(obs_report.render_flame(trace, width=args.width))
@@ -383,6 +430,61 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"obs: {exc}", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json as _json
+
+    from .service.server import run_server
+    from .service.zones import ZoneConfig
+
+    if args.zones_file:
+        raw = _json.loads(open(args.zones_file).read())
+        zones = {name: ZoneConfig.from_dict(spec) for name, spec in raw.items()}
+    else:
+        zones = {
+            f"z{i}": ZoneConfig(
+                n=args.n,
+                engine=args.engine,
+                eps=args.eps,
+                delta=args.delta,
+                tracker=args.tracker,
+            )
+            for i in range(args.zones)
+        }
+
+    def ready(server):
+        print(
+            f"serving {len(zones)} zone(s) on {args.host}:{server.bound_port} "
+            f"(engine={args.engine}, tick={args.tick * 1e3:.1f} ms, "
+            f"workers={args.workers}); send {{\"op\": \"shutdown\"}} or Ctrl-C "
+            "to stop",
+            flush=True,
+        )
+
+    try:
+        server = asyncio.run(
+            run_server(
+                host=args.host,
+                port=args.port,
+                zones=zones,
+                duration=args.duration,
+                ready=ready,
+                tick_seconds=args.tick,
+                executor_workers=args.workers,
+                max_concurrent=args.max_concurrent,
+                max_queue=args.max_queue,
+            )
+        )
+    except KeyboardInterrupt:
+        print("interrupted; shutting down")
+        return 0
+    print(
+        f"served {server.requests} request(s), {server.errors} error(s), "
+        f"{server.admission.shed} shed"
+    )
     return 0
 
 
@@ -410,6 +512,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_cache(args)
     if args.command == "obs":
         return _cmd_obs(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

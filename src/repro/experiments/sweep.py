@@ -57,6 +57,7 @@ __all__ = [
     "cached_call",
     "default_cache_dir",
     "engine_version_token",
+    "execute_point_inline",
     "records_from_payload",
     "run_record_sweep",
     "run_sweep",
@@ -958,6 +959,39 @@ def run_record_sweep(
         records_from_payload(payload)
         for payload in run_sweep(points, max_workers=max_workers, cache=cache)
     ]
+
+
+def execute_point_inline(
+    point: SweepPoint,
+    *,
+    cache: TrialCache | None = None,
+    persist_metrics: bool = False,
+) -> tuple[dict, bool]:
+    """Execute one sweep point in the calling thread, through the cache.
+
+    The estimation service's request path: no process pool, no scheduler
+    span, no per-call metrics fold (a server folding the cumulative
+    snapshot file on every request would turn each estimate into a disk
+    read-modify-write — pass ``persist_metrics=True`` or call
+    ``cache.persist_metrics()`` periodically instead).  Returns
+    ``(payload, cache_hit)``; the payload is JSON-normalised exactly like
+    :func:`run_sweep`'s, so a served response is bit-identical whether it
+    came from the cache, this call, or a full sweep.
+    """
+    if cache is None and cache_enabled():
+        cache = TrialCache()
+    if cache is not None:
+        payload = cache.load(point.canonical)
+        if payload is not None:
+            if persist_metrics:
+                cache.persist_metrics()
+            return payload, True
+    payload = _normalise(_execute_canonical(point.canonical))
+    if cache is not None:
+        cache.store(point.canonical, payload)
+        if persist_metrics:
+            cache.persist_metrics()
+    return payload, False
 
 
 def cached_call(spec: dict, compute: Callable[[], dict], *, cache: TrialCache | None = None):

@@ -9,14 +9,22 @@ figure generators and the benchmark harness agree on them:
 
 Populations are cached per (distribution, n, seed) because tagID generation
 (unique draws over [1, 10¹⁵]) is the costliest part of a sweep at large n.
+The cache is **byte-budgeted**, not entry-counted: a long-running process
+(the estimation service) touching many zones at n = 10⁸ would otherwise pin
+tens of GB of ID arrays.  ``REPRO_POPULATION_CACHE_BYTES`` sets the budget
+(default 512 MiB — comfortably the whole test/bench workload set); arrays
+above the budget are built but never retained, and eviction is LRU.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
+import os
+import threading
+from collections import OrderedDict, namedtuple
 
 import numpy as np
 
+from ..obs import metrics as _metrics
 from ..rfid.ids import make_ids
 from ..rfid.tags import TagPopulation
 
@@ -28,6 +36,7 @@ __all__ = [
     "REFERENCE_N",
     "DISTRIBUTION_NAMES",
     "population",
+    "population_cache_bytes",
     "population_cache_info",
     "population_cache_clear",
 ]
@@ -51,11 +60,103 @@ REFERENCE_N: int = 500_000
 DISTRIBUTION_NAMES: tuple[str, ...] = ("T1", "T2", "T3")
 
 
-@lru_cache(maxsize=64)
+#: Environment knob for the tagID cache budget (bytes).
+CACHE_BYTES_ENV = "REPRO_POPULATION_CACHE_BYTES"
+
+#: Default budget: 512 MiB holds every test/bench workload (the largest
+#: event-engine array in the suites is n = 10⁷ ≈ 80 MB) while keeping a
+#: long-running server with many zones bounded.
+_DEFAULT_CACHE_BYTES = 512 * 1024 * 1024
+
+#: ``functools.lru_cache``-compatible statistics shape, with the byte
+#: budget as ``maxsize`` and the cached bytes as ``currsize``.
+CacheInfo = namedtuple("CacheInfo", ["hits", "misses", "maxsize", "currsize"])
+
+
+def population_cache_bytes() -> int:
+    """The tagID cache byte budget (``REPRO_POPULATION_CACHE_BYTES``).
+
+    Re-read on every miss so long-running processes can be re-budgeted
+    live; unset/garbage/negative values mean the default.
+    """
+    raw = os.environ.get(CACHE_BYTES_ENV, "").strip()
+    if raw:
+        try:
+            budget = int(raw)
+        except ValueError:
+            return _DEFAULT_CACHE_BYTES
+        if budget >= 0:
+            return budget
+    return _DEFAULT_CACHE_BYTES
+
+
+class _IdCache:
+    """Byte-budget LRU over immutable tagID arrays (thread-safe).
+
+    Replaces the previous ``lru_cache(maxsize=64)``: 64 retained arrays at
+    n = 10⁸ is tens of GB, fatal for a long-running server.  Entries are
+    evicted least-recently-used once the cached bytes exceed the budget;
+    an array larger than the whole budget is returned to the caller but
+    never retained.
+    """
+
+    def __init__(self) -> None:
+        self._entries: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._lock = threading.Lock()
+
+    def get(self, distribution: str, n: int, seed: int) -> np.ndarray:
+        key = (distribution, n, seed)
+        with self._lock:
+            ids = self._entries.get(key)
+            if ids is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return ids
+            self._misses += 1
+        # Build outside the lock: generation dominates and must not block
+        # concurrent hits (the service executor threads share this cache).
+        ids = make_ids(distribution, n, seed)
+        ids.setflags(write=False)
+        budget = population_cache_bytes()
+        with self._lock:
+            raced = self._entries.get(key)
+            if raced is not None:  # another thread built it meanwhile
+                self._entries.move_to_end(key)
+                return raced
+            if ids.nbytes <= budget:
+                self._entries[key] = ids
+                self._bytes += ids.nbytes
+                while self._bytes > budget and self._entries:
+                    _, evicted = self._entries.popitem(last=False)
+                    self._bytes -= evicted.nbytes
+                    _metrics.inc("population.cache.evicted")
+            else:
+                _metrics.inc("population.cache.oversize")
+        return ids
+
+    def info(self) -> CacheInfo:
+        with self._lock:
+            return CacheInfo(
+                self._hits, self._misses, population_cache_bytes(), self._bytes
+            )
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+            # lru_cache.cache_clear() reset the statistics too; keep that.
+            self._hits = 0
+            self._misses = 0
+
+
+_ID_CACHE = _IdCache()
+
+
 def _cached_ids(distribution: str, n: int, seed: int) -> np.ndarray:
-    ids = make_ids(distribution, n, seed)
-    ids.setflags(write=False)
-    return ids
+    return _ID_CACHE.get(distribution, n, seed)
 
 
 def population(
@@ -88,15 +189,16 @@ def population(
     )
 
 
-def population_cache_info():
+def population_cache_info() -> CacheInfo:
     """Hit/miss statistics of the tagID array cache.
 
-    Mirrors :func:`repro.core.optimal_p.planner_cache_info` so operational
-    tooling can report both caches uniformly.
+    Mirrors the ``functools.lru_cache`` info shape (so existing tooling
+    keeps working), with ``maxsize`` reporting the **byte budget** and
+    ``currsize`` the bytes currently retained.
     """
-    return _cached_ids.cache_info()
+    return _ID_CACHE.info()
 
 
 def population_cache_clear() -> None:
     """Drop every cached tagID array (e.g. between memory-sensitive runs)."""
-    _cached_ids.cache_clear()
+    _ID_CACHE.clear()

@@ -108,18 +108,13 @@ def metrics_gauges(trace: TraceData) -> dict:
 
 
 def metrics_histograms(trace: TraceData) -> dict:
-    """Histogram summaries merged across processes (count/sum/min/max)."""
+    """Histogram summaries merged across processes (summaries + buckets)."""
+    from . import metrics as _metrics
+
     merged: dict[str, dict] = {}
     for record in _last_metrics_by_pid(trace):
         for name, h in (record.get("histograms") or {}).items():
-            cur = merged.get(name)
-            if cur is None:
-                merged[name] = dict(h)
-            else:
-                cur["count"] += h["count"]
-                cur["sum"] += h["sum"]
-                cur["min"] = min(cur["min"], h["min"])
-                cur["max"] = max(cur["max"], h["max"])
+            merged[name] = _metrics.merge_histogram(merged.get(name), h)
     return merged
 
 
@@ -189,6 +184,27 @@ def summarise(path: str | Path) -> dict:
         agg["count"] += 1
         agg["wall_seconds"] += span["dur"]
 
+    from . import metrics as _metrics
+
+    service = None
+    if any(name.startswith("service.") for name in counters) or any(
+        name.startswith("service.") for name in hists
+    ):
+        latency = hists.get("service.request.seconds")
+        batch = hists.get("service.coalesce.batch")
+        service = {
+            "requests": counters.get("service.requests", 0),
+            "shed": counters.get("service.admission.shed", 0),
+            "cache_hits": counters.get("service.cache.memory_hit", 0)
+            + counters.get("service.cache.disk_hit", 0),
+            "engine_calls": counters.get("service.engine.calls", 0),
+            "p50_ms": _q_ms(_metrics, latency, 0.50),
+            "p99_ms": _q_ms(_metrics, latency, 0.99),
+            "mean_batch": (
+                batch["sum"] / batch["count"] if batch and batch["count"] else None
+            ),
+        }
+
     return {
         "trace": str(path),
         "processes": len({m["pid"] for m in trace.meta}) or len({s["pid"] for s in trace.spans}),
@@ -206,9 +222,16 @@ def summarise(path: str | Path) -> dict:
         "native_threads_used": gauges.get("native.threads_used", 0),
         "native_calls_threaded": counters.get("kernel.native.calls_threaded", 0),
         "kernel_native_seconds": kernel_seconds,
+        "service": service,
         "counters": counters,
         "gauges": gauges,
     }
+
+
+def _q_ms(metrics_mod, hist: dict | None, q: float) -> float | None:
+    """A histogram quantile in milliseconds (None for empty histograms)."""
+    value = metrics_mod.quantile(hist, q)
+    return None if value is None else value * 1e3
 
 
 # ----------------------------------------------------------------------
@@ -227,6 +250,18 @@ def render_summary(summary: dict) -> str:
         f"{summary['ledger_crosscheck_mismatches']:.0f} ledger mismatch(es)",
         f"kernels    : {summary.get('native_threads_used', 0):.0f} thread(s) peak, "
         f"{summary.get('native_calls_threaded', 0):.0f} threaded call(s)",
+    ]
+    service = summary.get("service")
+    if service:
+        p50 = service["p50_ms"]
+        p99 = service["p99_ms"]
+        lines.append(
+            f"service    : {service['requests']:.0f} request(s), "
+            f"{service['shed']:.0f} shed, "
+            f"p50={'n/a' if p50 is None else f'{p50:.2f} ms'} "
+            f"p99={'n/a' if p99 is None else f'{p99:.2f} ms'}"
+        )
+    lines += [
         "",
         f"{'phase':>12} {'air ms':>12} {'down bits':>12} {'up slots':>12}",
     ]

@@ -1,0 +1,37 @@
+"""Estimation-as-a-service: async multi-zone server over the engine tiers.
+
+The serving layer that turns the reproduction from a benchmark harness
+into a long-running system (ROADMAP item 1).  Pure stdlib ``asyncio`` —
+a newline-delimited-JSON TCP front (:mod:`.protocol`) over hundreds of
+reader *zones* (:mod:`.zones`), each zone its own (ε, δ)/engine-tier/
+persistence-grid configuration and optional EKF or sliding-window tracker
+state.  The performance core is the request coalescer (:mod:`.coalescer`):
+concurrent estimate requests landing in the same scheduling tick are
+batched into single calls on the batched/analytic engines and repeated
+identical queries are served from the content-addressed sweep cache — all
+bit-identical to direct engine calls.  A semaphore-based admission
+controller (:mod:`.admission`) sheds load with explicit 429-style
+responses instead of queueing without bound, and every request reports
+into ``service.*`` metrics/spans (``request > coalesce > engine``) so the
+p50/p99 SLO is readable from ``repro-rfid obs summary``.
+"""
+
+from .admission import AdmissionController
+from .coalescer import RequestCoalescer
+from .protocol import PROTOCOL_VERSION, ServiceError, encode_response, parse_request
+from .server import EstimationServer, run_server
+from .zones import Zone, ZoneConfig, ZoneRegistry
+
+__all__ = [
+    "AdmissionController",
+    "EstimationServer",
+    "PROTOCOL_VERSION",
+    "RequestCoalescer",
+    "ServiceError",
+    "Zone",
+    "ZoneConfig",
+    "ZoneRegistry",
+    "encode_response",
+    "parse_request",
+    "run_server",
+]

@@ -1,0 +1,117 @@
+"""Admission control: bound concurrency, shed the rest explicitly.
+
+A long-running estimation server must fail *loudly* under overload: an
+unbounded queue converts a burst into silently growing latency until the
+p99 SLO is gone, while shedding with an explicit 429-style response lets
+well-behaved clients back off and keeps the served requests inside the
+SLO.  The controller is a counted semaphore with a *bounded* waiter queue:
+
+- up to ``max_concurrent`` requests hold a slot at once (the engine work
+  for a slot runs in the executor; the bound keeps the executor queue and
+  the coalescer's pending set from growing without limit);
+- up to ``max_queue`` further requests wait for a slot;
+- anything beyond that is shed immediately (``acquire`` returns False).
+
+Single-event-loop use only — the implementation relies on the loop thread
+for mutual exclusion, like ``asyncio``'s own primitives.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+
+from ..obs import metrics as _metrics
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Semaphore with a bounded wait queue and explicit shedding."""
+
+    def __init__(self, max_concurrent: int = 64, max_queue: int = 256) -> None:
+        if max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1")
+        if max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        self.max_concurrent = int(max_concurrent)
+        self.max_queue = int(max_queue)
+        self._inflight = 0
+        self._waiters: deque[asyncio.Future] = deque()
+        self.admitted = 0
+        self.shed = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    @property
+    def queued(self) -> int:
+        return len(self._waiters)
+
+    async def acquire(self) -> bool:
+        """Admit the caller (True) or shed it (False) — never blocks forever.
+
+        Sheds when the wait queue is already full; otherwise waits until a
+        slot frees up.  Release *transfers* the slot to the woken waiter
+        (``_inflight`` never dips in between), so a fresh arrival cannot
+        steal it and over-admit past ``max_concurrent``.
+        """
+        if self._inflight < self.max_concurrent:
+            self._inflight += 1
+            self.admitted += 1
+            self._observe()
+            return True
+        if len(self._waiters) >= self.max_queue:
+            self.shed += 1
+            _metrics.inc("service.admission.shed")
+            self._observe()
+            return False
+        waiter = asyncio.get_running_loop().create_future()
+        self._waiters.append(waiter)
+        _metrics.inc("service.admission.queued")
+        try:
+            await waiter
+        except asyncio.CancelledError:
+            if waiter in self._waiters:
+                self._waiters.remove(waiter)  # still queued: just drop out
+            elif waiter.done() and not waiter.cancelled():
+                self._drop_slot()  # woken-but-cancelled: give the slot back
+            raise
+        # The slot was transferred by release(); _inflight already counts it.
+        self.admitted += 1
+        self._observe()
+        return True
+
+    def release(self) -> None:
+        """Return a slot; the oldest live waiter inherits it directly."""
+        if self._inflight <= 0:
+            raise RuntimeError("release() without a matching acquire()")
+        self._drop_slot()
+        self._observe()
+
+    # ------------------------------------------------------------------
+    def _drop_slot(self) -> None:
+        """Hand the caller's slot to a waiter, or free it if none wait."""
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.done():
+                waiter.set_result(None)
+                return
+        self._inflight -= 1
+
+    def _observe(self) -> None:
+        _metrics.gauge("service.admission.inflight", float(self._inflight))
+        _metrics.gauge("service.admission.queue", float(len(self._waiters)))
+
+    def stats(self) -> dict:
+        """JSON-ready counters for ``health`` responses."""
+        return {
+            "max_concurrent": self.max_concurrent,
+            "max_queue": self.max_queue,
+            "inflight": self._inflight,
+            "queued": len(self._waiters),
+            "admitted": self.admitted,
+            "shed": self.shed,
+        }

@@ -1,0 +1,106 @@
+"""Wire protocol: newline-delimited JSON requests/responses over TCP.
+
+One JSON object per line in each direction.  Requests carry an ``op`` and
+an optional client-chosen ``id`` which is echoed verbatim on the response,
+so clients may pipeline requests on one connection and match responses
+out of order (the server answers in completion order, not arrival order).
+
+Requests::
+
+    {"op": "estimate", "zone": "z0", "seed": 17, "id": 1}
+    {"op": "track",    "zone": "z0", "id": 2}
+    {"op": "zone.put", "zone": "z9", "config": {"n": 100000, ...}, "id": 3}
+    {"op": "zone.get", "zone": "z9"}   {"op": "zone.list"}
+    {"op": "health"}   {"op": "metrics"}   {"op": "ping"}   {"op": "shutdown"}
+
+Responses always carry ``ok``; failures add HTTP-flavoured ``code`` and
+``error`` fields — ``429`` is the admission controller shedding load, the
+client should back off and retry::
+
+    {"id": 1, "ok": true, "n_hat": 99873.2, ...}
+    {"id": 4, "ok": false, "code": 429, "error": "overloaded: ..."}
+
+Errors never close the connection (a malformed line gets a ``400``
+response); oversized lines are the one exception, because the stream can
+no longer be framed.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "OPS",
+    "PROTOCOL_VERSION",
+    "ServiceError",
+    "encode_response",
+    "error_response",
+    "parse_request",
+]
+
+PROTOCOL_VERSION = 1
+
+#: Maximum request line length; a zone config is a few hundred bytes, so
+#: this is generous while still bounding per-connection buffering.
+MAX_LINE_BYTES = 1 << 20
+
+OPS = frozenset(
+    {
+        "estimate",
+        "track",
+        "zone.put",
+        "zone.get",
+        "zone.list",
+        "health",
+        "metrics",
+        "ping",
+        "shutdown",
+    }
+)
+
+
+class ServiceError(Exception):
+    """A request failure with an HTTP-flavoured status code.
+
+    Raised anywhere in the request path and rendered as an error response;
+    ``code`` follows HTTP semantics (400 bad request, 404 unknown zone,
+    429 shed by admission control, 500 internal).
+    """
+
+    def __init__(self, code: int, message: str) -> None:
+        super().__init__(message)
+        self.code = int(code)
+        self.message = str(message)
+
+
+def parse_request(line: bytes | str) -> dict:
+    """Decode one request line; raises :class:`ServiceError` (400) on junk."""
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ServiceError(400, f"request is not UTF-8: {exc}") from exc
+    try:
+        request = json.loads(line)
+    except ValueError as exc:
+        raise ServiceError(400, f"request is not valid JSON: {exc}") from exc
+    if not isinstance(request, dict):
+        raise ServiceError(400, "request must be a JSON object")
+    op = request.get("op")
+    if op not in OPS:
+        raise ServiceError(400, f"unknown op {op!r} (expected one of {sorted(OPS)})")
+    return request
+
+
+def encode_response(response: dict) -> bytes:
+    """One response object as a newline-terminated JSON line."""
+    return (json.dumps(response, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def error_response(request_id, code: int, message: str) -> dict:
+    """The response object for one failed request."""
+    response = {"ok": False, "code": int(code), "error": str(message)}
+    if request_id is not None:
+        response["id"] = request_id
+    return response

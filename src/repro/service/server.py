@@ -1,0 +1,336 @@
+"""The estimation server: asyncio front, zones, coalescer, admission.
+
+Single-process, single-event-loop, pure stdlib.  Connections speak the
+newline-JSON protocol (:mod:`.protocol`); each request line becomes a
+task, so one connection may pipeline requests and receive responses in
+completion order (matched by the echoed ``id``).  The request path::
+
+    readline -> parse -> admission.acquire -> zone lookup
+             -> coalescer.estimate (tick batch / memory LRU / disk cache
+                / engine call on the executor)
+             -> optional tracker fold -> write response
+
+Engine work runs on a ``ThreadPoolExecutor``; before the pool spins up,
+:func:`repro.rfid._native.divide_thread_budget` splits the native kernel
+thread budget across the executor workers so ``workers × cores``
+oversubscription cannot happen.  Zone state, admission counters and the
+coalescer's pending map are touched only from the loop thread, so the
+server needs no locks beyond the per-connection write lock that keeps
+concurrently completing responses from interleaving bytes on the socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from ..experiments.sweep import TrialCache, cache_enabled
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
+from ..rfid import _native
+from .admission import AdmissionController
+from .coalescer import DEFAULT_TICK_SECONDS, RequestCoalescer
+from .protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    ServiceError,
+    encode_response,
+    error_response,
+    parse_request,
+)
+from .zones import ZoneConfig, ZoneRegistry
+
+__all__ = ["EstimationServer", "run_server"]
+
+
+class EstimationServer:
+    """A multi-zone estimation service bound to one asyncio event loop."""
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        zones: dict[str, ZoneConfig] | None = None,
+        cache: TrialCache | None = None,
+        executor_workers: int = 2,
+        tick_seconds: float = DEFAULT_TICK_SECONDS,
+        memory_entries: int | None = None,
+        max_concurrent: int = 64,
+        max_queue: int = 256,
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self.zones = ZoneRegistry(zones)
+        if cache is None and cache_enabled():
+            cache = TrialCache()
+        self.cache = cache
+        self.executor_workers = max(1, int(executor_workers))
+        self._executor: ThreadPoolExecutor | None = None
+        self._tick_seconds = tick_seconds
+        self._memory_entries = memory_entries
+        self.admission = AdmissionController(
+            max_concurrent=max_concurrent, max_queue=max_queue
+        )
+        self.coalescer: RequestCoalescer | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[asyncio.Task] = set()
+        self._shutdown = None  # asyncio.Event, created on start
+        self.started_wall: float | None = None
+        self.requests = 0
+        self.errors = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def bound_port(self) -> int:
+        """The actual listening port (resolves ``port=0`` after start)."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Bind the socket and spin up the executor + coalescer."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        # Split the native kernel-thread budget across executor workers
+        # *before* the first engine call auto-detects the core count.
+        _native.divide_thread_budget(self.executor_workers)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.executor_workers, thread_name_prefix="repro-engine"
+        )
+        self.coalescer = RequestCoalescer(
+            cache=self.cache,
+            executor=self._executor,
+            tick_seconds=self._tick_seconds,
+            **(
+                {}
+                if self._memory_entries is None
+                else {"memory_entries": self._memory_entries}
+            ),
+        )
+        self._shutdown = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.host,
+            port=self.port,
+            limit=MAX_LINE_BYTES,
+        )
+        self.started_wall = time.time()
+
+    async def stop(self) -> None:
+        """Stop accepting, drain the executor, persist cache counters."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+            self._connections.clear()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        if self.cache is not None:
+            self.cache.persist_metrics()
+        _trace.flush()
+
+    async def serve_until_shutdown(self, duration: float | None = None) -> None:
+        """Serve until a ``shutdown`` request arrives (or ``duration`` runs out)."""
+        assert self._shutdown is not None, "call start() first"
+        try:
+            await asyncio.wait_for(self._shutdown.wait(), timeout=duration)
+        except asyncio.TimeoutError:
+            pass
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        connection_task = asyncio.current_task()
+        if connection_task is not None:
+            self._connections.add(connection_task)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ConnectionResetError:
+                    break
+                except ValueError:
+                    # Oversized line: the stream can no longer be framed.
+                    await self._write(
+                        writer, write_lock, error_response(None, 400, "line too long")
+                    )
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                task = asyncio.ensure_future(
+                    self._handle_line(line, writer, write_lock)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        finally:
+            if connection_task is not None:
+                self._connections.discard(connection_task)
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            writer.close()
+            try:
+                # CancelledError included: at loop shutdown the protocol's
+                # close waiter is cancelled under us — the request work is
+                # already done, only the transport goodbye is cut short.
+                await writer.wait_closed()
+            except (ConnectionResetError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _handle_line(
+        self, line: bytes, writer: asyncio.StreamWriter, write_lock: asyncio.Lock
+    ) -> None:
+        started = time.perf_counter()
+        request_id = None
+        self.requests += 1
+        _metrics.inc("service.requests")
+        try:
+            request = parse_request(line)
+            request_id = request.get("id")
+            response = await self._dispatch(request)
+            response["ok"] = True
+            if request_id is not None:
+                response["id"] = request_id
+        except ServiceError as exc:
+            self.errors += 1
+            _metrics.inc("service.errors")
+            _metrics.inc(f"service.errors.{exc.code}")
+            response = error_response(request_id, exc.code, exc.message)
+        except Exception as exc:  # noqa: BLE001 — never kill the connection
+            self.errors += 1
+            _metrics.inc("service.errors")
+            _metrics.inc("service.errors.500")
+            response = error_response(
+                request_id, 500, f"internal error: {type(exc).__name__}: {exc}"
+            )
+        _metrics.observe("service.request.seconds", time.perf_counter() - started)
+        await self._write(writer, write_lock, response)
+
+    @staticmethod
+    async def _write(
+        writer: asyncio.StreamWriter, write_lock: asyncio.Lock, response: dict
+    ) -> None:
+        payload = encode_response(response)
+        async with write_lock:
+            try:
+                writer.write(payload)
+                await writer.drain()
+            except (ConnectionResetError, OSError):
+                pass  # client went away; the next readline() ends the loop
+
+    # ------------------------------------------------------------------
+    async def _dispatch(self, request: dict) -> dict:
+        op = request["op"]
+        if op == "ping":
+            return {"pong": True, "version": PROTOCOL_VERSION}
+        if op == "health":
+            return self._health()
+        if op == "metrics":
+            return {"metrics": _metrics.snapshot()}
+        if op == "zone.put":
+            config = ZoneConfig.from_dict(request.get("config"))
+            zone = self.zones.put(request.get("zone"), config)
+            return {"zone": zone.stats()}
+        if op == "zone.get":
+            return {"zone": self.zones.get(request.get("zone")).stats()}
+        if op == "zone.list":
+            return {"zones": self.zones.stats()}
+        if op == "shutdown":
+            if self._shutdown is not None:
+                self._shutdown.set()
+            return {"stopping": True}
+        if op == "estimate":
+            return await self._estimate(request, track=False)
+        if op == "track":
+            return await self._estimate(request, track=True)
+        raise ServiceError(400, f"unhandled op {op!r}")  # pragma: no cover
+
+    async def _estimate(self, request: dict, *, track: bool) -> dict:
+        zone = self.zones.get(request.get("zone"))
+        zone.requests += 1
+        seed = request.get("seed")
+        if seed is None:
+            seed = zone.allocate_seed()
+        elif not isinstance(seed, int) or isinstance(seed, bool) or seed < 0:
+            raise ServiceError(400, "seed must be a non-negative integer")
+        if not await self.admission.acquire():
+            raise ServiceError(
+                429,
+                f"overloaded: {self.admission.inflight} in flight, "
+                f"{self.admission.queued} queued — retry with backoff",
+            )
+        try:
+            record = await self.coalescer.estimate(zone.config, seed)
+        finally:
+            self.admission.release()
+        zone.estimates += 1
+        response = {
+            "zone": zone.name,
+            "seed": seed,
+            "n_hat": record["n_hat"],
+            "n_true": record["n_true"],
+            "error": record["error"],
+            "record": record,
+        }
+        if track:
+            update = zone.track(record["n_hat"])
+            _metrics.inc("service.tracker.updates")
+            response["tracker"] = {
+                "epoch": update.epoch,
+                "predicted": update.predicted,
+                "estimate": update.estimate,
+                "variance": update.variance,
+                "innovation": update.innovation,
+                "gain": update.gain,
+            }
+        return response
+
+    def _health(self) -> dict:
+        return {
+            "version": PROTOCOL_VERSION,
+            "uptime_seconds": (
+                None if self.started_wall is None else time.time() - self.started_wall
+            ),
+            "zones": len(self.zones),
+            "requests": self.requests,
+            "errors": self.errors,
+            "admission": self.admission.stats(),
+            "coalescer": None if self.coalescer is None else self.coalescer.stats(),
+        }
+
+
+async def run_server(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    zones: dict[str, ZoneConfig] | None = None,
+    duration: float | None = None,
+    ready=None,
+    **kwargs,
+) -> EstimationServer:
+    """Start a server, serve until shutdown/duration, then stop it.
+
+    ``ready`` (optional callable) receives the server after binding — the
+    benchmark and tests use it to learn the ephemeral port.  Returns the
+    stopped server so callers can read its counters.
+    """
+    server = EstimationServer(host=host, port=port, zones=zones, **kwargs)
+    await server.start()
+    if ready is not None:
+        ready(server)
+    try:
+        await server.serve_until_shutdown(duration)
+    finally:
+        await server.stop()
+    return server

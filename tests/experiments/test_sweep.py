@@ -279,10 +279,11 @@ class TestPopulationCache:
         population_cache_clear()
         base = population_cache_info()
         assert base.currsize == 0
-        population("T1", 1_000, seed=0)
+        pop = population("T1", 1_000, seed=0)
         population("T1", 1_000, seed=0)
         info = population_cache_info()
-        assert info.currsize == 1
+        assert info.currsize == pop.tag_ids.nbytes  # currsize is bytes now
+        assert info.maxsize >= info.currsize  # the byte budget
         assert info.hits >= 1
         population_cache_clear()
         assert population_cache_info().currsize == 0

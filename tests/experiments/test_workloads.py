@@ -4,12 +4,16 @@ import numpy as np
 import pytest
 
 from repro.experiments.workloads import (
+    CACHE_BYTES_ENV,
     DELTA_SWEEP,
     DISTRIBUTION_NAMES,
     EPS_SWEEP,
     N_SWEEP,
     REFERENCE_N,
     population,
+    population_cache_bytes,
+    population_cache_clear,
+    population_cache_info,
 )
 
 
@@ -58,3 +62,44 @@ class TestPopulation:
     def test_unknown_distribution(self):
         with pytest.raises(ValueError):
             population("nope", 100)
+
+
+class TestByteBudgetCache:
+    def test_budget_env_parsing(self, monkeypatch):
+        monkeypatch.delenv(CACHE_BYTES_ENV, raising=False)
+        default = population_cache_bytes()
+        assert default > 0
+        monkeypatch.setenv(CACHE_BYTES_ENV, "1048576")
+        assert population_cache_bytes() == 1_048_576
+        for garbage in ("not-a-number", "-5", ""):
+            monkeypatch.setenv(CACHE_BYTES_ENV, garbage)
+            assert population_cache_bytes() == default
+
+    def test_eviction_keeps_cached_bytes_under_budget(self, monkeypatch):
+        population_cache_clear()
+        one_entry = population("T1", 1_000, seed=0).tag_ids.nbytes
+        # room for two entries, not three — the LRU one must be evicted
+        monkeypatch.setenv(CACHE_BYTES_ENV, str(int(2.5 * one_entry)))
+        for seed in range(3):
+            population("T1", 1_000, seed=seed)
+        info = population_cache_info()
+        assert info.currsize <= int(2.5 * one_entry)
+        assert info.currsize == 2 * one_entry
+        # seeds 1 and 2 survive; seed 0 was the least recently used
+        hits_before = population_cache_info().hits
+        population("T1", 1_000, seed=2)
+        assert population_cache_info().hits == hits_before + 1
+        population("T1", 1_000, seed=0)  # miss: was evicted
+        assert population_cache_info().hits == hits_before + 1
+        population_cache_clear()
+
+    def test_oversize_population_bypasses_the_cache(self, monkeypatch):
+        population_cache_clear()
+        monkeypatch.setenv(CACHE_BYTES_ENV, "64")  # smaller than any entry
+        a = population("T1", 1_000, seed=0)
+        b = population("T1", 1_000, seed=0)
+        assert np.array_equal(a.tag_ids, b.tag_ids)  # correct, just uncached
+        info = population_cache_info()
+        assert info.currsize == 0
+        assert info.hits == 0 and info.misses >= 2
+        population_cache_clear()

@@ -1,0 +1,23 @@
+"""Service-suite isolation: clean metrics, no tracer, private disk cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.sweep import TrialCache
+from repro.obs import metrics, trace
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    trace.configure(None)
+    metrics.reset()
+    yield
+    trace.configure(None)
+    metrics.reset()
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    """A per-test disk cache so tests never touch the repo's .repro_cache."""
+    return TrialCache(tmp_path / "cache")

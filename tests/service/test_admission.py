@@ -1,0 +1,113 @@
+"""Admission controller tests: bounds, shedding, slot transfer, FIFO."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.obs import metrics
+from repro.service.admission import AdmissionController
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        AdmissionController(max_concurrent=0)
+    with pytest.raises(ValueError):
+        AdmissionController(max_queue=-1)
+
+
+def test_admits_up_to_capacity_then_sheds():
+    async def scenario():
+        ctrl = AdmissionController(max_concurrent=2, max_queue=0)
+        assert await ctrl.acquire()
+        assert await ctrl.acquire()
+        # queue depth 0: the third concurrent request is shed immediately
+        assert not await ctrl.acquire()
+        assert ctrl.shed == 1
+        ctrl.release()
+        assert await ctrl.acquire()
+        return ctrl
+
+    ctrl = run(scenario())
+    assert ctrl.admitted == 3
+    assert metrics.get("service.admission.shed") == 1
+
+
+def test_queued_waiter_inherits_the_slot_fifo():
+    async def scenario():
+        ctrl = AdmissionController(max_concurrent=1, max_queue=2)
+        assert await ctrl.acquire()
+        order = []
+
+        async def waiter(tag):
+            assert await ctrl.acquire()
+            order.append(tag)
+
+        first = asyncio.ensure_future(waiter("first"))
+        await asyncio.sleep(0)
+        second = asyncio.ensure_future(waiter("second"))
+        await asyncio.sleep(0)
+        assert ctrl.queued == 2
+        # a third waiter overflows the queue and is shed, not queued
+        assert not await ctrl.acquire()
+        ctrl.release()  # slot transfers to "first"
+        await asyncio.sleep(0)
+        assert ctrl.inflight == 1  # never dipped: no over-admission window
+        ctrl.release()
+        await asyncio.gather(first, second)
+        assert order == ["first", "second"]
+        ctrl.release()
+        assert ctrl.inflight == 0
+
+    run(scenario())
+
+
+def test_cancelled_waiter_passes_the_slot_on():
+    async def scenario():
+        ctrl = AdmissionController(max_concurrent=1, max_queue=2)
+        assert await ctrl.acquire()
+
+        async def waiter():
+            await ctrl.acquire()
+
+        doomed = asyncio.ensure_future(waiter())
+        survivor_done = asyncio.Event()
+
+        async def survivor():
+            assert await ctrl.acquire()
+            survivor_done.set()
+
+        keeper = asyncio.ensure_future(survivor())
+        await asyncio.sleep(0)
+        doomed.cancel()
+        await asyncio.gather(doomed, return_exceptions=True)
+        ctrl.release()  # doomed is gone; the slot must reach the survivor
+        await asyncio.wait_for(survivor_done.wait(), 5)
+        ctrl.release()
+        assert ctrl.inflight == 0
+
+    run(scenario())
+
+
+def test_release_without_acquire_raises():
+    ctrl = AdmissionController()
+    with pytest.raises(RuntimeError):
+        ctrl.release()
+
+
+def test_stats_shape():
+    ctrl = AdmissionController(max_concurrent=3, max_queue=5)
+    stats = ctrl.stats()
+    assert stats == {
+        "max_concurrent": 3,
+        "max_queue": 5,
+        "inflight": 0,
+        "queued": 0,
+        "admitted": 0,
+        "shed": 0,
+    }

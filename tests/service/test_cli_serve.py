@@ -1,0 +1,82 @@
+"""CLI surface tests for ``serve`` and the new ``--json`` output modes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 7912
+        assert args.engine == "analytic"
+        assert args.tracker is None
+        assert args.duration is None
+
+    def test_serve_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--engine", "warp"])
+
+    def test_json_flags_parse(self):
+        assert build_parser().parse_args(["cache", "stats", "--json"]).json
+        assert build_parser().parse_args(["obs", "summary", "--json"]).json
+
+
+class TestCacheStatsJson:
+    def test_emits_machine_readable_stats(self, tmp_path, capsys):
+        assert main(["cache", "stats", "--dir", str(tmp_path), "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["directory"] == str(tmp_path)
+        assert stats["entries"] == 0
+        assert stats["enabled"] in (True, False)
+        assert "session" in stats and "token" in stats
+
+    def test_text_mode_unchanged(self, tmp_path, capsys):
+        assert main(["cache", "stats", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cache directory" in out
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(out)
+
+
+class TestObsSummaryJson:
+    def test_emits_machine_readable_summary(self, tmp_path, capsys, monkeypatch):
+        from repro.obs import trace
+
+        path = tmp_path / "t.trace.jsonl"
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        trace.configure(path)
+        with trace.span("sweep.point", kind="bfce_trials"):
+            pass
+        trace.flush()
+        trace.configure(None)
+        assert main(["obs", "summary", "--file", str(path), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert "engines" in summary and "spans" in summary
+
+
+class TestServe:
+    def test_duration_bounded_run(self, capsys):
+        assert main([
+            "serve", "--port", "0", "--zones", "1", "--n", "1000",
+            "--duration", "0.2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "serving 1 zone(s)" in out
+        assert "served 0 request(s)" in out
+
+    def test_zones_file(self, tmp_path, capsys):
+        zones_file = tmp_path / "zones.json"
+        zones_file.write_text(json.dumps({
+            "dock": {"n": 2000, "eps": 0.1},
+            "yard": {"n": 3000, "tracker": "ekf"},
+        }))
+        assert main([
+            "serve", "--port", "0", "--zones-file", str(zones_file),
+            "--duration", "0.2",
+        ]) == 0
+        assert "serving 2 zone(s)" in capsys.readouterr().out

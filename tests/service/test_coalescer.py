@@ -1,0 +1,170 @@
+"""Coalescer tests — the load-bearing one is bit-identity.
+
+The coalescer's claim is *performance only*: N concurrent single-seed
+requests answered from one batched engine call (or any cache layer) must
+be byte-for-byte the records N sequential direct singles produce.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.experiments.sweep import execute_point_inline
+from repro.obs import metrics
+from repro.service.coalescer import RequestCoalescer, _contiguous_runs
+from repro.service.protocol import ServiceError
+from repro.service.zones import ZoneConfig
+
+N = 3_000
+
+
+def run_with_coalescer(fn, *, cache=None, **kwargs):
+    async def main():
+        with ThreadPoolExecutor(max_workers=2) as executor:
+            coalescer = RequestCoalescer(
+                cache=cache, executor=executor, tick_seconds=0.001, **kwargs
+            )
+            return await fn(coalescer)
+
+    return asyncio.run(main())
+
+
+def direct_single(config, seed):
+    """The reference: one direct inline engine call for one seed."""
+    payload, _ = execute_point_inline(
+        config.point(base_seed=seed, trials=1), cache=None
+    )
+    return payload["records"][0]
+
+
+@pytest.mark.parametrize("engine", ["batched", "analytic"])
+def test_coalesced_batch_bit_identical_to_sequential_singles(cache, engine):
+    config = ZoneConfig(n=N, engine=engine)
+    seeds = [3, 4, 5, 6]
+
+    async def scenario(coalescer):
+        return await asyncio.gather(
+            *(coalescer.estimate(config, seed) for seed in seeds)
+        )
+
+    served = run_with_coalescer(scenario, cache=cache)
+    # Same tick + contiguous seeds: one batched engine call, not four.
+    assert metrics.get("service.engine.calls") == 1
+    for seed, record in zip(seeds, served):
+        assert record == direct_single(config, seed)
+
+
+def test_gap_seeds_split_into_contiguous_runs(cache):
+    config = ZoneConfig(n=N, engine="batched")
+    seeds = [10, 11, 40, 41, 42, 99]
+
+    async def scenario(coalescer):
+        return await asyncio.gather(
+            *(coalescer.estimate(config, seed) for seed in seeds)
+        )
+
+    served = run_with_coalescer(scenario, cache=cache)
+    assert metrics.get("service.engine.calls") == 3  # three runs
+    for seed, record in zip(seeds, served):
+        assert record["seed"] == seed
+        assert record == direct_single(config, seed)
+
+
+def test_duplicate_seeds_share_one_result(cache):
+    config = ZoneConfig(n=N, engine="batched")
+
+    async def scenario(coalescer):
+        return await asyncio.gather(
+            *(coalescer.estimate(config, 5) for _ in range(6))
+        )
+
+    served = run_with_coalescer(scenario, cache=cache)
+    assert metrics.get("service.engine.calls") == 1
+    assert all(record == served[0] for record in served)
+
+
+def test_distinct_configs_never_share_a_batch(cache):
+    config_a = ZoneConfig(n=N, engine="batched")
+    config_b = ZoneConfig(n=N, engine="batched", eps=0.1)
+
+    async def scenario(coalescer):
+        return await asyncio.gather(
+            coalescer.estimate(config_a, 0), coalescer.estimate(config_b, 0)
+        )
+
+    record_a, record_b = run_with_coalescer(scenario, cache=cache)
+    assert metrics.get("service.engine.calls") == 2
+    assert record_a["eps"] == 0.05 and record_b["eps"] == 0.1
+
+
+def test_memory_lru_serves_repeats_without_engine_calls(cache):
+    config = ZoneConfig(n=N, engine="batched")
+
+    async def scenario(coalescer):
+        first = await coalescer.estimate(config, 5)
+        again = await coalescer.estimate(config, 5)
+        assert coalescer.memory_hits == 1
+        return first, again
+
+    first, again = run_with_coalescer(scenario, cache=cache)
+    assert metrics.get("service.engine.calls") == 1
+    assert first == again == direct_single(config, 5)
+
+
+def test_memory_lru_evicts_at_capacity(cache):
+    config = ZoneConfig(n=N, engine="analytic")
+
+    async def scenario(coalescer):
+        for seed in range(4):
+            await coalescer.estimate(config, seed)
+        assert len(coalescer._memory) == 2  # capacity bound held
+        await coalescer.estimate(config, 3)  # newest: memory hit
+        assert coalescer.memory_hits == 1
+        await coalescer.estimate(config, 0)  # oldest: evicted, disk hit
+        return coalescer.stats()
+
+    stats = run_with_coalescer(scenario, cache=cache, memory_entries=2)
+    assert stats["memory_hits"] == 1
+    assert metrics.get("service.cache.disk_hit") == 1
+
+
+def test_disk_cache_hit_is_bit_identical_across_coalescer_instances(cache):
+    config = ZoneConfig(n=N, engine="batched")
+
+    async def scenario(coalescer):
+        return await coalescer.estimate(config, 9)
+
+    cold = run_with_coalescer(scenario, cache=cache)
+    warm = run_with_coalescer(scenario, cache=cache)  # fresh LRU: disk path
+    assert cold == warm == direct_single(config, 9)
+    assert cache.hits >= 1
+
+
+def test_engine_failure_reaches_every_waiter_as_service_error(cache):
+    # An invalid distribution sneaks past ZoneConfig (which doesn't pin the
+    # label set) and explodes inside the engine; both waiters must see a 500.
+    config = ZoneConfig(n=N, distribution="T9", engine="batched")
+
+    async def scenario(coalescer):
+        results = await asyncio.gather(
+            coalescer.estimate(config, 0),
+            coalescer.estimate(config, 1),
+            return_exceptions=True,
+        )
+        return results
+
+    results = run_with_coalescer(scenario, cache=cache)
+    assert len(results) == 2
+    for exc in results:
+        assert isinstance(exc, ServiceError)
+        assert exc.code == 500
+
+
+def test_contiguous_runs_helper():
+    assert list(_contiguous_runs([])) == []
+    assert list(_contiguous_runs([5])) == [(5, 1)]
+    assert list(_contiguous_runs([1, 2, 3])) == [(1, 3)]
+    assert list(_contiguous_runs([1, 3, 4, 9])) == [(1, 1), (3, 2), (9, 1)]

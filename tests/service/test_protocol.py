@@ -1,0 +1,55 @@
+"""Wire-protocol unit tests: framing, validation, error shaping."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.protocol import (
+    OPS,
+    ServiceError,
+    encode_response,
+    error_response,
+    parse_request,
+)
+
+
+def test_parse_accepts_every_op():
+    for op in OPS:
+        assert parse_request(json.dumps({"op": op}))["op"] == op
+
+
+def test_parse_accepts_bytes_and_str():
+    assert parse_request(b'{"op": "ping"}') == {"op": "ping"}
+    assert parse_request('{"op": "ping", "id": 7}')["id"] == 7
+
+
+@pytest.mark.parametrize(
+    "line",
+    [
+        b"\xff\xfe not utf8",
+        b"not json at all {",
+        b"[1, 2, 3]",  # not an object
+        b'"just a string"',
+        b'{"op": "nope"}',  # unknown op
+        b"{}",  # missing op
+    ],
+)
+def test_parse_rejects_junk_with_400(line):
+    with pytest.raises(ServiceError) as excinfo:
+        parse_request(line)
+    assert excinfo.value.code == 400
+
+
+def test_encode_response_is_one_json_line():
+    raw = encode_response({"ok": True, "id": 3})
+    assert raw.endswith(b"\n")
+    assert raw.count(b"\n") == 1
+    assert json.loads(raw) == {"ok": True, "id": 3}
+
+
+def test_error_response_echoes_id_only_when_present():
+    with_id = error_response(9, 429, "overloaded")
+    assert with_id == {"ok": False, "code": 429, "error": "overloaded", "id": 9}
+    assert "id" not in error_response(None, 500, "boom")

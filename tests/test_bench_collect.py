@@ -85,6 +85,25 @@ def _write_dynamics_report(directory: Path) -> None:
     )
 
 
+def _write_service_report(directory: Path) -> None:
+    (directory / "BENCH_service.json").write_text(
+        json.dumps(
+            {
+                "benchmark": "service_throughput",
+                "workload": {"zones": 256, "n_max": 10**8, "connections": 16},
+                "equivalence": {"pairs": 12, "max_abs_dn_hat": 0.0},
+                "cold": {
+                    "rps": 696.8,
+                    "p99_ms": 223.38,
+                    "shed": 0,
+                    "requests_per_engine_call": 4.7,
+                },
+                "warm": {"rps": 12401.4, "p99_ms": 8.59, "shed": 0},
+            }
+        )
+    )
+
+
 class TestCollectTrajectory:
     def test_merges_present_reports_and_notes_missing(self, collect, tmp_path):
         _write_engine_report(tmp_path)
@@ -94,6 +113,7 @@ class TestCollectTrajectory:
         assert sorted(trajectory["missing"]) == [
             "BENCH_baselines.json",
             "BENCH_dynamics.json",
+            "BENCH_service.json",
             "BENCH_sweep.json",
         ]
         engine = trajectory["benchmarks"]["engine"]
@@ -138,10 +158,22 @@ class TestCollectTrajectory:
         assert dynamics["scale_wall_seconds"] == 3.82
         assert dynamics["source"] == "BENCH_dynamics.json"
 
+    def test_service_summary_carries_slo_and_coalescing(self, collect, tmp_path):
+        _write_service_report(tmp_path)
+        service = collect.collect_trajectory(tmp_path)["benchmarks"]["service"]
+        assert service["headline_speedup"] == pytest.approx(17.8, abs=0.1)
+        # "Drift" for the service is wire-vs-direct replay disagreement.
+        assert service["drift"] == 0.0
+        assert service["warm_rps"] == 12401.4
+        assert service["warm_p99_ms"] == 8.59
+        assert service["cold_requests_per_engine_call"] == 4.7
+        assert service["shed"] == 0
+        assert service["source"] == "BENCH_service.json"
+
     def test_empty_directory_collects_nothing(self, collect, tmp_path):
         trajectory = collect.collect_trajectory(tmp_path)
         assert trajectory["benchmarks"] == {}
-        assert len(trajectory["missing"]) == 5
+        assert len(trajectory["missing"]) == 6
 
 
 class TestMain:
