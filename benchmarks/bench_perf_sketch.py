@@ -1,0 +1,384 @@
+"""Sketch-layer perf harness: HLL register kernels and coordinator unions.
+
+Companion to ``bench_perf_engine.py`` (BFCE engines) and
+``bench_perf_scale.py`` (analytic scaling): this harness certifies the
+mergeable-sketch layer added for multi-reader aggregation.  It times the
+fused native register kernel against the chunked NumPy update at
+n = 10⁶, times the coordinator's pre-stacked union+estimate at 2 and 256
+readers, checks the observed relative error against the HLL analytic bound
+1.04/√m, and replays the update kernel under 1/2/7 threads to prove
+bit-identity with the NumPy reference.  It writes ``BENCH_sketch.json``
+at the repo root and enforces four gates (full-run thresholds stored in
+``benchmarks/perf_floors.json``):
+
+* **kernel speedup** — the fused C update (hash + bucket + rank + max in
+  one pass) must be ≥ 4× the NumPy multi-pass update at n = 10⁶;
+* **union flatness** — coordinator union+estimate at p = 10 must grow
+  < 2× from 2 to 256 readers (the register merge is O(R·m) byte maxes, so
+  the fixed estimate cost dominates; p = 12 is reported alongside for
+  transparency — at m = 4096 the 1 MiB merge is memory-bound and exceeds
+  the fixed cost, which is exactly why the gate pins p);
+* **accuracy** — mean observed relative error ≤ 1.5 × 1.04/√m;
+* **bit-identity** — native registers equal the NumPy reference register
+  for register under ``REPRO_NATIVE_THREADS`` ∈ {1, 2, 7}; zero tolerance.
+
+A fifth multicore measurement (threaded vs single-thread native update)
+follows the ``bench_perf_engine.py`` convention: gated only when the host
+affinity mask exposes ≥ 2 cores, visibly skipped otherwise.
+
+Run as a script or module::
+
+    PYTHONPATH=src python benchmarks/bench_perf_sketch.py
+    PYTHONPATH=src python benchmarks/bench_perf_sketch.py --smoke
+
+``--smoke`` shrinks the workload (n = 2·10⁵, fewer repeats, relaxed
+timing floors) so CI can exercise the harness — including every gate —
+in seconds.  The bit-identity gate is never relaxed.
+
+Knobs (environment variables, overridden by ``--smoke``):
+
+* ``REPRO_BENCH_N``        kernel/accuracy population  (default 1_000_000)
+* ``REPRO_BENCH_REPEATS``  timing repetitions, best-of (default 3)
+* ``REPRO_BENCH_OUT``      output path  (default <repo>/BENCH_sketch.json)
+
+The harness is also importable: ``run_sketch_bench()`` returns the result
+dict without touching the filesystem.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_SRC = _REPO_ROOT / "src"
+if str(_SRC) not in sys.path:  # script-mode convenience; no-op under PYTHONPATH=src
+    sys.path.insert(0, str(_SRC))
+
+from repro.obs import trace as obs_trace  # noqa: E402
+from repro.obs.host import host_block  # noqa: E402
+from repro.rfid import _native  # noqa: E402
+from repro.rfid.ids import uniform_ids  # noqa: E402
+from repro.rfid.multireader import SketchCoordinator  # noqa: E402
+from repro.sketch.hll import (  # noqa: E402
+    HLLSketch,
+    _seed_mix,
+    hll_estimate,
+    hll_registers,
+    hll_registers_numpy,
+    relative_error_bound,
+)
+
+BASE_SEED = 2015  # ICPP'15 — fixed so every run replays the same seeds
+
+#: Reader counts for the union-flatness measurement; the gate compares the
+#: two endpoints.
+READER_COUNTS = (2, 256)
+
+#: Thread counts replayed by the bit-identity gate (serial, the common CI
+#: pair, and a deliberately odd count that exercises ragged block splits).
+IDENTITY_THREADS = (1, 2, 7)
+
+
+def _time_best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _time_per_call_us(fn, calls: int, repeats: int) -> float:
+    """Best-of mean microseconds per call over ``calls`` back-to-back calls."""
+
+    def burst():
+        for _ in range(calls):
+            fn()
+
+    return 1e6 * _time_best_of(burst, repeats) / calls
+
+
+def _filled_coordinator(ids: np.ndarray, n_readers: int, p: int) -> SketchCoordinator:
+    """A coordinator whose bank holds real per-reader register rows.
+
+    The ids are split round-robin across readers so every row is a genuine
+    kernel output (realistic register value distribution), while total
+    build cost stays one pass over ``ids`` regardless of the reader count.
+    """
+    coordinator = SketchCoordinator(n_readers, p=p, seed=BASE_SEED)
+    for r in range(n_readers):
+        sketch = HLLSketch(p, seed=BASE_SEED)
+        sketch.add_ids(ids[r::n_readers])
+        coordinator.submit(r, sketch)
+    return coordinator
+
+
+def _with_native_threads(value: str | None):
+    """Context manager: pin/restore ``REPRO_NATIVE_THREADS`` around a block."""
+    import contextlib
+
+    @contextlib.contextmanager
+    def _ctx():
+        old = os.environ.get("REPRO_NATIVE_THREADS")
+        try:
+            if value is None:
+                os.environ.pop("REPRO_NATIVE_THREADS", None)
+            else:
+                os.environ["REPRO_NATIVE_THREADS"] = value
+            yield
+        finally:
+            if old is None:
+                os.environ.pop("REPRO_NATIVE_THREADS", None)
+            else:
+                os.environ["REPRO_NATIVE_THREADS"] = old
+
+    return _ctx()
+
+
+def run_sketch_bench(
+    *,
+    n: int = 1_000_000,
+    p: int = 12,
+    flatness_p: int = 10,
+    union_fill_n: int = 200_000,
+    union_calls: int = 200,
+    accuracy_seeds: int = 5,
+    repeats: int = 3,
+) -> dict:
+    """Measure kernels, unions, accuracy and identity; return the report."""
+    ids = uniform_ids(n, seed=BASE_SEED)
+    seed_mix = _seed_mix(BASE_SEED)
+
+    # --- register kernel: fused native vs chunked NumPy -------------------
+    native_available = _native.get_lib() is not None
+    numpy_seconds = _time_best_of(
+        lambda: hll_registers_numpy(ids, seed_mix, p), repeats
+    )
+    kernel = {
+        "n": n,
+        "p": p,
+        "numpy_ms": round(1e3 * numpy_seconds, 3),
+        "native_available": native_available,
+    }
+    if native_available:
+        native_seconds = _time_best_of(
+            lambda: _native.hll_update_native(ids, seed_mix, p), repeats
+        )
+        kernel["native_ms"] = round(1e3 * native_seconds, 3)
+        kernel["speedup"] = round(numpy_seconds / native_seconds, 2)
+
+        # Multicore: threaded update vs the same kernel pinned to 1 thread.
+        with _with_native_threads("1"):
+            one_thread = _time_best_of(
+                lambda: _native.hll_update_native(ids, seed_mix, p), repeats
+            )
+        kernel["speedup_threaded_vs_1t"] = round(one_thread / native_seconds, 2)
+
+    # --- coordinator union flatness: 2 vs 256 readers ---------------------
+    fill_ids = uniform_ids(union_fill_n, seed=BASE_SEED + 1)
+    union: dict[str, dict] = {}
+    for p_run in (flatness_p, p):
+        per_reader_us = {}
+        for n_readers in READER_COUNTS:
+            coordinator = _filled_coordinator(fill_ids, n_readers, p_run)
+            per_reader_us[str(n_readers)] = round(
+                _time_per_call_us(coordinator.estimate, union_calls, repeats), 2
+            )
+        first, last = (str(r) for r in (READER_COUNTS[0], READER_COUNTS[-1]))
+        union[f"p{p_run}"] = {
+            "union_estimate_us": per_reader_us,
+            "flatness_ratio": round(per_reader_us[last] / per_reader_us[first], 3),
+        }
+
+    # --- accuracy vs the 1.04/sqrt(m) bound -------------------------------
+    bound = relative_error_bound(p)
+    errors = []
+    for s in range(accuracy_seeds):
+        registers = hll_registers(ids, BASE_SEED + s, p)
+        errors.append(abs(hll_estimate(registers) - n) / n)
+    accuracy = {
+        "n": n,
+        "p": p,
+        "bound": round(bound, 6),
+        "error_mean": round(float(np.mean(errors)), 6),
+        "error_max": round(float(np.max(errors)), 6),
+        "bound_factor": round(float(np.mean(errors)) / bound, 3),
+        "seeds": accuracy_seeds,
+    }
+
+    # --- bit-identity across thread counts --------------------------------
+    identity_ids = ids[: min(n, 300_000)]
+    reference = hll_registers_numpy(identity_ids, seed_mix, p)
+    identity = {"threads": list(IDENTITY_THREADS), "native_available": native_available}
+    mismatches = None
+    if native_available:
+        mismatches = 0
+        for threads in IDENTITY_THREADS:
+            with _with_native_threads(str(threads)):
+                registers = _native.hll_update_native(identity_ids, seed_mix, p)
+            mismatches += int(np.count_nonzero(registers != reference))
+    identity["register_mismatches"] = mismatches
+
+    flat_key = f"p{flatness_p}"
+    return {
+        "benchmark": "sketch_perf",
+        "workload": {
+            "n": n,
+            "p": p,
+            "flatness_p": flatness_p,
+            "union_fill_n": union_fill_n,
+            "union_calls": union_calls,
+            "reader_counts": list(READER_COUNTS),
+            "accuracy_seeds": accuracy_seeds,
+            "base_seed": BASE_SEED,
+            "repeats_best_of": repeats,
+        },
+        "host": host_block(),
+        "kernel": kernel,
+        "union": union,
+        "accuracy": accuracy,
+        "identity": identity,
+        "gates": {
+            "native_speedup": kernel.get("speedup"),
+            "union_flatness_ratio": union[flat_key]["flatness_ratio"],
+            "error_bound_factor": accuracy["bound_factor"],
+            "identity_mismatches": mismatches,
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    unknown = [a for a in argv if a != "--smoke"]
+    if unknown:
+        print(f"unknown argument(s): {' '.join(unknown)}", file=sys.stderr)
+        print("usage: bench_perf_sketch.py [--smoke]", file=sys.stderr)
+        return 2
+    smoke = "--smoke" in argv
+    if smoke:
+        n = 200_000
+        union_fill_n, union_calls = 60_000, 60
+        accuracy_seeds, repeats = 3, 1
+        # Timing floors relax under CI noise at small n; identity never does.
+        speedup_min, flatness_max, factor_max = 2.0, 3.0, 2.0
+        threaded_min = None
+    else:
+        n = int(os.environ.get("REPRO_BENCH_N", 1_000_000))
+        union_fill_n, union_calls = 200_000, 200
+        accuracy_seeds = 5
+        repeats = int(os.environ.get("REPRO_BENCH_REPEATS", 3))
+        floors = json.loads(
+            (Path(__file__).resolve().parent / "perf_floors.json").read_text()
+        )
+        speedup_min = floors["sketch_native_speedup_min"]
+        flatness_max = floors["sketch_union_flatness_max"]
+        factor_max = floors["sketch_error_bound_factor_max"]
+        threaded_min = floors.get("sketch_threaded_speedup_min")
+    out = Path(os.environ.get("REPRO_BENCH_OUT", _REPO_ROOT / "BENCH_sketch.json"))
+
+    report = run_sketch_bench(
+        n=n,
+        union_fill_n=union_fill_n,
+        union_calls=union_calls,
+        accuracy_seeds=accuracy_seeds,
+        repeats=repeats,
+    )
+    gates = report["gates"]
+    gates["speedup_min"] = speedup_min
+    gates["flatness_max"] = flatness_max
+    gates["error_bound_factor_max"] = factor_max
+    out.write_text(json.dumps(report, indent=2) + "\n")
+
+    kernel = report["kernel"]
+    if kernel["native_available"]:
+        print(
+            f"kernel   n={kernel['n']:>9,}: numpy {kernel['numpy_ms']:8.2f} ms  "
+            f"native {kernel['native_ms']:7.2f} ms  speedup {kernel['speedup']:.1f}x  "
+            f"(threaded vs 1t: {kernel['speedup_threaded_vs_1t']:.2f}x)"
+        )
+    else:
+        print(f"kernel   n={kernel['n']:>9,}: numpy {kernel['numpy_ms']:8.2f} ms  "
+              "native UNAVAILABLE")
+    for p_key, stats in report["union"].items():
+        us = stats["union_estimate_us"]
+        print(
+            f"union    {p_key:>4}: "
+            + "  ".join(f"R={r} {t:8.1f} us" for r, t in us.items())
+            + f"  flatness {stats['flatness_ratio']:.2f}x"
+        )
+    acc = report["accuracy"]
+    print(
+        f"accuracy n={acc['n']:>9,}: err mean={acc['error_mean']:.4f} "
+        f"max={acc['error_max']:.4f} bound={acc['bound']:.4f} "
+        f"factor {acc['bound_factor']:.2f}x"
+    )
+    ident = report["identity"]
+    print(
+        f"identity threads={ident['threads']}: "
+        f"{ident['register_mismatches']} register mismatch(es)"
+    )
+    print(f"wrote {out}")
+
+    failed = False
+    if not kernel["native_available"]:
+        print("FAIL: native library unavailable — the fused register kernel "
+              "did not build, so every update would fall back to NumPy")
+        failed = True
+    else:
+        if gates["native_speedup"] < speedup_min:
+            print(
+                f"FAIL: native register kernel only {gates['native_speedup']:.2f}x "
+                f"NumPy at n={kernel['n']:,} (min {speedup_min}x)"
+            )
+            failed = True
+        # Multicore gate: threaded update vs 1 thread.  Meaningless on a
+        # single-core affinity mask — then it skips, visibly.
+        cpus_visible = report["host"]["cpus_affinity"]
+        if threaded_min is not None:
+            if cpus_visible < 2:
+                print(
+                    "SKIP: sketch multicore gate skipped — host affinity exposes "
+                    f"{cpus_visible} core(s); need >= 2 for a meaningful measurement"
+                )
+            elif kernel["speedup_threaded_vs_1t"] < threaded_min:
+                print(
+                    f"FAIL: threaded update {kernel['speedup_threaded_vs_1t']:.2f}x "
+                    f"vs 1 thread fell below the stored floor {threaded_min}x "
+                    f"(cpus_visible={cpus_visible})"
+                )
+                failed = True
+    if gates["union_flatness_ratio"] > flatness_max:
+        print(
+            f"FAIL: union+estimate grew {gates['union_flatness_ratio']:.2f}x from "
+            f"{READER_COUNTS[0]} to {READER_COUNTS[-1]} readers (max {flatness_max}x)"
+        )
+        failed = True
+    if gates["error_bound_factor"] > factor_max:
+        print(
+            f"FAIL: mean relative error {acc['error_mean']:.4f} is "
+            f"{gates['error_bound_factor']:.2f}x the 1.04/sqrt(m) bound "
+            f"(max {factor_max}x)"
+        )
+        failed = True
+    if gates["identity_mismatches"] is None or gates["identity_mismatches"] > 0:
+        print(
+            f"FAIL: native registers diverged from the NumPy reference "
+            f"({gates['identity_mismatches']} mismatches across threads "
+            f"{list(IDENTITY_THREADS)})"
+        )
+        failed = True
+    # Under REPRO_TRACE, land the cumulative counters (sketch.*, kernel.*)
+    # in the trace so `repro-rfid obs summary` renders the sketch block.
+    # No-op when tracing is disabled.
+    obs_trace.flush()
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,8 +4,9 @@ Each perf harness writes its own report at the repo root — engine
 throughput (``BENCH_engine.json``), baseline engines
 (``BENCH_baselines.json``), the sweep cache (``BENCH_sweep.json``), the
 analytic scale sweep (``BENCH_scale.json``), dynamic tracking
-(``BENCH_dynamics.json``) and the estimation service
-(``BENCH_service.json``).  CI uploads them individually,
+(``BENCH_dynamics.json``), the estimation service
+(``BENCH_service.json``), the HLL sketch layer (``BENCH_sketch.json``)
+and the multi-reader aggregation comparison (``BENCH_multireader.json``).  CI uploads them individually,
 but trend tracking wants one artifact: this script collapses whichever
 reports exist into ``BENCH_trajectory.json``, keeping for each benchmark
 its headline speedup, its drift against the bit-identical reference (absent
@@ -127,6 +128,30 @@ def _summarise_service(report: dict) -> dict:
     }
 
 
+def _summarise_sketch(report: dict) -> dict:
+    flat_key = f"p{report['workload']['flatness_p']}"
+    return {
+        "headline_speedup": report["gates"]["native_speedup"],
+        "headline": "fused native HLL register kernel vs NumPy update",
+        "drift": report["gates"]["identity_mismatches"],  # registers vs NumPy ref
+        "union_flatness_ratio": report["union"][flat_key]["flatness_ratio"],
+        "error_bound_factor": report["gates"]["error_bound_factor"],
+        "workload": report["workload"],
+    }
+
+
+def _summarise_multireader(report: dict) -> dict:
+    return {
+        "headline_speedup": report["gates"]["sketch_speedup_at_max_n"],
+        "headline": "sketch union vs one synchronized BFCE round (compute)",
+        "drift": None,  # two different estimators: no bit-identity reference
+        "sketch_compute_ratio_max_readers": report["gates"][
+            "sketch_compute_ratio_max_readers"
+        ],
+        "workload": report["workload"],
+    }
+
+
 _SUMMARISERS = {
     "BENCH_engine.json": ("engine", _summarise_engine),
     "BENCH_baselines.json": ("baselines", _summarise_baselines),
@@ -134,6 +159,8 @@ _SUMMARISERS = {
     "BENCH_scale.json": ("scale", _summarise_scale),
     "BENCH_dynamics.json": ("dynamics", _summarise_dynamics),
     "BENCH_service.json": ("service", _summarise_service),
+    "BENCH_sketch.json": ("sketch", _summarise_sketch),
+    "BENCH_multireader.json": ("multireader", _summarise_multireader),
 }
 
 

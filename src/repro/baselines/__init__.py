@@ -21,10 +21,12 @@ from .base import CardinalityEstimator, EstimationResult
 from .batch import (
     baseline_batchable,
     run_baseline_trials_batched,
+    run_hll_batch,
     run_lof_batch,
     run_src_batch,
     run_zoe_batch,
 )
+from .hll import HLL, HLL_PARAMS_BITS, HLL_RANK_BITS
 from .ezb import EZB, ezb_required_rounds, variance_factor_g
 from .fneb import FNEB, fneb_required_rounds
 from .framedaloha import AlohaFrame, mean_run_length_of_ones, run_aloha_frame
@@ -49,9 +51,13 @@ __all__ = [
     "run_lof_analytic",
     "run_src_analytic",
     "run_zoe_analytic",
+    "run_hll_batch",
     "run_lof_batch",
     "run_src_batch",
     "run_zoe_batch",
+    "HLL",
+    "HLL_PARAMS_BITS",
+    "HLL_RANK_BITS",
     "EZB",
     "ezb_required_rounds",
     "variance_factor_g",

@@ -57,8 +57,10 @@ from ..rfid.hashing import first_idle_from_occupancy, geometric_occupancy_batch
 from ..rfid.tags import TagPopulation
 from ..timing.accounting import BatchLedger
 from ..timing.c1g2 import C1G2Timing, DEFAULT_TIMING
+from ..sketch.hll import hll_estimate, hll_registers, relative_error_bound
 from .base import CardinalityEstimator, EstimationResult
 from .framedaloha import aloha_empty_counts_batch
+from .hll import HLL, HLL_PARAMS_BITS, HLL_RANK_BITS
 from .lof import FM_PHI, LOF
 from .src_protocol import _MAX_ROUND_RETRIES, SRC, SRC_OPTIMAL_LOAD, src_round_count
 from .zoe import (
@@ -75,6 +77,7 @@ __all__ = [
     "run_lof_batch",
     "run_zoe_batch",
     "run_src_batch",
+    "run_hll_batch",
     "run_baseline_trials_batched",
 ]
 
@@ -103,6 +106,8 @@ def baseline_batchable(estimator: CardinalityEstimator) -> bool:
         return True
     if type(estimator) is SRC:
         return estimator.rough_slots <= _MAX_OCCUPANCY_BITS
+    if type(estimator) is HLL:
+        return True
     return False
 
 
@@ -382,7 +387,53 @@ def run_src_batch(
 # ----------------------------------------------------------------------
 # trial-runner adapter
 # ----------------------------------------------------------------------
-_BATCH_RUNNERS = {LOF: run_lof_batch, ZOE: run_zoe_batch, SRC: run_src_batch}
+# ----------------------------------------------------------------------
+# HLL
+# ----------------------------------------------------------------------
+def run_hll_batch(
+    estimator: HLL,
+    population: TagPopulation,
+    seeds: Sequence[int],
+    *,
+    timing: C1G2Timing = DEFAULT_TIMING,
+) -> list[EstimationResult]:
+    """All HLL trials through the fused register kernel; bit-identical to
+    ``[estimator.estimate(population, seed=s) for s in seeds]``.
+
+    HLL is single-round with a fixed two-message exchange, so lockstep is
+    trivial: every trial's population-sized work is already one kernel call
+    (:func:`repro.sketch.hll.hll_registers`), and the array ledger records
+    the identical (downlink, uplink) message pair for every row.
+    """
+    seed_list = [int(s) for s in seeds]
+    if not seed_list:
+        return []
+    ledger = BatchLedger(len(seed_list), timing=timing)
+    ledger.record_downlink(HLL_PARAMS_BITS)
+    ledger.record_uplink(estimator.m * HLL_RANK_BITS)
+    ids = population.tag_ids
+    bound = relative_error_bound(estimator.p)
+    results = []
+    for t, s in enumerate(seed_list):
+        hash_seed = int(_fresh_seed(np.random.default_rng(s)))
+        n_hat = hll_estimate(hll_registers(ids, hash_seed, estimator.p))
+        results.append(
+            estimator._result(
+                n_hat,
+                ledger.totals(t),
+                rounds=1,
+                extra={"p": estimator.p, "m": estimator.m, "error_bound": bound},
+            )
+        )
+    return results
+
+
+_BATCH_RUNNERS = {
+    LOF: run_lof_batch,
+    ZOE: run_zoe_batch,
+    SRC: run_src_batch,
+    HLL: run_hll_batch,
+}
 
 
 def run_baseline_trials_batched(

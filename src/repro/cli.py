@@ -7,6 +7,8 @@ Usage::
     repro-rfid run fig9 --trials 3
     repro-rfid overhead
     repro-rfid estimate --n 100000 --eps 0.05 --delta 0.05
+    repro-rfid sketch build --n 100000 --out a.json
+    repro-rfid sketch union a.json b.json --json
     repro-rfid serve --zones 64 --n 1000000 --port 7912
 
 ``run`` executes a figure generator and prints its data table; ``overhead``
@@ -154,6 +156,29 @@ def build_parser() -> argparse.ArgumentParser:
                      help="trace: maximum spans to list")
     obs.add_argument("--json", action="store_true",
                      help="summary: print machine-readable JSON instead of text")
+
+    sk = sub.add_parser(
+        "sketch", help="build, union and estimate mergeable HLL sketches"
+    )
+    sk.add_argument("action", choices=("build", "union", "estimate"))
+    sk.add_argument("files", nargs="*", metavar="SKETCH.json",
+                    help="sketch payload files (union/estimate inputs)")
+    sk.add_argument("--n", type=int, default=None,
+                    help="build: size of a synthetic population")
+    sk.add_argument("--distribution", default="T1",
+                    choices=("T1", "T2", "T3", "T4"))
+    sk.add_argument("--pop-seed", type=int, default=0,
+                    help="build: population RNG seed")
+    sk.add_argument("--ids-file", default=None, metavar="PATH",
+                    help="build: text file, one tag id per line (decimal or 0x hex)")
+    sk.add_argument("--p", type=int, default=None,
+                    help="register precision (m = 2^p; default 12)")
+    sk.add_argument("--seed", type=int, default=0,
+                    help="hash seed (sketches merge only under one seed)")
+    sk.add_argument("--out", default=None, metavar="PATH",
+                    help="write the resulting sketch payload as JSON")
+    sk.add_argument("--json", action="store_true",
+                    help="print machine-readable JSON instead of text")
 
     serve = sub.add_parser(
         "serve", help="run the multi-zone estimation service (newline-JSON TCP)"
@@ -433,6 +458,96 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sketch(args: argparse.Namespace) -> int:
+    import json as _json
+
+    import numpy as np
+
+    from .sketch import DEFAULT_P, HLLSketch
+
+    def report(sketch: HLLSketch, n_items: int | None, source: str) -> int:
+        n_hat = sketch.estimate()
+        bound = sketch.relative_error_bound()
+        if args.out:
+            with open(args.out, "w") as fh:
+                _json.dump(sketch.to_payload(), fh, sort_keys=True)
+                fh.write("\n")
+        if args.json:
+            obj = {
+                "p": sketch.p,
+                "m": sketch.m,
+                "seed": sketch.seed,
+                "n_hat": n_hat,
+                "error_bound": bound,
+                "source": source,
+                "sketch": sketch.to_payload(),
+            }
+            if n_items is not None:
+                obj["n_items"] = n_items
+            print(_json.dumps(obj, indent=2, sort_keys=True))
+        else:
+            print(f"sketch   : p={sketch.p} (m={sketch.m}), seed={sketch.seed}")
+            print(f"source   : {source}")
+            if n_items is not None:
+                print(f"items    : {n_items:,} ids folded")
+            print(f"estimate : {n_hat:,.1f} ± {100 * bound:.2f}% (1.04/√m)")
+            if args.out:
+                print(f"(payload written to {args.out})")
+        return 0
+
+    if args.action == "build":
+        if (args.n is None) == (args.ids_file is None):
+            print("sketch build: pass exactly one of --n or --ids-file",
+                  file=sys.stderr)
+            return 2
+        if args.files:
+            print("sketch build: positional sketch files are union/estimate "
+                  "inputs — did you mean --ids-file?", file=sys.stderr)
+            return 2
+        if args.ids_file is not None:
+            try:
+                with open(args.ids_file) as fh:
+                    values = [int(line.strip(), 0) for line in fh if line.strip()]
+            except (OSError, ValueError) as exc:
+                print(f"sketch build: cannot read ids from {args.ids_file}: {exc}",
+                      file=sys.stderr)
+                return 2
+            ids = np.asarray(values, dtype=np.uint64)
+            source = args.ids_file
+        else:
+            ids = make_ids(args.distribution, args.n, seed=args.pop_seed)
+            source = f"synthetic {args.distribution}, n={args.n}, seed={args.pop_seed}"
+        try:
+            sketch = HLLSketch(
+                args.p if args.p is not None else DEFAULT_P, seed=args.seed
+            ).add_ids(ids)
+        except ValueError as exc:
+            print(f"sketch build: {exc}", file=sys.stderr)
+            return 2
+        return report(sketch, int(ids.size), source)
+
+    # union / estimate: fold one or more saved payloads.
+    if not args.files:
+        print(f"sketch {args.action}: pass at least one sketch payload file",
+              file=sys.stderr)
+        return 2
+    sketches = []
+    for path in args.files:
+        try:
+            with open(path) as fh:
+                sketches.append(HLLSketch.from_payload(_json.load(fh)))
+        except (OSError, ValueError) as exc:
+            print(f"sketch {args.action}: cannot load {path}: {exc}",
+                  file=sys.stderr)
+            return 2
+    try:
+        union = HLLSketch.union(sketches)
+    except (TypeError, ValueError) as exc:
+        print(f"sketch {args.action}: {exc}", file=sys.stderr)
+        return 2
+    return report(union, None, f"union of {len(sketches)} sketch(es)")
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import json as _json
@@ -512,6 +627,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_cache(args)
     if args.command == "obs":
         return _cmd_obs(args)
+    if args.command == "sketch":
+        return _cmd_sketch(args)
     if args.command == "serve":
         return _cmd_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")

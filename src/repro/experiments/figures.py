@@ -426,7 +426,12 @@ def fig9_fig10_comparison(
     engine: str = "batched",
     max_workers: int | None = None,
 ) -> FigureData:
-    """Accuracy (Fig. 9) and execution time (Fig. 10) of BFCE/ZOE/SRC.
+    """Accuracy (Fig. 9) and execution time (Fig. 10) of BFCE/ZOE/SRC/HLL.
+
+    The HLL row is the mergeable-sketch baseline
+    (:class:`repro.baselines.hll.HLL`): fixed-precision accuracy
+    (``1.04/sqrt(m)``, not (ε, δ)-planned) bought with a single constant
+    two-message round — the trade the sketch tier makes for mergeability.
 
     One generator produces both figures' data (same runs): each row is one
     (panel, estimator, sweep point) with mean error and mean/max seconds.
@@ -450,7 +455,7 @@ def fig9_fig10_comparison(
             pop_seed=base_seed,
             engine=engine,
         )
-        for name, offset in (("BFCE", 101), ("ZOE", 202), ("SRC", 303)):
+        for name, offset in (("BFCE", 101), ("ZOE", 202), ("SRC", 303), ("HLL", 404)):
             coords.append((panel, name, n, eps, delta))
             if name == "BFCE":
                 points.append(
@@ -493,9 +498,10 @@ def fig9_fig10_comparison(
     bfce_secs = [r["seconds_mean"] for r in rows if r["estimator"] == "BFCE"]
     zoe_secs = [r["seconds_mean"] for r in rows if r["estimator"] == "ZOE"]
     src_secs = [r["seconds_mean"] for r in rows if r["estimator"] == "SRC"]
+    hll_secs = [r["seconds_mean"] for r in rows if r["estimator"] == "HLL"]
     return FigureData(
         figure="fig9-fig10",
-        title="BFCE vs ZOE vs SRC: accuracy and overall execution time (T2)",
+        title="BFCE vs ZOE vs SRC vs HLL: accuracy and overall execution time (T2)",
         rows=rows,
         meta={
             "trials": trials,
@@ -503,6 +509,7 @@ def fig9_fig10_comparison(
             "bfce_mean_seconds": float(np.mean(bfce_secs)),
             "zoe_over_bfce": float(np.mean(zoe_secs) / np.mean(bfce_secs)),
             "src_over_bfce": float(np.mean(src_secs) / np.mean(bfce_secs)),
+            "hll_over_bfce": float(np.mean(hll_secs) / np.mean(bfce_secs)),
         },
     )
 

@@ -73,7 +73,7 @@ _FORMAT = 1
 #: protocol math, frame kernels, native C source, estimators, timing model
 #: and the trial runners.  The sweep scheduler itself is deliberately
 #: excluded — rescheduling identical work must not invalidate the cache.
-_TOKEN_PACKAGES = ("core", "rfid", "baselines", "timing")
+_TOKEN_PACKAGES = ("core", "rfid", "baselines", "timing", "sketch")
 _TOKEN_FILES = (
     "experiments/batch.py",
     "experiments/runner.py",
@@ -268,8 +268,8 @@ class SweepPoint:
         engine: str = "batched",
         args: dict | None = None,
     ) -> "SweepPoint":
-        """``run_trials`` for one baseline estimator (LOF/ZOE/SRC)."""
-        if estimator not in ("LOF", "ZOE", "SRC"):
+        """``run_trials`` for one baseline estimator (LOF/ZOE/SRC/HLL)."""
+        if estimator not in ("LOF", "ZOE", "SRC", "HLL"):
             raise ValueError(f"unknown baseline estimator {estimator!r}")
         return cls.from_spec(
             {
@@ -287,6 +287,44 @@ class SweepPoint:
                 "persistence_mode": str(persistence_mode),
                 "engine": str(engine),
                 "args": dict(args) if args else {},
+            }
+        )
+
+    @classmethod
+    def sketch_trials(
+        cls,
+        *,
+        distribution: str,
+        n: int,
+        p: int,
+        n_readers: int,
+        overlap: float = 0.2,
+        trials: int,
+        base_seed: int = 0,
+        pop_seed: int = 0,
+    ) -> "SweepPoint":
+        """Multi-reader sketch-union trials at one sweep coordinate.
+
+        Each trial partitions one cached population over ``n_readers``
+        overlapping readers (:meth:`CoverageMap.random_overlap`), builds the
+        per-reader HLL sketches through the fused register kernel, unions
+        them at a :class:`~repro.rfid.multireader.SketchCoordinator` and
+        records the union estimate against the true union size.  Seconds are
+        the *metered* report-round air time (deterministic), so cached and
+        fresh executions are bit-identical.
+        """
+        return cls.from_spec(
+            {
+                "kind": "sketch_trials",
+                "estimator": "HLL-union",
+                "distribution": str(distribution),
+                "n": int(n),
+                "p": int(p),
+                "n_readers": int(n_readers),
+                "overlap": float(overlap),
+                "trials": int(trials),
+                "base_seed": int(base_seed),
+                "pop_seed": int(pop_seed),
             }
         )
 
@@ -739,12 +777,12 @@ def _exec_bfce_trials(spec: dict) -> dict:
 
 
 def _exec_baseline_trials(spec: dict) -> dict:
-    from ..baselines import LOF, SRC, ZOE
+    from ..baselines import HLL, LOF, SRC, ZOE
     from ..core.accuracy import AccuracyRequirement
     from .runner import run_trials
 
     requirement = AccuracyRequirement(spec["eps"], spec["delta"])
-    factory = {"LOF": LOF, "ZOE": ZOE, "SRC": SRC}[spec["estimator"]]
+    factory = {"LOF": LOF, "ZOE": ZOE, "SRC": SRC, "HLL": HLL}[spec["estimator"]]
     estimator = factory(requirement=requirement, **spec["args"])
     records = run_trials(
         estimator,
@@ -754,6 +792,49 @@ def _exec_baseline_trials(spec: dict) -> dict:
         distribution=spec["distribution"],
         engine=spec["engine"],
     )
+    return _record_payload(records)
+
+
+def _exec_sketch_trials(spec: dict) -> dict:
+    from ..rfid.multireader import CoverageMap, sketch_union_estimate
+    from ..sketch.hll import relative_error_bound
+    from .runner import TrialRecord
+    from .workloads import population
+
+    pop = population(spec["distribution"], spec["n"], seed=spec["pop_seed"], copy=False)
+    bound = relative_error_bound(spec["p"])
+    records = []
+    for t in range(spec["trials"]):
+        trial_seed = spec["base_seed"] + t
+        coverage = CoverageMap.random_overlap(
+            pop.tag_ids,
+            spec["n_readers"],
+            overlap=spec["overlap"],
+            seed=trial_seed + 0x5E7C,
+        )
+        result = sketch_union_estimate(coverage, p=spec["p"], seed=trial_seed)
+        n_true = coverage.union_size
+        records.append(
+            TrialRecord(
+                estimator="HLL-union",
+                n_true=n_true,
+                n_hat=result.n_hat,
+                error=result.relative_error(n_true),
+                # Metered air time, not wall-clock: cache hits must replay
+                # the identical payload byte-for-byte.
+                seconds=result.wallclock_seconds,
+                seed=trial_seed,
+                eps=bound,
+                delta=0.32,  # the bound is a 1-sigma std error, ~68% coverage
+                distribution=spec["distribution"],
+                extra={
+                    "engine": "sketch",
+                    "p": spec["p"],
+                    "n_readers": spec["n_readers"],
+                    "overlap": spec["overlap"],
+                },
+            )
+        )
     return _record_payload(records)
 
 
@@ -856,6 +937,7 @@ def _exec_rough_bound(spec: dict) -> dict:
 _EXECUTORS: dict[str, Callable[[dict], dict]] = {
     "bfce_trials": _exec_bfce_trials,
     "baseline_trials": _exec_baseline_trials,
+    "sketch_trials": _exec_sketch_trials,
     "frame_stats": _exec_frame_stats,
     "f1f2_curve": _exec_f1f2_curve,
     "id_histogram": _exec_id_histogram,

@@ -205,6 +205,23 @@ def summarise(path: str | Path) -> dict:
             ),
         }
 
+    sketch = None
+    if any(
+        name.startswith(("sketch.", "multireader.")) for name in counters
+    ):
+        sketch = {
+            "builds": counters.get("sketch.builds", 0),
+            "items": counters.get("sketch.items", 0),
+            "unions": counters.get("sketch.unions", 0),
+            "registers_merged": counters.get("sketch.registers_merged", 0),
+            "native_updates": counters.get("kernel.native.hll", 0),
+            "numpy_updates": counters.get("kernel.numpy.hll", 0),
+            "multireader_estimates": counters.get("multireader.estimates", 0),
+            "multireader_sketch_estimates": counters.get(
+                "multireader.sketch_estimates", 0
+            ),
+        }
+
     return {
         "trace": str(path),
         "processes": len({m["pid"] for m in trace.meta}) or len({s["pid"] for s in trace.spans}),
@@ -223,6 +240,7 @@ def summarise(path: str | Path) -> dict:
         "native_calls_threaded": counters.get("kernel.native.calls_threaded", 0),
         "kernel_native_seconds": kernel_seconds,
         "service": service,
+        "sketch": sketch,
         "counters": counters,
         "gauges": gauges,
     }
@@ -260,6 +278,15 @@ def render_summary(summary: dict) -> str:
             f"{service['shed']:.0f} shed, "
             f"p50={'n/a' if p50 is None else f'{p50:.2f} ms'} "
             f"p99={'n/a' if p99 is None else f'{p99:.2f} ms'}"
+        )
+    sketch = summary.get("sketch")
+    if sketch:
+        lines.append(
+            f"sketch     : {sketch['builds']:.0f} build(s) "
+            f"({sketch['items']:.0f} ids), {sketch['unions']:.0f} union(s) "
+            f"({sketch['registers_merged']:.0f} registers), "
+            f"native/numpy updates {sketch['native_updates']:.0f}/"
+            f"{sketch['numpy_updates']:.0f}"
         )
     lines += [
         "",

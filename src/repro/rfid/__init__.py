@@ -46,8 +46,11 @@ from .multireader import (
     MultiReaderResult,
     MultiReaderSystem,
     OverlapEstimate,
+    SketchAggregateResult,
+    SketchCoordinator,
     estimate_pairwise_overlap,
     naive_sum_estimate,
+    sketch_union_estimate,
 )
 from .protocol import ESTIMATE_COMMAND, FieldSpec, MessageSpec, bfce_phase_message
 from .reader import Reader
@@ -77,6 +80,9 @@ __all__ = [
     "MultiReaderResult",
     "MultiReaderSystem",
     "naive_sum_estimate",
+    "SketchAggregateResult",
+    "SketchCoordinator",
+    "sketch_union_estimate",
     "Channel",
     "NoisyChannel",
     "PerfectChannel",

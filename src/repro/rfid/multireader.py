@@ -35,6 +35,7 @@ from ..core.estmath import estimate_cardinality, rho_is_valid
 from ..core.optimal_p import find_optimal_pn
 from ..core.probe import probe_persistence
 from ..core.rough import rough_estimate
+from ..obs import metrics as _metrics
 from ..rfid.protocol import bfce_phase_message
 from ..rfid.reader import Reader
 from ..timing.accounting import TimeLedger
@@ -48,6 +49,9 @@ __all__ = [
     "naive_sum_estimate",
     "OverlapEstimate",
     "estimate_pairwise_overlap",
+    "SketchCoordinator",
+    "SketchAggregateResult",
+    "sketch_union_estimate",
 ]
 
 
@@ -231,6 +235,7 @@ class MultiReaderSystem:
             pn_final = opt.pn
 
         wall = server.elapsed_seconds()
+        _metrics.inc("multireader.estimates")
         return MultiReaderResult(
             n_hat=n_hat,
             n_low=rough.n_low,
@@ -241,6 +246,148 @@ class MultiReaderSystem:
             guarantee_met=guarantee,
             ledger=server.ledger,
         )
+
+
+@dataclass(frozen=True)
+class SketchAggregateResult:
+    """Outcome of a sketch-based multi-reader aggregation.
+
+    Unlike :class:`MultiReaderResult`, no synchronized frame ran: each reader
+    summarised its own coverage independently and the back-end unioned the
+    summaries.  ``wallclock_seconds`` prices the report round (readers upload
+    their register arrays concurrently after one parameter broadcast), so it
+    is independent of both n and the reader count — the air-time counterpart
+    of the O(m) coordinator union.
+    """
+
+    n_hat: float
+    n_readers: int
+    p: int
+    seed: int
+    error_bound: float
+    wallclock_seconds: float
+    ledger: TimeLedger
+
+    def relative_error(self, n_true: float) -> float:
+        if n_true <= 0:
+            raise ValueError("n_true must be positive")
+        return abs(self.n_hat - n_true) / n_true
+
+
+class SketchCoordinator:
+    """Back-end register bank unioning per-reader HLL sketches in O(m).
+
+    The coordinator pre-allocates one register row per reader; a reader's
+    sketch report overwrites its row in place (re-reports are idempotent,
+    and a reader that never reports contributes the all-zero row — the
+    identity element of the register max).  :meth:`estimate` is one
+    streaming element-wise max over the ``(R, m)`` bank plus the constant
+    O(m) HLL estimate — no per-tag work, no reader synchronization, and no
+    double-counting, because a tag heard by several readers writes the same
+    rank into the same register of each row.
+
+    Contrast with :class:`MultiReaderSystem`: the OR-merge there needs every
+    reader to run the *same* frame at the same time; sketches merge after
+    the fact, across any subset of readers, any number of times.
+
+    ``p`` defaults to :data:`repro.sketch.DEFAULT_P` when None.
+    """
+
+    def __init__(
+        self, n_readers: int, *, p: int | None = None, seed: int = 0
+    ) -> None:
+        # Local import: repro.sketch imports this package back (hashing,
+        # _native), so the dependency must stay one-way at module load.
+        from ..sketch.hll import DEFAULT_P, HLLSketch
+
+        if n_readers <= 0:
+            raise ValueError("n_readers must be positive")
+        template = HLLSketch(DEFAULT_P if p is None else p, seed=seed)
+        self.p = template.p
+        self.seed = template.seed
+        self.bank = np.zeros((n_readers, template.m), dtype=np.uint8)
+
+    @property
+    def n_readers(self) -> int:
+        return int(self.bank.shape[0])
+
+    @property
+    def m(self) -> int:
+        return int(self.bank.shape[1])
+
+    def submit(self, reader_index: int, sketch) -> None:
+        """Store reader ``reader_index``'s sketch report (overwriting)."""
+        from ..sketch.hll import HLLSketch
+
+        if not 0 <= reader_index < self.n_readers:
+            raise ValueError(f"reader index {reader_index} out of range")
+        if not isinstance(sketch, HLLSketch):
+            raise TypeError(f"expected HLLSketch, got {type(sketch).__name__}")
+        if sketch.p != self.p or sketch.seed != self.seed:
+            raise ValueError(
+                f"sketch (p={sketch.p}, seed={sketch.seed}) does not match "
+                f"coordinator (p={self.p}, seed={self.seed})"
+            )
+        self.bank[reader_index] = sketch.registers
+
+    def union_sketch(self):
+        """The union of every reader's current sketch (a fresh sketch)."""
+        from ..sketch.hll import HLLSketch, hll_union_registers
+
+        _metrics.inc("sketch.unions")
+        _metrics.inc("sketch.registers_merged", int(self.bank.size))
+        return HLLSketch(
+            self.p, seed=self.seed, registers=hll_union_registers(self.bank)
+        )
+
+    def estimate(self) -> float:
+        """Union-cardinality estimate straight off the register bank."""
+        from ..sketch.hll import hll_estimate, hll_union_registers
+
+        _metrics.inc("sketch.unions")
+        _metrics.inc("sketch.registers_merged", int(self.bank.size))
+        return hll_estimate(hll_union_registers(self.bank))
+
+
+def sketch_union_estimate(
+    coverage: CoverageMap,
+    *,
+    p: int | None = None,
+    seed: int = 0,
+) -> SketchAggregateResult:
+    """Estimate the union cardinality by per-reader sketches + coordinator.
+
+    Each reader folds its audible tagIDs into its own HLL sketch (the fused
+    register kernel does the per-tag work locally); the back-end unions the
+    register bank and estimates.  Air-time convention matches
+    :class:`MultiReaderSystem`: one parameter broadcast (seed + precision)
+    and one concurrent register upload of ``m`` 6-bit rank slots, charged
+    once — the report round costs the same at 2 readers and at 256.
+    ``p`` defaults to :data:`repro.sketch.DEFAULT_P` when None.
+    """
+    from ..sketch.hll import HLLSketch, relative_error_bound
+
+    ledger = TimeLedger()
+    coordinator = SketchCoordinator(coverage.n_readers, p=p, seed=seed)
+    ledger.record_downlink(40, phase="sketch", label="params")
+    for r in range(coverage.n_readers):
+        pop = coverage.reader_population(r)
+        sketch = HLLSketch(coordinator.p, seed=seed)
+        if pop.size:
+            sketch.add_ids(pop.tag_ids)
+        coordinator.submit(r, sketch)
+    ledger.record_uplink(coordinator.m * 6, phase="sketch", label="registers")
+    n_hat = coordinator.estimate()
+    _metrics.inc("multireader.sketch_estimates")
+    return SketchAggregateResult(
+        n_hat=n_hat,
+        n_readers=coverage.n_readers,
+        p=coordinator.p,
+        seed=coordinator.seed,
+        error_bound=relative_error_bound(coordinator.p),
+        wallclock_seconds=ledger.total_seconds(),
+        ledger=ledger,
+    )
 
 
 def naive_sum_estimate(

@@ -11,7 +11,16 @@ Requests::
     {"op": "track",    "zone": "z0", "id": 2}
     {"op": "zone.put", "zone": "z9", "config": {"n": 100000, ...}, "id": 3}
     {"op": "zone.get", "zone": "z9"}   {"op": "zone.list"}
+    {"op": "zone.sketch", "zone": "z0", "p": 12, "seed": 0, "id": 4}
+    {"op": "sketch.merge", "sketches": [<sketch>, <sketch>, ...], "id": 5}
     {"op": "health"}   {"op": "metrics"}   {"op": "ping"}   {"op": "shutdown"}
+
+``zone.sketch`` summarises a zone's population as a mergeable HyperLogLog
+sketch (``repro.sketch``): the response's ``sketch`` object carries the
+precision, hash seed and base64 registers.  ``sketch.merge`` unions any
+number of such sketches (built under one ``p``/``seed``) in O(m) register
+maxes and returns the merged sketch plus its union-cardinality estimate —
+the coordinator step for multi-zone/multi-reader aggregation.
 
 Responses always carry ``ok``; failures add HTTP-flavoured ``code`` and
 ``error`` fields — ``429`` is the admission controller shedding load, the
@@ -52,6 +61,8 @@ OPS = frozenset(
         "zone.put",
         "zone.get",
         "zone.list",
+        "zone.sketch",
+        "sketch.merge",
         "health",
         "metrics",
         "ping",

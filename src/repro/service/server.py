@@ -44,6 +44,34 @@ from .zones import ZoneConfig, ZoneRegistry
 __all__ = ["EstimationServer", "run_server"]
 
 
+def _build_zone_sketch(config: ZoneConfig, p: int | None, seed: int) -> dict:
+    """Executor-side sketch build: rebuild the zone population, fold its
+    tagIDs through the fused register kernel, return a wire-ready summary.
+
+    Runs on the engine thread pool — it is the only population-sized work
+    in the sketch ops; everything the loop thread touches is O(m).
+    """
+    from ..experiments.workloads import population
+    from ..sketch.hll import DEFAULT_P, HLLSketch
+
+    pop = population(
+        config.distribution,
+        config.n,
+        seed=config.pop_seed,
+        rn_source=config.rn_source,
+        rn_seed=config.rn_seed,
+        persistence_mode=config.persistence_mode,
+        copy=False,
+    )
+    sketch = HLLSketch(DEFAULT_P if p is None else p, seed=seed)
+    sketch.add_ids(pop.tag_ids)
+    return {
+        "sketch": sketch.to_payload(),
+        "n_hat": sketch.estimate(),
+        "error_bound": sketch.relative_error_bound(),
+    }
+
+
 class EstimationServer:
     """A multi-zone estimation service bound to one asyncio event loop."""
 
@@ -254,6 +282,10 @@ class EstimationServer:
             return await self._estimate(request, track=False)
         if op == "track":
             return await self._estimate(request, track=True)
+        if op == "zone.sketch":
+            return await self._zone_sketch(request)
+        if op == "sketch.merge":
+            return self._sketch_merge(request)
         raise ServiceError(400, f"unhandled op {op!r}")  # pragma: no cover
 
     async def _estimate(self, request: dict, *, track: bool) -> dict:
@@ -295,6 +327,60 @@ class EstimationServer:
                 "gain": update.gain,
             }
         return response
+
+    async def _zone_sketch(self, request: dict) -> dict:
+        """Export one zone's population as a mergeable HLL sketch."""
+        zone = self.zones.get(request.get("zone"))
+        zone.requests += 1
+        p = request.get("p")
+        if p is not None and (
+            not isinstance(p, int) or isinstance(p, bool) or not 4 <= p <= 16
+        ):
+            raise ServiceError(400, "p must be an integer in [4, 16]")
+        seed = request.get("seed", 0)
+        if not isinstance(seed, int) or isinstance(seed, bool) or seed < 0:
+            raise ServiceError(400, "seed must be a non-negative integer")
+        if not await self.admission.acquire():
+            raise ServiceError(
+                429,
+                f"overloaded: {self.admission.inflight} in flight, "
+                f"{self.admission.queued} queued — retry with backoff",
+            )
+        try:
+            loop = asyncio.get_running_loop()
+            built = await loop.run_in_executor(
+                self._executor, _build_zone_sketch, zone.config, p, seed
+            )
+        finally:
+            self.admission.release()
+        _metrics.inc("service.sketch.builds")
+        return {
+            "zone": zone.name,
+            "n_true": zone.config.n,
+            "n_hat": built["n_hat"],
+            "error_bound": built["error_bound"],
+            "sketch": built["sketch"],
+        }
+
+    def _sketch_merge(self, request: dict) -> dict:
+        """Union client-supplied sketches; O(m) work, stays on the loop."""
+        from ..sketch.hll import HLLSketch
+
+        payloads = request.get("sketches")
+        if not isinstance(payloads, list) or not payloads:
+            raise ServiceError(400, "sketches must be a non-empty list")
+        try:
+            sketches = [HLLSketch.from_payload(item) for item in payloads]
+            merged = HLLSketch.union(sketches)
+        except (TypeError, ValueError) as exc:
+            raise ServiceError(400, f"bad sketch list: {exc}") from exc
+        _metrics.inc("service.sketch.merges")
+        return {
+            "n_sketches": len(sketches),
+            "n_hat": merged.estimate(),
+            "error_bound": merged.relative_error_bound(),
+            "sketch": merged.to_payload(),
+        }
 
     def _health(self) -> dict:
         return {

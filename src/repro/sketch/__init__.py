@@ -1,0 +1,28 @@
+"""Mergeable cardinality sketches (HyperLogLog) over tagID streams.
+
+The sketch tier complements BFCE's synchronized frames: per-reader
+summaries that union at a coordinator in O(m) register maxes, independent
+of population size and reader count, with no double-counting of
+overlapping coverage.  See :mod:`repro.sketch.hll` for the design notes
+and DESIGN.md's sketch-vs-resync decision matrix for when to use which.
+"""
+
+from .hll import (
+    DEFAULT_P,
+    HLLSketch,
+    hll_estimate,
+    hll_registers,
+    hll_registers_numpy,
+    hll_union_registers,
+    relative_error_bound,
+)
+
+__all__ = [
+    "DEFAULT_P",
+    "HLLSketch",
+    "hll_estimate",
+    "hll_registers",
+    "hll_registers_numpy",
+    "hll_union_registers",
+    "relative_error_bound",
+]

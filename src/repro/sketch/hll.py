@@ -1,0 +1,336 @@
+"""Dense HyperLogLog sketches over tagID streams (mergeable summaries).
+
+BFCE answers "how many tags are in range *right now*" in constant time, but
+its frame reads cannot be aggregated after the fact: two readers' Bloom
+vectors only merge when they ran the *same* synchronized frame
+(:mod:`repro.rfid.multireader`).  A warehouse back-end often wants the
+opposite trade — let every reader summarise its own coverage independently
+and combine the summaries later, any number of times, in any grouping.
+That is exactly what a HyperLogLog sketch provides (PAPERS.md: sliding-
+window HLL sharing, arXiv 1810.13132):
+
+* ``m = 2^p`` one-byte registers; register ``j`` holds the maximum "rank"
+  (position of the leading set bit, 1-based) among the hashed tags routed
+  to it;
+* the union of two populations is the *element-wise max* of their register
+  arrays — O(m), independent of n and of how many sketches are merged, and
+  idempotent, so overlapping coverage never double-counts;
+* the estimate is Flajolet's bias-corrected harmonic mean with the
+  small-range linear-counting correction, with standard error
+  ``~= 1.04 / sqrt(m)``.
+
+Hashing reuses the repo's splittable SplitMix64 machinery: a tag's register
+index and rank both derive from ``mix64(id ^ mix64(seed))`` — the same
+construction as :func:`repro.rfid.hashing.uniform_hash` — so sketches built
+anywhere (NumPy fallback, fused native kernel, any thread count) are
+byte-identical for the same ``(seed, p)``.  The hash is a pure function of
+the tagID, which is what makes the union overlap-proof: a tag heard by five
+readers writes the same rank into the same register five times.
+
+The register build dispatches to the fused C kernel
+(:func:`repro.rfid._native.hll_update_native`) when available — one
+register-resident pass computing hash, index, rank and the register max per
+tag — and otherwise to a chunked NumPy path (`np.maximum.at`), exactly like
+the other batched kernels in :mod:`repro.rfid.hashing`.
+"""
+
+from __future__ import annotations
+
+import base64
+
+import numpy as np
+
+from ..obs import metrics as _metrics
+from ..rfid import _native
+from ..rfid.hashing import mix64
+
+__all__ = [
+    "DEFAULT_P",
+    "HLLSketch",
+    "hll_estimate",
+    "hll_registers",
+    "hll_registers_numpy",
+    "hll_union_registers",
+    "relative_error_bound",
+]
+
+#: Default precision: m = 2^12 = 4096 registers, ~1.6 % standard error in
+#: 4 KiB — small enough that a 256-reader coordinator union stays
+#: microseconds, accurate enough for the rough-tier decisions sketches
+#: serve (DESIGN.md's sketch-vs-resync decision matrix).
+DEFAULT_P = 12
+
+_P_MIN, _P_MAX = 4, 16
+
+#: Small-m bias constants from Flajolet et al.; larger m uses the closed form.
+_ALPHA = {16: 0.673, 32: 0.697, 64: 0.709}
+
+#: NumPy fallback chunk: bounds the per-pass temporaries (~8 MB of hashes)
+#: so the register update stays cache-friendly on huge ID arrays.
+_CHUNK = 1 << 20
+
+_MASK64 = (1 << 64) - 1
+
+
+def relative_error_bound(p: int) -> float:
+    """The HLL standard-error bound ``1.04 / sqrt(2^p)``."""
+    return 1.04 / float(np.sqrt(1 << p))
+
+
+def _alpha(m: int) -> float:
+    return _ALPHA.get(m, 0.7213 / (1.0 + 1.079 / m))
+
+
+def _seed_mix(seed: int) -> int:
+    """The premixed seed word shared by the NumPy and C register kernels."""
+    return int(mix64(np.uint64(seed & _MASK64)))
+
+
+def _ranks(h: np.ndarray, p: int) -> np.ndarray:
+    """Rank (leading-zero count + 1) of each hash's low ``64 - p`` bits.
+
+    The index bits are shifted out first, so a rank is the position of the
+    first set bit in the remaining window (1-based), capped at
+    ``64 - p + 1`` when the window is all zero — the convention the C
+    kernel replicates bit-for-bit.
+    """
+    tail = h << np.uint64(p)
+    clz = np.zeros(h.shape, dtype=np.uint8)
+    x = tail.copy()
+    one = np.uint64(1)
+    for s in (32, 16, 8, 4, 2, 1):
+        low = x < (one << np.uint64(64 - s))
+        clz[low] += np.uint8(s)
+        x[low] <<= np.uint64(s)
+    # All-zero windows hit every mask (clz = 63); the cap folds them to the
+    # sentinel rank 64 - p + 1.  Non-zero windows have clz <= 63 - p.
+    return np.minimum(clz + np.uint8(1), np.uint8(64 - p + 1))
+
+
+def hll_registers_numpy(ids: np.ndarray, seed_mix: int, p: int) -> np.ndarray:
+    """Fresh HLL registers of one ID batch — the pure-NumPy reference path.
+
+    ``seed_mix`` is the premixed seed (``mix64(seed)``), exactly as the C
+    kernel receives it.  Returns ``2^p`` uint8 registers; callers merge into
+    an existing sketch with an element-wise max.
+    """
+    regs = np.zeros(1 << p, dtype=np.uint8)
+    ids = np.asarray(ids, dtype=np.uint64)
+    sm = np.uint64(seed_mix)
+    shift = np.uint64(64 - p)
+    for lo in range(0, ids.size, _CHUNK):
+        h = mix64(ids[lo : lo + _CHUNK] ^ sm)
+        np.maximum.at(regs, (h >> shift).astype(np.int64), _ranks(h, p))
+    return regs
+
+
+def hll_registers(ids: np.ndarray, seed: int, p: int) -> np.ndarray:
+    """Fresh registers of one ID batch, via the fused native kernel if built.
+
+    Both paths are bit-identical for any thread count (the kernel merges
+    per-thread partial registers by element-wise max, which is associative
+    and commutative), so which one ran is observable only in the metrics
+    (``kernel.native.hll`` / ``kernel.numpy.hll``).
+    """
+    ids = np.ascontiguousarray(np.asarray(ids, dtype=np.uint64))
+    sm = _seed_mix(seed)
+    if _native.get_lib() is not None:
+        _metrics.inc("kernel.native.hll")
+        return _native.hll_update_native(ids, sm, p)
+    _metrics.inc("kernel.numpy.hll")
+    return hll_registers_numpy(ids, sm, p)
+
+
+def hll_union_registers(rows: np.ndarray) -> np.ndarray:
+    """Element-wise max of stacked ``(R, m)`` register rows — the O(m)
+    coordinator union, via the vectorized native merge when built.
+
+    Identical to ``np.maximum.reduce(rows, axis=0)`` on either path.
+    """
+    rows = np.ascontiguousarray(np.asarray(rows, dtype=np.uint8))
+    if rows.ndim != 2 or rows.shape[0] == 0:
+        raise ValueError("rows must be a non-empty (R, m) register stack")
+    if _native.get_lib() is not None:
+        _metrics.inc("kernel.native.hll_merge")
+        return _native.hll_merge_native(rows)
+    _metrics.inc("kernel.numpy.hll_merge")
+    return np.maximum.reduce(rows, axis=0)
+
+
+def hll_estimate(registers: np.ndarray) -> float:
+    """Bias-corrected cardinality estimate of one register array.
+
+    The raw estimate is ``alpha_m * m^2 / sum(2^-M_j)``; below ``2.5 m``
+    with empty registers present, linear counting (``m * ln(m / V)``) is
+    used instead — the HLL++ small-range regime.  The 64-bit hash leaves no
+    practical large-range correction to apply.
+    """
+    registers = np.asarray(registers, dtype=np.uint8)
+    m = registers.size
+    if m == 0 or (m & (m - 1)) != 0:
+        raise ValueError("register count must be a positive power of two")
+    inv_sum = float(np.ldexp(1.0, -registers.astype(np.int32)).sum())
+    raw = _alpha(m) * m * m / inv_sum
+    zeros = int((registers == 0).sum())
+    if raw <= 2.5 * m and zeros:
+        return float(m * np.log(m / zeros))
+    return float(raw)
+
+
+class HLLSketch:
+    """A dense HyperLogLog sketch: ``2^p`` registers under one hash seed.
+
+    Two sketches are mergeable iff they share ``p`` *and* ``seed`` — the
+    union of register maxes only describes the union of populations when
+    every contributor hashed identically.  :meth:`merge` enforces this.
+
+    Parameters
+    ----------
+    p:
+        Precision; ``m = 2^p`` registers, standard error ``1.04 / sqrt(m)``.
+    seed:
+        Hash seed shared by every sketch that will ever be merged with this
+        one (a deployment pins it per coordinator epoch).
+    registers:
+        Optional initial register array (uint8, length ``2^p``); used by
+        :meth:`from_payload` and :meth:`copy`.
+    """
+
+    __slots__ = ("p", "seed", "registers")
+
+    def __init__(
+        self,
+        p: int = DEFAULT_P,
+        *,
+        seed: int = 0,
+        registers: np.ndarray | None = None,
+    ) -> None:
+        if not _P_MIN <= int(p) <= _P_MAX:
+            raise ValueError(f"p must be in [{_P_MIN}, {_P_MAX}], got {p}")
+        self.p = int(p)
+        self.seed = int(seed)
+        if registers is None:
+            self.registers = np.zeros(self.m, dtype=np.uint8)
+        else:
+            registers = np.asarray(registers, dtype=np.uint8)
+            if registers.shape != (self.m,):
+                raise ValueError(
+                    f"registers must have shape ({self.m},), got {registers.shape}"
+                )
+            max_rank = 64 - self.p + 1
+            if registers.size and int(registers.max()) > max_rank:
+                raise ValueError(f"register value exceeds the max rank {max_rank}")
+            self.registers = registers.copy()
+
+    # ------------------------------------------------------------------
+    @property
+    def m(self) -> int:
+        """Number of registers (``2^p``)."""
+        return 1 << self.p
+
+    def add_ids(self, ids: np.ndarray) -> "HLLSketch":
+        """Fold a batch of tagIDs into the sketch (returns ``self``).
+
+        Builds the batch's fresh registers through the fused kernel and
+        merges them in by element-wise max, so repeated/overlapping batches
+        are idempotent exactly like a multi-sketch union.
+        """
+        ids = np.asarray(ids, dtype=np.uint64)
+        if ids.size:
+            np.maximum(
+                self.registers, hll_registers(ids, self.seed, self.p), out=self.registers
+            )
+        _metrics.inc("sketch.builds")
+        _metrics.inc("sketch.items", int(ids.size))
+        return self
+
+    def merge(self, other: "HLLSketch") -> "HLLSketch":
+        """Union another sketch into this one in place (returns ``self``).
+
+        O(m) register maxes; raises when precisions or hash seeds differ
+        (registers from different hash functions describe nothing when
+        combined).
+        """
+        if not isinstance(other, HLLSketch):
+            raise TypeError(f"cannot merge {type(other).__name__} into HLLSketch")
+        if other.p != self.p:
+            raise ValueError(f"precision mismatch: p={self.p} vs p={other.p}")
+        if other.seed != self.seed:
+            raise ValueError(
+                f"hash seed mismatch: {self.seed} vs {other.seed} — only "
+                "sketches built under one seed are mergeable"
+            )
+        np.maximum(self.registers, other.registers, out=self.registers)
+        _metrics.inc("sketch.unions")
+        _metrics.inc("sketch.registers_merged", self.m)
+        return self
+
+    @classmethod
+    def union(cls, sketches) -> "HLLSketch":
+        """The union of any number of compatible sketches (a fresh sketch).
+
+        Stacks all register rows and takes one element-wise max pass
+        (:func:`hll_union_registers`), so a 256-sketch coordinator union is
+        a single streaming kernel call, not 255 pairwise merges.
+        """
+        sketches = list(sketches)
+        if not sketches:
+            raise ValueError("union of zero sketches is undefined")
+        first = sketches[0]
+        for sketch in sketches[1:]:
+            if not isinstance(sketch, HLLSketch):
+                raise TypeError(f"cannot union {type(sketch).__name__}")
+            if sketch.p != first.p:
+                raise ValueError(f"precision mismatch: p={first.p} vs p={sketch.p}")
+            if sketch.seed != first.seed:
+                raise ValueError(
+                    f"hash seed mismatch: {first.seed} vs {sketch.seed} — only "
+                    "sketches built under one seed are mergeable"
+                )
+        if len(sketches) == 1:
+            return first.copy()
+        rows = np.stack([sketch.registers for sketch in sketches])
+        merged = hll_union_registers(rows)
+        _metrics.inc("sketch.unions")
+        _metrics.inc("sketch.registers_merged", int(rows.size))
+        return cls(first.p, seed=first.seed, registers=merged)
+
+    def estimate(self) -> float:
+        """The sketch's cardinality estimate (see :func:`hll_estimate`)."""
+        return hll_estimate(self.registers)
+
+    def relative_error_bound(self) -> float:
+        """The standard-error bound ``1.04 / sqrt(m)`` at this precision."""
+        return relative_error_bound(self.p)
+
+    def copy(self) -> "HLLSketch":
+        return HLLSketch(self.p, seed=self.seed, registers=self.registers)
+
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        """JSON-ready wire form (registers as base64 of the raw bytes)."""
+        return {
+            "p": self.p,
+            "seed": self.seed,
+            "registers_b64": base64.b64encode(self.registers.tobytes()).decode("ascii"),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "HLLSketch":
+        """Rebuild a sketch from :meth:`to_payload` output; strict on junk."""
+        if not isinstance(payload, dict):
+            raise ValueError("sketch payload must be a JSON object")
+        try:
+            p = int(payload["p"])
+            seed = int(payload["seed"])
+            raw = base64.b64decode(payload["registers_b64"], validate=True)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"invalid sketch payload: {exc}") from exc
+        registers = np.frombuffer(raw, dtype=np.uint8)
+        return cls(p, seed=seed, registers=registers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HLLSketch(p={self.p}, seed={self.seed}, "
+            f"nonzero={int((self.registers != 0).sum())}/{self.m})"
+        )

@@ -177,6 +177,89 @@ class TestKeySensitivity:
         assert all(path.is_file() for path in sweep_mod.engine_token_paths())
 
 
+class TestSketchPoints:
+    """The ``sketch_trials`` point kind and its cache-token coverage."""
+
+    def _sketch_point(self, **overrides):
+        spec = dict(
+            distribution="T2", n=N, p=10, n_readers=3, overlap=0.3, trials=2,
+            base_seed=1, pop_seed=0,
+        )
+        spec.update(overrides)
+        return SweepPoint.sketch_trials(**spec)
+
+    def test_cold_warm_bit_identical(self, tmp_path):
+        from repro.experiments.sweep import execute_point_inline
+
+        point = self._sketch_point()
+        cache = TrialCache(tmp_path)
+        cold, hit_cold = execute_point_inline(point, cache=cache)
+        warm, hit_warm = execute_point_inline(point, cache=cache)
+        assert (hit_cold, hit_warm) == (False, True)
+        assert cold == warm
+        records = cold["records"]
+        assert len(records) == 2
+        for record in records:
+            assert record["estimator"] == "HLL-union"
+            assert record["extra"]["engine"] == "sketch"
+            assert record["extra"]["n_readers"] == 3
+            # Metered air time, not wall-clock: deterministic across runs.
+            assert record["seconds"] == records[0]["seconds"]
+            assert abs(record["n_hat"] - N) / N < 3 * record["eps"]
+
+    def test_key_sensitive_to_sketch_params(self):
+        base = self._sketch_point()
+        assert base.canonical != self._sketch_point(p=12).canonical
+        assert base.canonical != self._sketch_point(n_readers=5).canonical
+        assert base.canonical != self._sketch_point(overlap=0.1).canonical
+
+    def test_token_paths_cover_sketch_sources(self):
+        from repro.experiments.sweep import engine_token_paths
+
+        rels = {"/".join(p.parts[-2:]) for p in engine_token_paths()}
+        assert "sketch/hll.py" in rels
+        assert "rfid/_native.py" in rels
+
+    def test_native_edit_invalidates_cached_sketch_point(self, tmp_path):
+        """Recompute the token digest as if ``_native.py`` had been edited:
+        the digest must change, and a cache keyed by the new token must
+        reject the entry stored under the old one."""
+        import hashlib
+
+        from repro.experiments.sweep import engine_token_paths, execute_point_inline
+
+        pkg_paths = engine_token_paths()
+        pkg = pkg_paths[0].parents[1]
+
+        def digest(perturb_native: bool) -> str:
+            h = hashlib.sha256()
+            for path in pkg_paths:
+                h.update(str(path.relative_to(pkg)).encode())
+                h.update(b"\0")
+                content = path.read_bytes()
+                if perturb_native and path.name == "_native.py":
+                    content += b"\n/* edited kernel */\n"
+                h.update(content)
+                h.update(b"\0")
+            return h.hexdigest()[:16]
+
+        assert digest(False) == engine_version_token()
+        edited_token = digest(True)
+        assert edited_token != engine_version_token()
+
+        point = self._sketch_point(trials=1)
+        cache = TrialCache(tmp_path)
+        execute_point_inline(point, cache=cache)
+        assert cache.load(point.canonical) is not None
+
+        # The token is part of the content key, so under the edited token the
+        # stored entry is unreachable — a clean miss that forces a recompute.
+        stale_view = TrialCache(tmp_path, token=edited_token)
+        assert stale_view.key(point.canonical) != cache.key(point.canonical)
+        assert stale_view.load(point.canonical) is None
+        assert stale_view.misses == 1
+
+
 class TestEntryVerification:
     @pytest.mark.parametrize(
         "corruption",

@@ -8,9 +8,13 @@ from repro.rfid.ids import uniform_ids
 from repro.rfid.multireader import (
     CoverageMap,
     MultiReaderSystem,
+    SketchCoordinator,
+    estimate_pairwise_overlap,
     naive_sum_estimate,
+    sketch_union_estimate,
 )
 from repro.rfid.tags import TagPopulation
+from repro.sketch import HLLSketch
 
 
 def _coverage(n=50_000, readers=3, overlap=0.25, seed=1) -> CoverageMap:
@@ -113,3 +117,117 @@ class TestNaiveSum:
         cov = _coverage(n=50_000, overlap=0.0, seed=11)
         naive = naive_sum_estimate(cov, seed=12)
         assert naive == pytest.approx(50_000, rel=0.05)
+
+
+class TestEdgeCases:
+    """Degenerate topologies every aggregation path must survive."""
+
+    def test_single_reader_equals_single_bfce(self):
+        ids = uniform_ids(30_000, seed=20)
+        cov = CoverageMap.random_overlap(ids, 1, overlap=0.0, seed=21)
+        multi = MultiReaderSystem(cov).estimate(seed=22)
+        single = BFCE().estimate(TagPopulation(ids.copy()), seed=22)
+        assert multi.n_hat == pytest.approx(single.n_hat, rel=1e-12)
+        assert multi.total_air_seconds == pytest.approx(multi.wallclock_seconds)
+
+    def test_single_reader_sketch(self):
+        ids = uniform_ids(30_000, seed=23)
+        cov = CoverageMap.random_overlap(ids, 1, overlap=0.0, seed=24)
+        result = sketch_union_estimate(cov, seed=25)
+        assert result.n_readers == 1
+        assert result.relative_error(30_000) < 3 * result.error_bound
+
+    def test_zero_overlap_partition(self):
+        """A clean partition: both aggregators recover the union exactly as
+        well as with overlap (the union is what they estimate either way)."""
+        ids = uniform_ids(40_000, seed=26)
+        cov = CoverageMap.random_overlap(ids, 5, overlap=0.0, seed=27)
+        assert (cov.memberships.sum(axis=0) == 1).all()
+        sync = MultiReaderSystem(cov).estimate(seed=28)
+        sketch = sketch_union_estimate(cov, seed=28)
+        assert sync.relative_error(40_000) <= 0.05
+        assert sketch.relative_error(40_000) < 3 * sketch.error_bound
+
+    def test_reader_covering_no_tags(self):
+        """An all-False membership row (dead reader) is legal as long as the
+        other readers cover every tag; it must not perturb either estimate."""
+        ids = uniform_ids(20_000, seed=29)
+        mem = np.zeros((3, ids.size), dtype=bool)
+        mem[0, : ids.size // 2] = True
+        mem[1, ids.size // 2 :] = True  # reader 2 hears nothing
+        cov = CoverageMap(tag_ids=ids, memberships=mem)
+        assert cov.reader_population(2).size == 0
+        sync = MultiReaderSystem(cov).estimate(seed=30)
+        assert sync.relative_error(20_000) <= 0.05
+        sketch = sketch_union_estimate(cov, seed=30)
+        assert sketch.relative_error(20_000) < 3 * sketch.error_bound
+
+    def test_pairwise_overlap_small_samples(self):
+        """Inclusion–exclusion on small coverage regions: the intersection
+        estimate is noisy but must stay within the additive envelope of the
+        three frame estimates it is built from (each ~5% of the union)."""
+        ids = uniform_ids(4_000, seed=31)
+        cov = CoverageMap.random_overlap(ids, 2, overlap=0.5, seed=32)
+        true_overlap = int((cov.memberships.sum(axis=0) >= 2).sum())
+        est = estimate_pairwise_overlap(cov, 0, 1, seed=33)
+        envelope = 3 * 0.05 * ids.size
+        assert abs(est.n_intersection - true_overlap) < envelope
+        assert 0.0 <= est.jaccard <= 1.0
+
+    def test_pairwise_overlap_validates_indices(self):
+        cov = _coverage(n=5_000, readers=2)
+        with pytest.raises(ValueError, match="out of range"):
+            estimate_pairwise_overlap(cov, 0, 5)
+        with pytest.raises(ValueError, match="distinct"):
+            estimate_pairwise_overlap(cov, 1, 1)
+
+
+class TestSketchAggregation:
+    def test_matches_direct_union_sketch(self):
+        """Per-reader sketches unioned at the coordinator give exactly the
+        sketch of the union population — overlap cannot double-count."""
+        ids = uniform_ids(25_000, seed=34)
+        cov = CoverageMap.random_overlap(ids, 4, overlap=0.4, seed=35)
+        result = sketch_union_estimate(cov, seed=36)
+        direct = HLLSketch(result.p, seed=36).add_ids(ids)
+        assert result.n_hat == pytest.approx(direct.estimate(), rel=1e-12)
+
+    def test_air_time_independent_of_readers_and_n(self):
+        times = set()
+        for n, readers in ((10_000, 2), (40_000, 16)):
+            cov = CoverageMap.random_overlap(
+                uniform_ids(n, seed=37), readers, overlap=0.2, seed=38
+            )
+            times.add(sketch_union_estimate(cov, seed=39).wallclock_seconds)
+        assert len(times) == 1  # one broadcast + one concurrent report round
+
+    def test_coordinator_submit_validation(self):
+        coordinator = SketchCoordinator(2, p=10, seed=1)
+        with pytest.raises(ValueError, match="out of range"):
+            coordinator.submit(2, HLLSketch(10, seed=1))
+        with pytest.raises(TypeError):
+            coordinator.submit(0, np.zeros(1024, dtype=np.uint8))
+        with pytest.raises(ValueError, match="does not match"):
+            coordinator.submit(0, HLLSketch(12, seed=1))
+        with pytest.raises(ValueError, match="does not match"):
+            coordinator.submit(0, HLLSketch(10, seed=2))
+        with pytest.raises(ValueError):
+            SketchCoordinator(0)
+
+    def test_unreported_readers_are_identity(self):
+        ids = uniform_ids(5_000, seed=40)
+        coordinator = SketchCoordinator(8, p=10, seed=2)
+        coordinator.submit(3, HLLSketch(10, seed=2).add_ids(ids))
+        lone = HLLSketch(10, seed=2).add_ids(ids)
+        assert coordinator.estimate() == pytest.approx(lone.estimate(), rel=1e-12)
+        union = coordinator.union_sketch()
+        assert np.array_equal(union.registers, lone.registers)
+
+    def test_resubmission_overwrites(self):
+        ids_a = uniform_ids(2_000, seed=41)
+        ids_b = uniform_ids(2_000, seed=42)
+        coordinator = SketchCoordinator(1, p=10, seed=3)
+        coordinator.submit(0, HLLSketch(10, seed=3).add_ids(ids_a))
+        coordinator.submit(0, HLLSketch(10, seed=3).add_ids(ids_b))
+        only_b = HLLSketch(10, seed=3).add_ids(ids_b)
+        assert np.array_equal(coordinator.bank[0], only_b.registers)

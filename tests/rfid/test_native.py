@@ -105,6 +105,27 @@ class TestNativeMatchesNumpy:
         assert np.array_equal(native.blooms, reference.blooms)
         assert np.array_equal(native.responses, reference.responses)
 
+    @pytest.mark.parametrize("p", [4, 10, 12, 16])
+    def test_hll_register_kernel(self, p, monkeypatch):
+        from repro.sketch.hll import hll_registers
+
+        ids = uniform_ids(20_000, seed=21)
+        native = hll_registers(ids, 42, p)
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        reference = hll_registers(ids, 42, p)
+        assert np.array_equal(native, reference)
+
+    def test_hll_merge_kernel(self, monkeypatch):
+        from repro.sketch.hll import hll_registers, hll_union_registers
+
+        rows = np.stack(
+            [hll_registers(uniform_ids(3_000, seed=s), 42, 10) for s in range(6)]
+        )
+        native = hll_union_registers(rows)
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        reference = hll_union_registers(rows)
+        assert np.array_equal(native, reference)
+
     def test_empty_population(self):
         pop = TagPopulation(np.array([], dtype=np.uint64))
         seeds = np.arange(5, dtype=np.uint64)
@@ -114,6 +135,12 @@ class TestNativeMatchesNumpy:
         assert np.array_equal(empty, np.full(5, 64))
         occ = geometric_occupancy_batch(np.array([], dtype=np.uint64), seeds)
         assert np.array_equal(occ, np.zeros(5, dtype=np.uint64))
+        from repro.sketch.hll import hll_registers
+
+        assert np.array_equal(
+            hll_registers(np.array([], dtype=np.uint64), 0, 8),
+            np.zeros(256, dtype=np.uint8),
+        )
 
 
 class TestThreadCountParsing:
@@ -237,6 +264,18 @@ class TestThreadedEquivalence:
         ]
         for native, reference in zip(natives, references):
             assert np.array_equal(native, reference)
+
+    def test_hll_register_kernel_threaded(self, threads, monkeypatch):
+        """The update kernel splits ids across threads into scratch register
+        rows; the elementwise-max merge must reproduce the serial registers
+        exactly at every thread count."""
+        from repro.sketch.hll import hll_registers
+
+        ids = uniform_ids(50_000, seed=22)
+        native = hll_registers(ids, 0xBEEF, 12)
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        reference = hll_registers(ids, 0xBEEF, 12)
+        assert np.array_equal(native, reference)
 
     def test_scatter_ball_split_threaded(self, threads, monkeypatch):
         """Single-frame scatter splits the ball range across threads; the

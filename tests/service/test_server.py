@@ -273,6 +273,117 @@ def test_loadgen_round_trip_and_metrics(cache):
     assert metrics.quantile(hist, 0.99) >= metrics.quantile(hist, 0.5)
 
 
+def test_zone_sketch_and_merge_round_trip(cache):
+    """The sketch ops: per-zone sketches built server-side merge into the
+    exact sketch-of-union, and payloads round-trip through the wire."""
+    import numpy as np
+
+    from repro.experiments.workloads import population
+    from repro.sketch import HLLSketch
+
+    async def scenario():
+        server = await start_server(cache)
+        try:
+            return await talk(
+                server.bound_port,
+                [
+                    {"op": "zone.sketch", "zone": "z0", "p": 12, "seed": 5, "id": 1},
+                    {"op": "zone.sketch", "zone": "z1", "p": 12, "seed": 5, "id": 2},
+                ],
+            )
+        finally:
+            await server.stop()
+
+    responses = asyncio.run(scenario())
+    for rid in (1, 2):
+        assert responses[rid]["ok"] is True
+        assert responses[rid]["n_true"] == N
+        bound = responses[rid]["error_bound"]
+        assert abs(responses[rid]["n_hat"] - N) / N < 3 * bound
+
+    # Server-built sketches must equal a direct local build of the same zone
+    # population under the same (p, seed) — the wire adds nothing.
+    sketch = HLLSketch.from_payload(responses[1]["sketch"])
+    pop = population("T1", N, seed=0, copy=False)
+    local = HLLSketch(12, seed=5).add_ids(pop.tag_ids)
+    assert np.array_equal(sketch.registers, local.registers)
+
+    async def merge_scenario():
+        server = await start_server(cache)
+        try:
+            built = await talk(
+                server.bound_port,
+                [
+                    {"op": "zone.sketch", "zone": "z0", "p": 10, "seed": 9, "id": 1},
+                    {"op": "zone.sketch", "zone": "z1", "p": 10, "seed": 9, "id": 2},
+                ],
+            )
+            merged = await talk(
+                server.bound_port,
+                [
+                    {
+                        "op": "sketch.merge",
+                        "sketches": [built[1]["sketch"], built[2]["sketch"]],
+                        "id": 3,
+                    }
+                ],
+            )
+            return built, merged
+        finally:
+            await server.stop()
+
+    built, merged = asyncio.run(merge_scenario())
+    assert merged[3]["ok"] is True
+    assert merged[3]["n_sketches"] == 2
+    # z0 and z1 share the same population spec (same n/distribution/pop_seed),
+    # so the union is the same set and the merge must be idempotent: the
+    # merged sketch equals each input.
+    union = HLLSketch.from_payload(merged[3]["sketch"])
+    a = HLLSketch.from_payload(built[1]["sketch"])
+    assert np.array_equal(union.registers, a.registers)
+    assert metrics.get("service.sketch.builds") == 4
+    assert metrics.get("service.sketch.merges") == 1
+
+
+def test_sketch_op_errors(cache):
+    async def scenario():
+        server = await start_server(cache)
+        try:
+            good = await talk(
+                server.bound_port,
+                [{"op": "zone.sketch", "zone": "z0", "id": 0}],
+            )
+            return good, await talk(
+                server.bound_port,
+                [
+                    {"op": "zone.sketch", "zone": "nope", "id": 1},
+                    {"op": "zone.sketch", "zone": "z0", "p": 3, "id": 2},
+                    {"op": "zone.sketch", "zone": "z0", "p": True, "id": 3},
+                    {"op": "zone.sketch", "zone": "z0", "seed": -1, "id": 4},
+                    {"op": "sketch.merge", "sketches": [], "id": 5},
+                    {"op": "sketch.merge", "sketches": "junk", "id": 6},
+                    {"op": "sketch.merge", "sketches": [{"p": 12}], "id": 7},
+                    {
+                        "op": "sketch.merge",
+                        "sketches": [
+                            good[0]["sketch"],
+                            {**good[0]["sketch"], "seed": 999},
+                        ],
+                        "id": 8,
+                    },
+                ],
+            )
+        finally:
+            await server.stop()
+
+    good, responses = asyncio.run(scenario())
+    assert good[0]["ok"] is True  # default p/seed accepted
+    assert responses[1]["code"] == 404
+    for rid in (2, 3, 4, 5, 6, 7, 8):
+        assert responses[rid]["ok"] is False
+        assert responses[rid]["code"] == 400
+
+
 def test_loadgen_rejects_bad_args():
     with pytest.raises(ValueError, match="seed_mode"):
         asyncio.run(

@@ -1,0 +1,229 @@
+"""Unit tests for the mergeable HyperLogLog sketch layer.
+
+The contracts pinned here: the NumPy register path is the bit-exact
+reference for every other builder (native kernel, any thread count — the
+threaded suite lives in ``tests/rfid/test_native.py``), unions are
+idempotent element-wise maxes that never double-count overlap, estimates
+sit inside the 1.04/√m envelope, and the wire payload round-trips exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.rfid.ids import uniform_ids
+from repro.sketch import (
+    DEFAULT_P,
+    HLLSketch,
+    hll_estimate,
+    hll_registers,
+    hll_registers_numpy,
+    hll_union_registers,
+    relative_error_bound,
+)
+from repro.sketch.hll import _seed_mix
+
+
+class TestRegisters:
+    def test_registers_match_numpy_reference(self):
+        ids = uniform_ids(10_000, seed=1)
+        assert np.array_equal(
+            hll_registers(ids, 7, 10), hll_registers_numpy(ids, _seed_mix(7), 10)
+        )
+
+    def test_deterministic_and_order_independent(self):
+        ids = uniform_ids(5_000, seed=2)
+        shuffled = ids.copy()
+        np.random.default_rng(3).shuffle(shuffled)
+        assert np.array_equal(hll_registers(ids, 0, 12), hll_registers(shuffled, 0, 12))
+
+    def test_seed_changes_registers(self):
+        ids = uniform_ids(5_000, seed=4)
+        assert not np.array_equal(hll_registers(ids, 1, 12), hll_registers(ids, 2, 12))
+
+    def test_empty_ids_give_zero_registers(self):
+        regs = hll_registers(np.array([], dtype=np.uint64), 0, 8)
+        assert regs.shape == (256,)
+        assert not regs.any()
+
+    def test_rank_never_exceeds_window(self):
+        regs = hll_registers(uniform_ids(50_000, seed=5), 0, 4)
+        assert int(regs.max()) <= 64 - 4 + 1
+
+    def test_chunked_path_matches_single_pass(self):
+        # More ids than one chunk, exercised through the public entry.
+        from repro.sketch import hll as hll_mod
+
+        ids = uniform_ids(30_000, seed=6)
+        whole = hll_registers_numpy(ids, _seed_mix(0), 10)
+        old = hll_mod._CHUNK
+        try:
+            hll_mod._CHUNK = 7_000
+            chunked = hll_registers_numpy(ids, _seed_mix(0), 10)
+        finally:
+            hll_mod._CHUNK = old
+        assert np.array_equal(whole, chunked)
+
+
+class TestEstimate:
+    @pytest.mark.parametrize("n", [100, 5_000, 200_000])
+    def test_within_error_envelope(self, n):
+        sketch = HLLSketch(12, seed=0).add_ids(uniform_ids(n, seed=8))
+        err = abs(sketch.estimate() - n) / n
+        assert err < 3 * sketch.relative_error_bound()
+
+    def test_linear_counting_small_range(self):
+        # 50 ids in 4096 registers: raw estimate is far below 2.5m with many
+        # zero registers, so the linear-counting branch must engage and be
+        # near-exact.
+        sketch = HLLSketch(12, seed=0).add_ids(uniform_ids(50, seed=9))
+        assert sketch.estimate() == pytest.approx(50, abs=2)
+
+    def test_empty_sketch_estimates_zero(self):
+        assert HLLSketch(10).estimate() == 0.0
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            hll_estimate(np.zeros(100, dtype=np.uint8))
+
+    def test_error_bound_values(self):
+        assert relative_error_bound(12) == pytest.approx(1.04 / 64)
+        assert HLLSketch(4).relative_error_bound() == pytest.approx(0.26)
+
+
+class TestUnion:
+    def test_union_equals_sketch_of_union(self):
+        ids = uniform_ids(30_000, seed=10)
+        a = HLLSketch(12, seed=1).add_ids(ids[:20_000])
+        b = HLLSketch(12, seed=1).add_ids(ids[10_000:])  # overlaps a
+        union = HLLSketch.union([a, b])
+        direct = HLLSketch(12, seed=1).add_ids(ids)
+        assert np.array_equal(union.registers, direct.registers)
+
+    def test_merge_is_idempotent(self):
+        a = HLLSketch(10, seed=2).add_ids(uniform_ids(5_000, seed=11))
+        before = a.estimate()
+        a.merge(a.copy())
+        assert a.estimate() == before
+
+    def test_merge_in_place_matches_union(self):
+        ids = uniform_ids(8_000, seed=12)
+        a = HLLSketch(10, seed=3).add_ids(ids[:5_000])
+        b = HLLSketch(10, seed=3).add_ids(ids[4_000:])
+        u = HLLSketch.union([a, b])
+        a.merge(b)
+        assert np.array_equal(a.registers, u.registers)
+
+    def test_union_registers_matches_reduce(self):
+        rows = np.stack(
+            [hll_registers(uniform_ids(2_000, seed=s), 0, 8) for s in range(5)]
+        )
+        assert np.array_equal(
+            hll_union_registers(rows), np.maximum.reduce(rows, axis=0)
+        )
+
+    def test_single_sketch_union_is_a_copy(self):
+        a = HLLSketch(10, seed=4).add_ids(uniform_ids(1_000, seed=13))
+        u = HLLSketch.union([a])
+        assert u is not a
+        assert np.array_equal(u.registers, a.registers)
+
+    def test_union_rejects_empty(self):
+        with pytest.raises(ValueError, match="zero sketches"):
+            HLLSketch.union([])
+
+    def test_merge_rejects_mismatched_p(self):
+        with pytest.raises(ValueError, match="precision mismatch"):
+            HLLSketch(10).merge(HLLSketch(12))
+
+    def test_merge_rejects_mismatched_seed(self):
+        with pytest.raises(ValueError, match="seed mismatch"):
+            HLLSketch(10, seed=1).merge(HLLSketch(10, seed=2))
+
+    def test_merge_rejects_non_sketch(self):
+        with pytest.raises(TypeError):
+            HLLSketch(10).merge(np.zeros(1024, dtype=np.uint8))
+
+    def test_union_registers_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            hll_union_registers(np.zeros((0, 16), dtype=np.uint8))
+        with pytest.raises(ValueError):
+            hll_union_registers(np.zeros(16, dtype=np.uint8))
+
+
+class TestValidation:
+    @pytest.mark.parametrize("p", [3, 17, -1])
+    def test_rejects_out_of_range_p(self, p):
+        with pytest.raises(ValueError, match="p must be in"):
+            HLLSketch(p)
+
+    def test_rejects_wrong_register_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            HLLSketch(10, registers=np.zeros(100, dtype=np.uint8))
+
+    def test_rejects_impossible_rank(self):
+        regs = np.zeros(1 << 10, dtype=np.uint8)
+        regs[0] = 60  # max rank at p=10 is 55
+        with pytest.raises(ValueError, match="max rank"):
+            HLLSketch(10, registers=regs)
+
+    def test_registers_are_copied_in(self):
+        regs = np.ones(1 << 4, dtype=np.uint8)
+        sketch = HLLSketch(4, registers=regs)
+        regs[0] = 9
+        assert sketch.registers[0] == 1
+
+
+class TestPayload:
+    def test_round_trip_exact(self):
+        sketch = HLLSketch(11, seed=99).add_ids(uniform_ids(3_000, seed=14))
+        clone = HLLSketch.from_payload(sketch.to_payload())
+        assert clone.p == sketch.p
+        assert clone.seed == sketch.seed
+        assert np.array_equal(clone.registers, sketch.registers)
+
+    def test_payload_is_json_serialisable(self):
+        import json
+
+        payload = HLLSketch(8, seed=5).add_ids(uniform_ids(100, seed=15)).to_payload()
+        assert HLLSketch.from_payload(json.loads(json.dumps(payload))).m == 256
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            None,
+            [],
+            {},
+            {"p": 10, "seed": 0},
+            {"p": 10, "seed": 0, "registers_b64": "!!not-base64!!"},
+            {"p": "x", "seed": 0, "registers_b64": ""},
+        ],
+    )
+    def test_rejects_junk_payloads(self, payload):
+        with pytest.raises(ValueError):
+            HLLSketch.from_payload(payload)
+
+    def test_rejects_length_mismatch(self):
+        payload = HLLSketch(10).to_payload()
+        payload["p"] = 12  # claims 4096 registers, carries 1024
+        with pytest.raises(ValueError):
+            HLLSketch.from_payload(payload)
+
+
+class TestMetrics:
+    def test_build_and_union_counters(self):
+        from repro.obs import metrics
+
+        metrics.reset()
+        a = HLLSketch(DEFAULT_P, seed=0).add_ids(uniform_ids(1_000, seed=16))
+        b = HLLSketch(DEFAULT_P, seed=0).add_ids(uniform_ids(1_000, seed=17))
+        a.merge(b)
+        counters = metrics.snapshot()["counters"]
+        assert counters["sketch.builds"] == 2
+        assert counters["sketch.items"] == 2_000
+        assert counters["sketch.unions"] == 1
+        assert counters["sketch.registers_merged"] == 1 << DEFAULT_P
+        assert (
+            counters.get("kernel.native.hll", 0) + counters.get("kernel.numpy.hll", 0)
+            == 2
+        )
+        metrics.reset()

@@ -104,6 +104,42 @@ def _write_service_report(directory: Path) -> None:
     )
 
 
+def _write_sketch_report(directory: Path) -> None:
+    (directory / "BENCH_sketch.json").write_text(
+        json.dumps(
+            {
+                "benchmark": "sketch",
+                "workload": {"n": 10**6, "p": 12, "flatness_p": 10},
+                "union": {
+                    "p10": {"flatness_ratio": 1.55},
+                    "p12": {"flatness_ratio": 2.73},
+                },
+                "gates": {
+                    "native_speedup": 24.2,
+                    "union_flatness_ratio": 1.55,
+                    "error_bound_factor": 0.96,
+                    "identity_mismatches": 0,
+                },
+            }
+        )
+    )
+
+
+def _write_multireader_report(directory: Path) -> None:
+    (directory / "BENCH_multireader.json").write_text(
+        json.dumps(
+            {
+                "benchmark": "multireader_sketch",
+                "workload": {"n": 10**6, "reader_counts": [2, 256]},
+                "gates": {
+                    "sketch_compute_ratio_max_readers": 0.83,
+                    "sketch_speedup_at_max_n": 3.62,
+                },
+            }
+        )
+    )
+
+
 class TestCollectTrajectory:
     def test_merges_present_reports_and_notes_missing(self, collect, tmp_path):
         _write_engine_report(tmp_path)
@@ -113,7 +149,9 @@ class TestCollectTrajectory:
         assert sorted(trajectory["missing"]) == [
             "BENCH_baselines.json",
             "BENCH_dynamics.json",
+            "BENCH_multireader.json",
             "BENCH_service.json",
+            "BENCH_sketch.json",
             "BENCH_sweep.json",
         ]
         engine = trajectory["benchmarks"]["engine"]
@@ -170,10 +208,31 @@ class TestCollectTrajectory:
         assert service["shed"] == 0
         assert service["source"] == "BENCH_service.json"
 
+    def test_sketch_summary_carries_gates(self, collect, tmp_path):
+        _write_sketch_report(tmp_path)
+        sketch = collect.collect_trajectory(tmp_path)["benchmarks"]["sketch"]
+        assert sketch["headline_speedup"] == 24.2
+        # "Drift" for the sketch layer is native-vs-NumPy register mismatches.
+        assert sketch["drift"] == 0
+        # The gated flatness ratio is the pinned p=10 one, not p=12.
+        assert sketch["union_flatness_ratio"] == 1.55
+        assert sketch["error_bound_factor"] == 0.96
+        assert sketch["source"] == "BENCH_sketch.json"
+
+    def test_multireader_summary_carries_gates(self, collect, tmp_path):
+        _write_multireader_report(tmp_path)
+        mr = collect.collect_trajectory(tmp_path)["benchmarks"]["multireader"]
+        assert mr["headline_speedup"] == 3.62
+        # No bit-identity reference: sketch and sync BFCE are different
+        # estimators, so there is nothing to drift against.
+        assert mr["drift"] is None
+        assert mr["sketch_compute_ratio_max_readers"] == 0.83
+        assert mr["source"] == "BENCH_multireader.json"
+
     def test_empty_directory_collects_nothing(self, collect, tmp_path):
         trajectory = collect.collect_trajectory(tmp_path)
         assert trajectory["benchmarks"] == {}
-        assert len(trajectory["missing"]) == 6
+        assert len(trajectory["missing"]) == 8
 
 
 class TestMain:

@@ -92,3 +92,90 @@ class TestTrack:
 
         with pytest.raises(SystemExit):
             main(["track", "--mode", "kalman"])
+
+
+class TestSketch:
+    def test_build_synthetic(self, capsys):
+        assert main(["sketch", "build", "--n", "20000", "--p", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "p=12 (m=4096)" in out
+        assert "20,000 ids folded" in out
+        assert "estimate" in out and "1.04/" in out
+
+    def test_build_union_round_trip(self, tmp_path, capsys):
+        """Two half-population sketches union to the full-population answer."""
+        import json
+
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main([
+            "sketch", "build", "--n", "30000", "--pop-seed", "1",
+            "--seed", "7", "--out", str(a), "--json",
+        ]) == 0
+        built = json.loads(capsys.readouterr().out)
+        assert built["p"] == 12 and built["n_items"] == 30000
+        assert json.loads(a.read_text()) == built["sketch"]
+        assert main([
+            "sketch", "build", "--n", "30000", "--pop-seed", "2",
+            "--seed", "7", "--out", str(b),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["sketch", "union", str(a), str(b), "--json"]) == 0
+        union = json.loads(capsys.readouterr().out)
+        # Disjoint synthetic populations: union ≈ 60k within 3x the bound.
+        assert abs(union["n_hat"] - 60000) / 60000 < 3 * union["error_bound"]
+        assert union["source"] == "union of 2 sketch(es)"
+
+    def test_estimate_matches_library(self, tmp_path, capsys):
+        import json
+
+        import numpy as np
+
+        from repro.rfid.ids import make_ids
+        from repro.sketch import HLLSketch
+
+        ids_file = tmp_path / "ids.txt"
+        ids = make_ids("T1", 5000, seed=3)
+        ids_file.write_text(
+            "\n".join(hex(int(v)) for v in ids[:2500])
+            + "\n"
+            + "\n".join(str(int(v)) for v in ids[2500:])
+            + "\n"
+        )
+        out_file = tmp_path / "s.json"
+        assert main([
+            "sketch", "build", "--ids-file", str(ids_file),
+            "--p", "10", "--seed", "5", "--out", str(out_file),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["sketch", "estimate", str(out_file), "--json"]) == 0
+        got = json.loads(capsys.readouterr().out)
+        direct = HLLSketch(10, seed=5).add_ids(np.asarray(ids, dtype=np.uint64))
+        assert got["n_hat"] == pytest.approx(direct.estimate(), rel=1e-12)
+
+    def test_build_arg_validation(self, capsys):
+        assert main(["sketch", "build"]) == 2
+        assert "exactly one of --n or --ids-file" in capsys.readouterr().err
+        assert main(["sketch", "build", "--n", "10", "--ids-file", "x"]) == 2
+        capsys.readouterr()
+        assert main(["sketch", "build", "stray.json", "--n", "10"]) == 2
+        assert "--ids-file" in capsys.readouterr().err
+        assert main(["sketch", "build", "--n", "10", "--p", "3"]) == 2
+        assert "p must be in" in capsys.readouterr().err
+
+    def test_union_errors(self, tmp_path, capsys):
+        assert main(["sketch", "union"]) == 2
+        assert "at least one sketch" in capsys.readouterr().err
+        junk = tmp_path / "junk.json"
+        junk.write_text('{"p": 10}')
+        assert main(["sketch", "union", str(junk)]) == 2
+        assert "cannot load" in capsys.readouterr().err
+        assert main(["sketch", "estimate", str(tmp_path / "missing.json")]) == 2
+        capsys.readouterr()
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["sketch", "build", "--n", "100", "--seed", "1",
+                     "--out", str(a)]) == 0
+        assert main(["sketch", "build", "--n", "100", "--seed", "2",
+                     "--out", str(b)]) == 0
+        capsys.readouterr()
+        assert main(["sketch", "union", str(a), str(b)]) == 2
+        assert "seed mismatch" in capsys.readouterr().err
