@@ -17,6 +17,22 @@ populations up to 10⁸, drives it with the async load generator, and writes
    ``perf_floors.json`` gate (``service_rps_min``, ``service_p99_ms_max``)
    — skipped with a visible notice when the host affinity mask exposes a
    single core, like the multicore gate in ``bench_perf_engine.py``.
+4. **telemetry** — the live-telemetry layer measured under the same load:
+
+   * *trace overhead* — best-of-two alternating warm passes with tracing
+     disabled vs 1/64 head-sampled (the always-on production setting);
+     the throughput cost is gated by ``service_trace_overhead_pct_max``
+     (auto-skipped below two visible cores, like the warm SLO gate).
+     The pre-existing tracer configuration (CI runs the whole bench under
+     ``REPRO_TRACE``) is saved and restored around the comparison.
+   * *SLO spike* — ``set_slo(p99=50 ms)`` plus a sleep wrapped around the
+     coalescer's executor entry point inject a latency regression; the
+     wall time from spike start to the first ``p99_ms`` burn alert is
+     gated by ``service_slo_alert_seconds_max`` (two 1 s windows plus
+     evaluator slack — sleep-driven, so gated on any host).
+   * *reconciliation* — after all load, every windowed telemetry total
+     must equal its lifetime counter delta **bit-exactly** (the ring
+     windows' conservation invariant).  Always gated, like equivalence.
 
 Run as a script or module::
 
@@ -44,6 +60,7 @@ import json
 import os
 import sys
 import tempfile
+import time
 from pathlib import Path
 
 _REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -53,7 +70,9 @@ if str(_SRC) not in sys.path:  # script-mode convenience; no-op under PYTHONPATH
 
 from repro.experiments.sweep import TrialCache, execute_point_inline  # noqa: E402
 from repro.obs import metrics as obs_metrics  # noqa: E402
+from repro.obs import trace as obs_trace  # noqa: E402
 from repro.obs.host import host_block  # noqa: E402
+from repro.obs.live import SLOSpec, zone_metric  # noqa: E402
 from repro.service.loadgen import run_load  # noqa: E402
 from repro.service.server import EstimationServer  # noqa: E402
 from repro.service.zones import ZoneConfig  # noqa: E402
@@ -184,9 +203,10 @@ async def _bench(
             warm_window=warm_window,
         )
 
-        # Server-side view: the log-bucketed obs histogram (±4.4 % error),
-        # reported alongside the exact client-side quantiles above so the
-        # bucketing error is itself visible in the artifact.
+        # Server-side view, captured before the telemetry phase injects
+        # spikes: the log-bucketed obs histogram (±4.4 % error), reported
+        # alongside the exact client-side quantiles above so the bucketing
+        # error is itself visible in the artifact.
         hist = obs_metrics.histograms().get("service.request.seconds")
         server_side = {
             "requests": server.requests,
@@ -196,6 +216,176 @@ async def _bench(
             "p99_ms_bucketed": _q_ms(hist, 0.99),
             "coalescer": server.coalescer.stats(),
         }
+
+        # Phase 4a: sampled-tracing overhead on the warm path.  Alternating
+        # best-of-two passes bound scheduler drift; the comparison is
+        # tracing fully off vs 1/64 head-sampled (the always-on production
+        # setting), both over the same cache-resident warm load.  CI runs
+        # this whole bench under REPRO_TRACE, so the pre-existing tracer is
+        # saved first and restored after.
+        prior_tracer = obs_trace.tracer()
+        prior_path = None if prior_tracer is None else prior_tracer.path
+        prior_sample = 1 if prior_tracer is None else prior_tracer.sample_every
+        trace_sample = 64
+        trace_sink = cache_dir / "telemetry_overhead.trace.jsonl"
+        trace_off_rps = 0.0
+        trace_sampled_rps = 0.0
+        # A few-percent gate needs passes long enough to average scheduler
+        # noise out, so the overhead load is sized independently of the
+        # (possibly --smoke-shrunk) main phases: at least ~4000 requests
+        # per pass, best-of-three per mode.  The two modes alternate and
+        # the order flips every round, so monotone host drift (thermal,
+        # cache warming, a noisy neighbour leaving) biases neither mode.
+        warm_kwargs = dict(
+            host=host,
+            port=port,
+            zones=zone_names,
+            connections=connections,
+            requests_per_connection=max(
+                requests_per_connection, 4000 // max(1, connections)
+            ),
+            seed_mode="warm",
+            warm_window=warm_window,
+        )
+        async def _overhead_pass(sampled: bool) -> float:
+            if sampled:
+                obs_trace.configure(trace_sink, sample=trace_sample)
+            else:
+                obs_trace.configure(None, sample=1)
+            passed = await run_load(**warm_kwargs)
+            return passed["rps"]
+
+        try:
+            for round_index in range(3):
+                first_sampled = bool(round_index % 2)
+                for mode_sampled in (first_sampled, not first_sampled):
+                    rps = await _overhead_pass(mode_sampled)
+                    if mode_sampled:
+                        trace_sampled_rps = max(trace_sampled_rps, rps)
+                    else:
+                        trace_off_rps = max(trace_off_rps, rps)
+        finally:
+            if prior_path is None:
+                obs_trace.configure(None, sample=1)
+            else:
+                obs_trace.configure(prior_path, sample=prior_sample)
+        trace_overhead_pct = (
+            100.0 * (trace_off_rps - trace_sampled_rps) / trace_off_rps
+            if trace_off_rps > 0
+            else 0.0
+        )
+
+        # Phase 4b: injected latency spike must trip the p99 SLO burn
+        # alert.  A sleep wrapped around the coalescer's executor entry
+        # point regresses every engine call past the 50 ms objective;
+        # auto-seeded requests (fresh contiguous seeds) guarantee every
+        # tick actually reaches the engine instead of the memory LRU.
+        # With the default error budget (12.5 % of 8 slots) the second bad
+        # 1 s window pushes the burn rate over 1.0 — so the alert must
+        # land within two windows plus evaluator slack.
+        spike_slo_p99_ms = 50.0
+        spike_sleep = 0.06
+        server.set_slo(SLOSpec(p99_ms=spike_slo_p99_ms))
+        alerts_before = len(server.telemetry.alerts)
+        original_run = server.coalescer._run_group_sync
+
+        def spiked_run(config, seeds, _orig=original_run):
+            time.sleep(spike_sleep)
+            return _orig(config, seeds)
+
+        server.coalescer._run_group_sync = spiked_run
+        stop_spike = asyncio.Event()
+        spike_requests = 0
+
+        async def spike_load() -> None:
+            nonlocal spike_requests
+            s_reader, s_writer = await asyncio.open_connection(host, port)
+            rid = 0
+            try:
+                while not stop_spike.is_set():
+                    for _ in range(4):
+                        s_writer.write(
+                            (
+                                json.dumps(
+                                    {
+                                        "op": "estimate",
+                                        "zone": zone_names[0],
+                                        "id": rid,
+                                    }
+                                )
+                                + "\n"
+                            ).encode()
+                        )
+                        rid += 1
+                    await s_writer.drain()
+                    for _ in range(4):
+                        if not await s_reader.readline():
+                            return
+                        spike_requests += 1
+            finally:
+                s_writer.close()
+                try:
+                    await s_writer.wait_closed()
+                except (ConnectionResetError, OSError):
+                    pass
+
+        spike_started = time.perf_counter()
+        load_task = asyncio.ensure_future(spike_load())
+        alert_seconds = None
+        first_alert = None
+        try:
+            while time.perf_counter() - spike_started < 10.0:
+                await asyncio.sleep(0.05)
+                for alert in list(server.telemetry.alerts)[alerts_before:]:
+                    if alert.get("objective") == "p99_ms":
+                        alert_seconds = time.perf_counter() - spike_started
+                        first_alert = {
+                            "scope": alert["scope"],
+                            "observed_p99_ms": alert["observed"],
+                            "burn_rate": alert["burn_rate"],
+                            "epoch": alert.get("epoch"),
+                        }
+                        break
+                if first_alert is not None:
+                    break
+        finally:
+            stop_spike.set()
+            await asyncio.gather(load_task, return_exceptions=True)
+            server.coalescer._run_group_sync = original_run
+            server.set_slo(None)
+
+        # Phase 4c: conservation.  After every phase above has drained,
+        # each windowed telemetry total (live slots + expired-slot
+        # accumulator) must equal the lifetime counter delta since the
+        # tap attached — bit-exactly, across the global counters and the
+        # per-zone counters the load actually touched.
+        reconcile_names = [
+            "service.requests",
+            "service.engine.calls",
+            "service.cache.memory_hit",
+            "service.admission.shed",
+        ] + [zone_metric(z, "requests") for z in zone_names[:2]]
+        reconcile = server.telemetry.reconcile(reconcile_names)
+        telemetry = {
+            "trace_sample": trace_sample,
+            "trace_off_rps": round(trace_off_rps, 1),
+            "trace_sampled_rps": round(trace_sampled_rps, 1),
+            "trace_overhead_pct": round(trace_overhead_pct, 2),
+            "slo_spike": {
+                "slo_p99_ms": spike_slo_p99_ms,
+                "spike_sleep_ms": spike_sleep * 1e3,
+                "requests": spike_requests,
+                "alert_seconds": (
+                    None if alert_seconds is None else round(alert_seconds, 3)
+                ),
+                "alert": first_alert,
+            },
+            "reconcile": reconcile,
+            "reconcile_exact": all(
+                entry["exact"] for entry in reconcile.values()
+            ),
+        }
+
     finally:
         await server.stop()
 
@@ -214,6 +404,7 @@ async def _bench(
         "equivalence": equivalence,
         "cold": dict(cold),
         "warm": dict(warm),
+        "telemetry": telemetry,
         "server": server_side,
     }
 
@@ -248,27 +439,45 @@ def run_service_bench(
 
 
 def _check_floor(report: dict) -> list[str]:
-    """Gate the warm-phase SLO against ``perf_floors.json``.
+    """Gate the warm-phase SLO and telemetry floors against ``perf_floors.json``.
 
-    Like the multicore gate in ``bench_perf_engine.py``: meaningless on a
-    host whose affinity mask exposes a single core (the event loop and the
-    engine executor would time-slice one CPU), so it auto-skips visibly
-    instead of failing or silently passing.
+    The SLO-alert latency gate is sleep-driven (the injected spike
+    dominates any scheduling noise) so it runs on any host.  The
+    throughput-relative gates — warm rps/p99 and the sampled-tracing
+    overhead — are meaningless on a host whose affinity mask exposes a
+    single core (the event loop and the engine executor would time-slice
+    one CPU), so they auto-skip visibly instead of failing or silently
+    passing, like the multicore gate in ``bench_perf_engine.py``.
     """
     floors = json.loads(
         (Path(__file__).resolve().parent / "perf_floors.json").read_text()
     )
     failures = []
+    telemetry = report.get("telemetry") or {}
+    spike = telemetry.get("slo_spike") or {}
+    alert_max = floors.get("service_slo_alert_seconds_max")
+    if alert_max is not None and spike:
+        alert_seconds = spike.get("alert_seconds")
+        if alert_seconds is None:
+            failures.append(
+                "injected latency spike never tripped the p99 SLO burn alert"
+            )
+        elif alert_seconds > alert_max:
+            failures.append(
+                f"p99 SLO burn alert took {alert_seconds:.2f} s, over the "
+                f"stored ceiling {alert_max} s (two windows + evaluator slack)"
+            )
     cpus_visible = report["host"]["cpus_affinity"]
-    rps_min = floors.get("service_rps_min")
-    p99_max = floors.get("service_p99_ms_max")
     if cpus_visible < 2:
         print(
-            "SKIP: service SLO gate skipped — host affinity exposes "
-            f"{cpus_visible} core(s); need >= 2 for a meaningful measurement"
+            "SKIP: service SLO + trace-overhead gates skipped — host "
+            f"affinity exposes {cpus_visible} core(s); need >= 2 for a "
+            "meaningful measurement"
         )
         return failures
     warm = report["warm"]
+    rps_min = floors.get("service_rps_min")
+    p99_max = floors.get("service_p99_ms_max")
     if rps_min is not None and warm["rps"] < rps_min:
         failures.append(
             f"warm-cache throughput {warm['rps']:.0f} req/s fell below the "
@@ -278,6 +487,14 @@ def _check_floor(report: dict) -> list[str]:
         failures.append(
             f"warm-cache p99 {warm['p99_ms']:.1f} ms exceeded the stored "
             f"ceiling {p99_max} ms"
+        )
+    overhead_max = floors.get("service_trace_overhead_pct_max")
+    overhead = telemetry.get("trace_overhead_pct")
+    if overhead_max is not None and overhead is not None and overhead > overhead_max:
+        failures.append(
+            f"1/{telemetry.get('trace_sample', '?')} sampled tracing cost "
+            f"{overhead:.2f} % warm throughput, over the stored ceiling "
+            f"{overhead_max} %"
         )
     return failures
 
@@ -321,6 +538,24 @@ def main(argv: list[str] | None = None) -> int:
         f"  cold: {report['cold']['requests_per_engine_call']} requests "
         f"per engine call ({report['cold']['engine_calls']} calls)"
     )
+    telem = report["telemetry"]
+    spike = telem["slo_spike"]
+    alert_txt = (
+        "NO ALERT"
+        if spike["alert_seconds"] is None
+        else f"alert in {spike['alert_seconds']:.2f}s "
+        f"(burn {spike['alert']['burn_rate']:.2f}, {spike['alert']['scope']})"
+    )
+    print(
+        f" telem: trace 1/{telem['trace_sample']} overhead "
+        f"{telem['trace_overhead_pct']:+.2f}% "
+        f"(off {telem['trace_off_rps']:.0f} → sampled "
+        f"{telem['trace_sampled_rps']:.0f} req/s)"
+    )
+    print(
+        f" telem: reconcile exact={telem['reconcile_exact']} "
+        f"({len(telem['reconcile'])} counters)  slo spike: {alert_txt}"
+    )
     print(f"wrote {out}")
 
     drift = report["equivalence"]["max_abs_dn_hat"]
@@ -330,6 +565,17 @@ def main(argv: list[str] | None = None) -> int:
     errors = report["cold"]["errors"] + report["warm"]["errors"]
     if errors:
         print(f"FAIL: {errors} non-shed error response(s) under load")
+        return 1
+    if not telem["reconcile_exact"]:
+        bad = {
+            name: entry
+            for name, entry in telem["reconcile"].items()
+            if not entry["exact"]
+        }
+        print(f"FAIL: windowed telemetry diverged from lifetime counters: {bad}")
+        return 1
+    if spike["alert_seconds"] is None:
+        print("FAIL: injected latency spike never tripped the p99 SLO burn alert")
         return 1
     if "--check-floor" in argv:
         failures = _check_floor(report)

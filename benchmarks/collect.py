@@ -116,6 +116,8 @@ def _summarise_scale(report: dict) -> dict:
 
 def _summarise_service(report: dict) -> dict:
     warm, cold = report["warm"], report["cold"]
+    telemetry = report.get("telemetry") or {}
+    spike = telemetry.get("slo_spike") or {}
     return {
         "headline_speedup": round(warm["rps"] / cold["rps"], 2) if cold["rps"] else None,
         "headline": "warm-cache vs cold serving throughput",
@@ -124,6 +126,9 @@ def _summarise_service(report: dict) -> dict:
         "warm_p99_ms": round(warm["p99_ms"], 3),
         "cold_requests_per_engine_call": cold["requests_per_engine_call"],
         "shed": warm["shed"] + cold["shed"],
+        "trace_overhead_pct": telemetry.get("trace_overhead_pct"),
+        "reconcile_exact": telemetry.get("reconcile_exact"),
+        "slo_alert_seconds": spike.get("alert_seconds"),
         "workload": report["workload"],
     }
 

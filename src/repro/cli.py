@@ -147,7 +147,7 @@ def build_parser() -> argparse.ArgumentParser:
     obs = sub.add_parser(
         "obs", help="inspect a structured trace produced under REPRO_TRACE"
     )
-    obs.add_argument("action", choices=("summary", "trace", "flame"))
+    obs.add_argument("action", choices=("summary", "trace", "flame", "top"))
     obs.add_argument("--file", default=None, metavar="PATH",
                      help="trace JSONL path (default: $REPRO_TRACE)")
     obs.add_argument("--width", type=int, default=40,
@@ -156,6 +156,16 @@ def build_parser() -> argparse.ArgumentParser:
                      help="trace: maximum spans to list")
     obs.add_argument("--json", action="store_true",
                      help="summary: print machine-readable JSON instead of text")
+    obs.add_argument("--host", default="127.0.0.1",
+                     help="top: estimation-server host to watch")
+    obs.add_argument("--port", type=int, default=7912,
+                     help="top: estimation-server port to watch")
+    obs.add_argument("--interval", type=float, default=1.0,
+                     help="top: seconds between dashboard refreshes")
+    obs.add_argument("--count", type=int, default=0,
+                     help="top: stop after this many frames (0 = until Ctrl-C)")
+    obs.add_argument("--no-clear", action="store_true",
+                     help="top: append frames instead of clearing the screen")
 
     sk = sub.add_parser(
         "sketch", help="build, union and estimate mergeable HLL sketches"
@@ -208,6 +218,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="admission: waiting requests before shedding")
     serve.add_argument("--duration", type=float, default=None, metavar="SECONDS",
                        help="stop after this long (default: run until shutdown)")
+    serve.add_argument("--slo-p99-ms", type=float, default=250.0,
+                       help="SLO: per-window p99 latency target in ms")
+    serve.add_argument("--slo-max-shed", type=float, default=0.5,
+                       help="SLO: max fraction of arrivals shed per window")
+    serve.add_argument("--slo-max-fallback", type=float, default=0.0,
+                       help="SLO: max engine-fallback rate per window")
+    serve.add_argument("--slo-max-innovation-z", type=float, default=6.0,
+                       help="SLO: max tracker-innovation z-score per window")
+    serve.add_argument("--no-slo", action="store_true",
+                       help="disable SLO evaluation (windows still record)")
     return parser
 
 
@@ -425,10 +445,58 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_top(args: argparse.Namespace) -> int:
+    """Live terminal dashboard: poll one server's ``metrics.watch`` stream."""
+    import json as _json
+    import socket
+
+    from .obs import live as obs_live
+
+    frames = args.count if args.count > 0 else 3600
+    request = {
+        "op": "metrics.watch",
+        "interval": args.interval,
+        "ticks": frames,
+        "id": 1,
+    }
+    try:
+        with socket.create_connection((args.host, args.port), timeout=30) as sock:
+            fh = sock.makefile("rwb")
+            fh.write((_json.dumps(request) + "\n").encode())
+            fh.flush()
+            shown = 0
+            while shown < frames:
+                line = fh.readline()
+                if not line:
+                    break
+                response = _json.loads(line)
+                if not response.get("ok"):
+                    print(
+                        f"obs top: server error: {response.get('error')}",
+                        file=sys.stderr,
+                    )
+                    return 1
+                if not args.no_clear:
+                    print("\x1b[2J\x1b[H", end="")
+                print(obs_live.render_top(response["watch"]), end="", flush=True)
+                shown += 1
+                if response.get("done"):
+                    break
+    except KeyboardInterrupt:
+        return 0
+    except OSError as exc:
+        print(f"obs top: cannot reach {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     import os
 
     from .obs import report as obs_report
+
+    if args.action == "top":
+        return _cmd_obs_top(args)
 
     path = args.file or os.environ.get("REPRO_TRACE")
     if not path:
@@ -552,8 +620,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import json as _json
 
+    from .obs.live import SLOSpec
     from .service.server import run_server
     from .service.zones import ZoneConfig
+
+    slo = (
+        None
+        if args.no_slo
+        else SLOSpec(
+            p99_ms=args.slo_p99_ms,
+            max_shed_rate=args.slo_max_shed,
+            max_fallback_rate=args.slo_max_fallback,
+            max_innovation_z=args.slo_max_innovation_z,
+        )
+    )
 
     if args.zones_file:
         raw = _json.loads(open(args.zones_file).read())
@@ -591,14 +671,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 executor_workers=args.workers,
                 max_concurrent=args.max_concurrent,
                 max_queue=args.max_queue,
+                slo=slo,
             )
         )
     except KeyboardInterrupt:
         print("interrupted; shutting down")
         return 0
+    breaches = 0 if server.telemetry is None else len(server.telemetry.alerts)
     print(
         f"served {server.requests} request(s), {server.errors} error(s), "
-        f"{server.admission.shed} shed"
+        f"{server.admission.shed} shed, {breaches} SLO breach alert(s)"
     )
     return 0
 

@@ -22,16 +22,19 @@ or :func:`configure` in code::
 
 from __future__ import annotations
 
-from . import host, metrics, report
+from . import host, live, metrics, report
 from .events import (
     EngineFallbackWarning,
     LedgerDriftWarning,
     engine_fallback,
     ledger_crosscheck,
+    slo_breach,
 )
+from .live import LiveRegistry, LiveTelemetry, SLOSpec, SLOTracker
 from .trace import (
     NULL_SPAN,
     TRACE_ENV,
+    TRACE_SAMPLE_ENV,
     Span,
     Tracer,
     configure,
@@ -47,9 +50,14 @@ from .trace import (
 __all__ = [
     "EngineFallbackWarning",
     "LedgerDriftWarning",
+    "LiveRegistry",
+    "LiveTelemetry",
     "NULL_SPAN",
+    "SLOSpec",
+    "SLOTracker",
     "Span",
     "TRACE_ENV",
+    "TRACE_SAMPLE_ENV",
     "Tracer",
     "configure",
     "enabled",
@@ -59,9 +67,11 @@ __all__ = [
     "ledger_crosscheck",
     "host",
     "ledger_phase_cums",
+    "live",
     "merge_worker_traces",
     "metrics",
     "report",
+    "slo_breach",
     "span",
     "tracer",
 ]

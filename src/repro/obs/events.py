@@ -19,11 +19,18 @@ before a paper number quietly drifts.
 
 from __future__ import annotations
 
+import time
 import warnings
 
 from . import metrics, trace
 
-__all__ = ["EngineFallbackWarning", "LedgerDriftWarning", "engine_fallback", "ledger_crosscheck"]
+__all__ = [
+    "EngineFallbackWarning",
+    "LedgerDriftWarning",
+    "engine_fallback",
+    "ledger_crosscheck",
+    "slo_breach",
+]
 
 
 class EngineFallbackWarning(RuntimeWarning):
@@ -56,6 +63,40 @@ def engine_fallback(component: str, *, requested: str, actual: str, reason: str)
         EngineFallbackWarning,
         stacklevel=3,
     )
+
+
+def slo_breach(
+    scope: str,
+    *,
+    objective: str,
+    observed: float,
+    target: float,
+    burn_rate: float,
+    window: str,
+) -> dict:
+    """Count + surface one SLO breach for ``scope`` (a zone or ``global``).
+
+    Increments ``slo.breach`` and ``slo.breach.<scope>``, records an
+    ``slo.breach`` trace event when tracing is enabled, and returns the
+    structured alert dict that the live-telemetry layer queues for
+    ``metrics.watch`` / ``obs top``.  Unlike :func:`engine_fallback`, no
+    Python warning is raised: a breach is an *expected operational state*
+    (spikes happen), surfaced through the ops channel rather than the
+    test-output channel.
+    """
+    metrics.inc("slo.breach")
+    metrics.inc(f"slo.breach.{scope}")
+    alert = {
+        "scope": scope,
+        "objective": objective,
+        "observed": observed,
+        "target": target,
+        "burn_rate": burn_rate,
+        "window": window,
+        "wall": time.time(),
+    }
+    trace.event("slo.breach", **alert)
+    return alert
 
 
 def ledger_crosscheck(component: str, elapsed_seconds: float, phase_ledger: list[dict]) -> bool:

@@ -123,14 +123,24 @@ def trials(trace: TraceData) -> list[dict]:
 
     Each returned dict has at least ``engine``, ``elapsed_seconds`` and
     ``phase_ledger`` (the :func:`repro.obs.trace.ledger_phase_cums` rows).
+    Under head sampling each kept trial *span* represents ``sample``
+    dropped siblings; its weight is surfaced as ``_sample`` so
+    :func:`summarise` can scale counts back up.  Trial *events* (the
+    batched engines) are never sampled — their weight is always 1.
     """
     out = []
     for record in trace.spans:
         if record["name"] == "trial":
-            out.append(dict(record["attrs"], wall_dur=record["dur"]))
+            out.append(
+                dict(
+                    record["attrs"],
+                    wall_dur=record["dur"],
+                    _sample=int(record.get("sample", 1)),
+                )
+            )
     for record in trace.events:
         if record["name"] == "trial":
-            out.append(dict(record["attrs"]))
+            out.append(dict(record["attrs"], _sample=1))
     return out
 
 
@@ -164,25 +174,36 @@ def summarise(path: str | Path) -> dict:
         if name.startswith("kernel.native.") and name.endswith(".seconds")
     }
 
-    engines: dict[str, int] = {}
+    # Head sampling keeps 1 of every N trial span-trees; each kept span
+    # carries its weight, so scaled sums estimate the unsampled totals.
+    engines: dict[str, float] = {}
     phase_air: dict[str, float] = {}
-    phase_down: dict[str, int] = {}
-    phase_up: dict[str, int] = {}
+    phase_down: dict[str, float] = {}
+    phase_up: dict[str, float] = {}
     air_total = 0.0
+    trials_recorded = len(trial_list)
+    trials_estimated = 0
+    max_sample = 1
     for trial in trial_list:
-        engines[trial.get("engine", "?")] = engines.get(trial.get("engine", "?"), 0) + 1
-        air_total += trial.get("elapsed_seconds", 0.0)
+        weight = int(trial.get("_sample", 1))
+        trials_estimated += weight
+        if weight > max_sample:
+            max_sample = weight
+        engine = trial.get("engine", "?")
+        engines[engine] = engines.get(engine, 0) + weight
+        air_total += trial.get("elapsed_seconds", 0.0) * weight
         for run in trial.get("phase_ledger", []):
             phase = run["phase"] or "(unphased)"
-            phase_air[phase] = phase_air.get(phase, 0.0) + run["seconds"]
-            phase_down[phase] = phase_down.get(phase, 0) + run["down_bits"]
-            phase_up[phase] = phase_up.get(phase, 0) + run["up_slots"]
+            phase_air[phase] = phase_air.get(phase, 0.0) + run["seconds"] * weight
+            phase_down[phase] = phase_down.get(phase, 0) + run["down_bits"] * weight
+            phase_up[phase] = phase_up.get(phase, 0) + run["up_slots"] * weight
 
     wall_by_name: dict[str, dict] = {}
     for span in trace.spans:
+        weight = int(span.get("sample", 1))
         agg = wall_by_name.setdefault(span["name"], {"count": 0, "wall_seconds": 0.0})
-        agg["count"] += 1
-        agg["wall_seconds"] += span["dur"]
+        agg["count"] += weight
+        agg["wall_seconds"] += span["dur"] * weight
 
     from . import metrics as _metrics
 
@@ -222,12 +243,21 @@ def summarise(path: str | Path) -> dict:
             ),
         }
 
+    sampled = None
+    if max_sample > 1:
+        sampled = {
+            "max_sample": max_sample,
+            "trials_recorded": trials_recorded,
+            "trials_estimated": trials_estimated,
+        }
+
     return {
         "trace": str(path),
         "processes": len({m["pid"] for m in trace.meta}) or len({s["pid"] for s in trace.spans}),
         "spans": len(trace.spans),
         "events": len(trace.events),
-        "trials": len(trial_list),
+        "trials": trials_estimated,
+        "sampled": sampled,
         "engines": engines,
         "air_seconds_total": air_total,
         "phase_air_seconds": phase_air,
@@ -235,6 +265,7 @@ def summarise(path: str | Path) -> dict:
         "phase_uplink_slots": phase_up,
         "wall_by_span": wall_by_name,
         "engine_fallbacks": counters.get("engine.fallback", 0),
+        "slo_breaches": counters.get("slo.breach", 0),
         "ledger_crosscheck_mismatches": counters.get("ledger.crosscheck.mismatch", 0),
         "native_threads_used": gauges.get("native.threads_used", 0),
         "native_calls_threaded": counters.get("kernel.native.calls_threaded", 0),
@@ -262,7 +293,13 @@ def render_summary(summary: dict) -> str:
         f"processes  : {summary['processes']}   spans: {summary['spans']}   "
         f"events: {summary['events']}",
         f"trials     : {summary['trials']}  "
-        + " ".join(f"{k}={v}" for k, v in sorted(summary["engines"].items())),
+        + " ".join(f"{k}={v}" for k, v in sorted(summary["engines"].items()))
+        + (
+            f"  (sampled 1/{summary['sampled']['max_sample']}: "
+            f"{summary['sampled']['trials_recorded']} recorded)"
+            if summary.get("sampled")
+            else ""
+        ),
         f"air time   : {summary['air_seconds_total'] * 1e3:.2f} ms total",
         f"fallbacks  : {summary['engine_fallbacks']:.0f} engine fallback(s), "
         f"{summary['ledger_crosscheck_mismatches']:.0f} ledger mismatch(es)",

@@ -47,6 +47,7 @@ import time
 __all__ = [
     "TRACE_ENV",
     "TRACE_ROOT_ENV",
+    "TRACE_SAMPLE_ENV",
     "Span",
     "Tracer",
     "configure",
@@ -61,8 +62,38 @@ __all__ = [
 
 TRACE_ENV = "REPRO_TRACE"
 TRACE_ROOT_ENV = "REPRO_TRACE_ROOT"
+TRACE_SAMPLE_ENV = "REPRO_TRACE_SAMPLE"
 
 _FORMAT_VERSION = 1
+
+
+def _parse_sample(raw) -> int:
+    """``REPRO_TRACE_SAMPLE`` → keep-every-N (``"1/64"`` or ``"64"`` → 64).
+
+    Head sampling keeps 1 of every N *root* span trees.  Anything
+    unparseable (or < 1) degrades to 1 — i.e. keep everything — so a
+    typo in the environment can never silently discard trace data.
+    """
+    if raw is None:
+        return 1
+    if isinstance(raw, bool):
+        return 1
+    if isinstance(raw, int):
+        return max(1, raw)
+    text = str(raw).strip()
+    if "/" in text:
+        head, _, tail = text.partition("/")
+        try:
+            num, den = int(head), int(tail)
+        except ValueError:
+            return 1
+        if num != 1 or den < 1:
+            return 1
+        return den
+    try:
+        return max(1, int(text))
+    except ValueError:
+        return 1
 
 
 def _json_safe(value):
@@ -99,6 +130,47 @@ class _NullSpan:
 NULL_SPAN = _NullSpan()
 
 
+class _UnsampledRoot:
+    """Stack placeholder for a root span tree the head-sampler dropped.
+
+    It is pushed onto the thread-local span stack so child call sites
+    still see an unsampled top-of-stack (and short-circuit to
+    :data:`NULL_SPAN`), but it allocates no span id, takes no
+    timestamps and writes no record — the dropped-tree path is the hot
+    one at 1/N sampling, and its cost is what the service bench's
+    trace-overhead gate bounds.  One instance per thread, pinned to that
+    thread's stack list (nested roots are impossible — a non-empty stack
+    never produces a root — so one placeholder per stack suffices).
+    Falsy like :data:`NULL_SPAN` so guarded attribute computation is
+    skipped.
+    """
+
+    __slots__ = ("_stack",)
+
+    sampled = False
+
+    def __init__(self, stack: list) -> None:
+        self._stack = stack
+
+    def __enter__(self) -> "_UnsampledRoot":
+        self._stack.append(self)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        stack = self._stack
+        if stack and stack[-1] is self:
+            stack.pop()
+        elif self in stack:  # exited out of order: drop it and its orphans
+            del stack[stack.index(self):]
+        return False
+
+    def __bool__(self) -> bool:
+        return False
+
+    def set(self, **attrs) -> None:
+        pass
+
+
 class Span:
     """One live span; use as a context manager, add attributes via :meth:`set`.
 
@@ -107,7 +179,10 @@ class Span:
     attribute computation with ``if sp:``.
     """
 
-    __slots__ = ("name", "attrs", "span_id", "parent_id", "depth", "_tracer", "_t0", "_wall")
+    __slots__ = (
+        "name", "attrs", "span_id", "parent_id", "depth",
+        "sampled", "_tracer", "_t0", "_wall",
+    )
 
     def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
         self._tracer = tracer
@@ -116,6 +191,7 @@ class Span:
         self.span_id = -1
         self.parent_id: int | None = None
         self.depth = 0
+        self.sampled = True
         self._t0 = 0.0
         self._wall = 0.0
 
@@ -151,11 +227,27 @@ class Tracer:
     root_pid:
         Pid of the process that owns the main file.  Defaults to the
         current process.
+    sample_every:
+        Head-based sampling: keep 1 of every N **root** span trees
+        (``REPRO_TRACE_SAMPLE=1/N``).  The decision is made once, at the
+        root, from a deterministic per-thread round-robin counter — no
+        randomness is
+        drawn (constraint 2 above), and a whole request tree is either
+        fully present or fully absent, never torn.  Kept spans carry a
+        ``"sample": N`` tag so :mod:`repro.obs.report` can scale counts
+        back up; events and metrics records are **never** sampled.
     """
 
-    def __init__(self, path: str, *, root_pid: int | None = None) -> None:
+    def __init__(
+        self,
+        path: str,
+        *,
+        root_pid: int | None = None,
+        sample_every: int = 1,
+    ) -> None:
         self.path = str(path)
         self.root_pid = int(root_pid) if root_pid is not None else os.getpid()
+        self.sample_every = max(1, int(sample_every))
         self._lock = threading.Lock()
         self._local = threading.local()
         self._fh = None
@@ -186,6 +278,7 @@ class Tracer:
                         "version": _FORMAT_VERSION,
                         "pid": pid,
                         "root": self.root_pid,
+                        "sample": self.sample_every,
                         "wall": time.time(),
                     }
                 )
@@ -221,10 +314,36 @@ class Tracer:
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = self._local.stack = []
+            self._local.root_seq = 0
+            self._local.unsampled_root = _UnsampledRoot(stack)
         return stack
 
-    def span(self, name: str, **attrs) -> Span:
-        """A new span; nest by entering it while another span is active."""
+    def span(self, name: str, **attrs):
+        """A new span; nest by entering it while another span is active.
+
+        At 1/N sampling the keep-or-drop decision is made **here**, at
+        root creation: a dropped root gets this thread's
+        :class:`_UnsampledRoot` placeholder (no id, no timestamps, no
+        record — just a stack push so descendants suppress), and every
+        call site inside an unsampled tree gets the shared
+        :data:`NULL_SPAN` — one stack peek, no allocation.
+        """
+        if self.sample_every > 1:
+            local = self._local
+            stack = self._stack()
+            if stack:
+                if not stack[-1].sampled:
+                    return NULL_SPAN
+            else:
+                # Root of a new tree: deterministic keep-1-in-N decision.
+                # Round-robin, not random (tracing must draw no randomness
+                # so it stays bit-identity-preserving), and the counter is
+                # per-thread so the hot dropped-root path takes no lock —
+                # each thread keeps exactly 1 of its every N roots.
+                seq = local.root_seq
+                local.root_seq = seq + 1
+                if seq % self.sample_every:
+                    return local.unsampled_root
         return Span(self, name, attrs)
 
     def _enter(self, span: Span) -> None:
@@ -232,6 +351,8 @@ class Tracer:
         with self._lock:
             span.span_id = self._next_id
             self._next_id += 1
+        if stack:
+            span.sampled = stack[-1].sampled
         span.parent_id = stack[-1].span_id if stack else None
         span.depth = len(stack)
         stack.append(span)
@@ -242,19 +363,22 @@ class Tracer:
             stack.pop()
         elif span in stack:  # exited out of order: drop it and its orphans
             del stack[stack.index(span):]
-        self._write(
-            {
-                "t": "span",
-                "pid": os.getpid(),
-                "id": span.span_id,
-                "parent": span.parent_id,
-                "depth": span.depth,
-                "name": span.name,
-                "wall": span._wall,
-                "dur": dur,
-                "attrs": span.attrs,
-            }
-        )
+        if not span.sampled:
+            return
+        record = {
+            "t": "span",
+            "pid": os.getpid(),
+            "id": span.span_id,
+            "parent": span.parent_id,
+            "depth": span.depth,
+            "name": span.name,
+            "wall": span._wall,
+            "dur": dur,
+            "attrs": span.attrs,
+        }
+        if self.sample_every > 1:
+            record["sample"] = self.sample_every
+        self._write(record)
 
     def event(self, name: str, **attrs) -> None:
         """Write one instantaneous event record."""
@@ -296,16 +420,25 @@ def tracer() -> Tracer | None:
                 # sidecars instead.
                 os.environ[TRACE_ROOT_ENV] = str(os.getpid())
                 root = str(os.getpid())
-            _tracer = Tracer(path, root_pid=int(root))
+            _tracer = Tracer(
+                path,
+                root_pid=int(root),
+                sample_every=_parse_sample(os.environ.get(TRACE_SAMPLE_ENV)),
+            )
     return _tracer
 
 
-def configure(path: str | os.PathLike | None) -> Tracer | None:
+def configure(
+    path: str | os.PathLike | None, *, sample: int | str | None = None
+) -> Tracer | None:
     """Enable tracing to ``path`` (or disable with ``None``).
 
     Also exports ``REPRO_TRACE``/``REPRO_TRACE_ROOT`` so worker processes —
     forked or spawned — route their records to per-worker sidecar files of
-    the same trace.
+    the same trace.  ``sample`` sets head-based sampling (``64`` or
+    ``"1/64"`` keeps 1 of 64 root span trees); when omitted, the current
+    ``REPRO_TRACE_SAMPLE`` environment value applies.  The effective rate
+    is re-exported to the environment so workers sample consistently.
     """
     global _tracer, _env_checked
     _env_checked = True
@@ -315,10 +448,20 @@ def configure(path: str | os.PathLike | None) -> Tracer | None:
         _tracer = None
         os.environ.pop(TRACE_ENV, None)
         os.environ.pop(TRACE_ROOT_ENV, None)
+        if sample is not None:
+            os.environ.pop(TRACE_SAMPLE_ENV, None)
         return None
-    _tracer = Tracer(str(path))
+    if sample is None:
+        sample_every = _parse_sample(os.environ.get(TRACE_SAMPLE_ENV))
+    else:
+        sample_every = _parse_sample(sample)
+    _tracer = Tracer(str(path), sample_every=sample_every)
     os.environ[TRACE_ENV] = str(path)
     os.environ[TRACE_ROOT_ENV] = str(_tracer.root_pid)
+    if sample_every > 1:
+        os.environ[TRACE_SAMPLE_ENV] = f"1/{sample_every}"
+    elif sample is not None:
+        os.environ.pop(TRACE_SAMPLE_ENV, None)
     return _tracer
 
 

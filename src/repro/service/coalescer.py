@@ -93,7 +93,16 @@ class RequestCoalescer:
         """
         seed = int(seed)
         key = config.group_key()
-        hit = self._memory_get(key, seed)
+        # Always-on request span on the warm path, head-sampled by the
+        # tracer.  It brackets only the memory-LRU probe and MUST stay
+        # await-free: the span stack is thread-local, so a task switch
+        # inside an open span would interleave another request's spans
+        # into this tree.  The service bench's telemetry phase gates the
+        # cost of this span at 1/64 sampling against tracing disabled.
+        with _trace.span("service.lookup", engine=config.engine) as sp:
+            hit = self._memory_get(key, seed)
+            if sp:
+                sp.set(cached=hit is not None)
         if hit is not None:
             self.memory_hits += 1
             _metrics.inc("service.cache.memory_hit")

@@ -18,6 +18,13 @@ requests over the configured zones.  Two seed modes:
 Latency quantiles here are *exact* (sorted client-side samples), unlike
 the ±4.4 % log-bucketed server-side histograms — the benchmark reports
 both so the bucketing error is itself visible.
+
+Besides the end-of-run totals the report carries ``per_second`` rolling
+stats (requests, rps, exact p50/p99 per wall-clock second of the run),
+and a ``progress`` callback receives each completed second's entry as it
+closes — the client-side mirror of the server's 1 s telemetry windows,
+which is what lets tests reconcile the two independent views of the same
+load.
 """
 
 from __future__ import annotations
@@ -57,7 +64,7 @@ async def _client(
     seed_mode: str,
     warm_window: int,
     pipeline: int,
-    latencies: list[float],
+    record,
     counters: dict,
 ) -> None:
     reader, writer = await asyncio.open_connection(host, port)
@@ -72,7 +79,7 @@ async def _client(
                 raise ConnectionError("server closed the connection")
             response = json.loads(line)
             started = pending.pop(response["id"])
-            latencies.append(time.perf_counter() - started)
+            record(time.perf_counter() - started)
             if response.get("ok"):
                 counters["ok"] += 1
             elif response.get("code") == 429:
@@ -113,12 +120,18 @@ async def run_load(
     seed_mode: str = "warm",
     warm_window: int = 8,
     pipeline: int = 4,
+    progress=None,
 ) -> LoadReport:
     """Run the load and return a JSON-ready report with exact p50/p99.
 
     ``pipeline`` is the per-connection in-flight cap; total offered
     concurrency is ``connections × pipeline``, which is what pushes the
     admission controller when it exceeds ``max_concurrent + max_queue``.
+
+    ``progress`` (optional callable) receives one dict per completed
+    wall-clock second of the run — ``{"second", "requests", "rps",
+    "p50_ms", "p99_ms"}`` — as the second closes; the full list is also
+    returned as the report's ``per_second`` field.
     """
     if seed_mode not in ("warm", "cold", "auto"):
         raise ValueError(
@@ -128,25 +141,70 @@ async def run_load(
         raise ValueError("run_load needs at least one zone name")
     latencies: list[float] = []
     counters = {"ok": 0, "shed": 0, "errors": 0}
+    buckets: dict[int, list[float]] = {}
+    per_second: list[dict] = []
+    next_second = 0
     started = time.perf_counter()
-    await asyncio.gather(
-        *(
-            _client(
-                host,
-                port,
-                zones,
-                requests_per_connection,
-                index,
-                seed_mode,
-                warm_window,
-                pipeline,
-                latencies,
-                counters,
+
+    def record(latency: float) -> None:
+        latencies.append(latency)
+        buckets.setdefault(int(time.perf_counter() - started), []).append(latency)
+
+    def finalise(second: int) -> None:
+        samples = sorted(buckets.pop(second, []))
+        entry = {
+            "second": second,
+            "requests": len(samples),
+            "rps": float(len(samples)),
+            "p50_ms": (
+                None if not samples else 1e3 * _exact_quantile(samples, 0.50)
+            ),
+            "p99_ms": (
+                None if not samples else 1e3 * _exact_quantile(samples, 0.99)
+            ),
+        }
+        per_second.append(entry)
+        if progress is not None:
+            progress(entry)
+
+    async def reporter() -> None:
+        nonlocal next_second
+        while True:
+            await asyncio.sleep(0.2)
+            current = int(time.perf_counter() - started)
+            while next_second < current:
+                finalise(next_second)
+                next_second += 1
+
+    reporter_task = asyncio.ensure_future(reporter())
+    try:
+        await asyncio.gather(
+            *(
+                _client(
+                    host,
+                    port,
+                    zones,
+                    requests_per_connection,
+                    index,
+                    seed_mode,
+                    warm_window,
+                    pipeline,
+                    record,
+                    counters,
+                )
+                for index in range(connections)
             )
-            for index in range(connections)
         )
-    )
+    finally:
+        reporter_task.cancel()
+        await asyncio.gather(reporter_task, return_exceptions=True)
     elapsed = time.perf_counter() - started
+    # Flush the tail: every second with samples (plus the gaps between
+    # them) gets its entry even when the run ends mid-second.
+    last = max(buckets, default=next_second - 1)
+    while next_second <= last:
+        finalise(next_second)
+        next_second += 1
     latencies.sort()
     total = connections * requests_per_connection
     return LoadReport(
@@ -162,4 +220,5 @@ async def run_load(
         p50_ms=1e3 * (_exact_quantile(latencies, 0.50) or 0.0),
         p99_ms=1e3 * (_exact_quantile(latencies, 0.99) or 0.0),
         max_ms=1e3 * (latencies[-1] if latencies else 0.0),
+        per_second=per_second,
     )

@@ -14,6 +14,8 @@ Requests::
     {"op": "zone.sketch", "zone": "z0", "p": 12, "seed": 0, "id": 4}
     {"op": "sketch.merge", "sketches": [<sketch>, <sketch>, ...], "id": 5}
     {"op": "health"}   {"op": "metrics"}   {"op": "ping"}   {"op": "shutdown"}
+    {"op": "metrics.expose", "id": 6}
+    {"op": "metrics.watch", "interval": 1.0, "ticks": 5, "id": 7}
 
 ``zone.sketch`` summarises a zone's population as a mergeable HyperLogLog
 sketch (``repro.sketch``): the response's ``sketch`` object carries the
@@ -21,6 +23,13 @@ precision, hash seed and base64 registers.  ``sketch.merge`` unions any
 number of such sketches (built under one ``p``/``seed``) in O(m) register
 maxes and returns the merged sketch plus its union-cardinality estimate —
 the coordinator step for multi-zone/multi-reader aggregation.
+
+``metrics.expose`` returns a Prometheus-style text exposition of the
+live registry; ``metrics.watch`` is the one **streaming** op — the server
+pushes ``ticks`` windowed-telemetry snapshots, one every ``interval``
+seconds, as ordinary response lines sharing the request's ``id`` (each
+carries ``tick`` and the final one ``"done": true``), so a client drives
+a live dashboard over the same pipelined connection.
 
 Responses always carry ``ok``; failures add HTTP-flavoured ``code`` and
 ``error`` fields — ``429`` is the admission controller shedding load, the
@@ -65,6 +74,8 @@ OPS = frozenset(
         "sketch.merge",
         "health",
         "metrics",
+        "metrics.expose",
+        "metrics.watch",
         "ping",
         "shutdown",
     }

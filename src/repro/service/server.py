@@ -28,6 +28,14 @@ from concurrent.futures import ThreadPoolExecutor
 from ..experiments.sweep import TrialCache, cache_enabled
 from ..obs import metrics as _metrics
 from ..obs import trace as _trace
+from ..obs.live import (
+    DEFAULT_WINDOWS,
+    LiveTelemetry,
+    SLOSpec,
+    WindowSpec,
+    render_prometheus,
+    zone_metric,
+)
 from ..rfid import _native
 from .admission import AdmissionController
 from .coalescer import DEFAULT_TICK_SECONDS, RequestCoalescer
@@ -87,6 +95,8 @@ class EstimationServer:
         memory_entries: int | None = None,
         max_concurrent: int = 64,
         max_queue: int = 256,
+        slo: SLOSpec | None = None,
+        telemetry_windows: tuple[WindowSpec, ...] = DEFAULT_WINDOWS,
     ) -> None:
         self.host = host
         self.port = int(port)
@@ -108,6 +118,15 @@ class EstimationServer:
         self.started_wall: float | None = None
         self.requests = 0
         self.errors = 0
+        self._slo = slo
+        self._telemetry_windows = tuple(telemetry_windows)
+        # Evaluator cadence: one judgement pass per smallest slot width,
+        # so a completed slot is judged at most one slot-width late.
+        self._telemetry_tick = min(
+            1.0, min(w.width_seconds for w in self._telemetry_windows)
+        )
+        self.telemetry: LiveTelemetry | None = None
+        self._telemetry_task: asyncio.Task | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -138,6 +157,11 @@ class EstimationServer:
             ),
         )
         self._shutdown = asyncio.Event()
+        self.telemetry = LiveTelemetry(
+            slo=self._slo, windows=self._telemetry_windows
+        )
+        self.telemetry.attach()
+        self._telemetry_task = asyncio.ensure_future(self._telemetry_loop())
         self._server = await asyncio.start_server(
             self._handle_connection,
             host=self.host,
@@ -146,8 +170,30 @@ class EstimationServer:
         )
         self.started_wall = time.time()
 
+    async def _telemetry_loop(self) -> None:
+        """Judge completed window slots against the SLO, once per tick."""
+        while True:
+            await asyncio.sleep(self._telemetry_tick)
+            if self.telemetry is not None:
+                self.telemetry.evaluate()
+
+    def set_slo(self, slo: SLOSpec | None) -> None:
+        """Install (or clear) the SLO spec; burn windows restart."""
+        self._slo = slo
+        if self.telemetry is not None:
+            self.telemetry.set_slo(slo)
+
     async def stop(self) -> None:
         """Stop accepting, drain the executor, persist cache counters."""
+        if self._telemetry_task is not None:
+            self._telemetry_task.cancel()
+            try:
+                await self._telemetry_task
+            except asyncio.CancelledError:
+                pass
+            self._telemetry_task = None
+        if self.telemetry is not None:
+            self.telemetry.detach()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -226,6 +272,12 @@ class EstimationServer:
         try:
             request = parse_request(line)
             request_id = request.get("id")
+            if request["op"] == "metrics.watch":
+                # The one streaming op: it writes its own (multiple)
+                # response lines, and its multi-second lifetime must not
+                # pollute the request-latency histogram.
+                await self._watch(request, writer, write_lock)
+                return
             response = await self._dispatch(request)
             response["ok"] = True
             if request_id is not None:
@@ -265,7 +317,27 @@ class EstimationServer:
         if op == "health":
             return self._health()
         if op == "metrics":
-            return {"metrics": _metrics.snapshot()}
+            snap = _metrics.snapshot()
+            # Precomputed per-histogram quantiles: clients read latency
+            # without reimplementing the log-bucket math client-side.
+            quantiles = {
+                name: {
+                    "p50": _metrics.quantile(hist, 0.50),
+                    "p90": _metrics.quantile(hist, 0.90),
+                    "p99": _metrics.quantile(hist, 0.99),
+                    "count": hist.get("count", 0),
+                    "mean": (
+                        hist["sum"] / hist["count"] if hist.get("count") else None
+                    ),
+                }
+                for name, hist in snap["histograms"].items()
+            }
+            return {"metrics": snap, "quantiles": quantiles}
+        if op == "metrics.expose":
+            return {
+                "content_type": "text/plain; version=0.0.4",
+                "text": render_prometheus(_metrics.snapshot(), live=self.telemetry),
+            }
         if op == "zone.put":
             config = ZoneConfig.from_dict(request.get("config"))
             zone = self.zones.put(request.get("zone"), config)
@@ -288,15 +360,52 @@ class EstimationServer:
             return self._sketch_merge(request)
         raise ServiceError(400, f"unhandled op {op!r}")  # pragma: no cover
 
+    async def _watch(
+        self, request: dict, writer: asyncio.StreamWriter, write_lock: asyncio.Lock
+    ) -> None:
+        """Stream ``ticks`` windowed-telemetry snapshots, one per ``interval``."""
+        if self.telemetry is None:
+            raise ServiceError(400, "telemetry is not running (server not started)")
+        interval = request.get("interval", 1.0)
+        if not isinstance(interval, (int, float)) or isinstance(interval, bool) or not (
+            0.01 <= interval <= 60.0
+        ):
+            raise ServiceError(400, "interval must be a number in [0.01, 60]")
+        ticks = request.get("ticks", 1)
+        if not isinstance(ticks, int) or isinstance(ticks, bool) or not (
+            1 <= ticks <= 3600
+        ):
+            raise ServiceError(400, "ticks must be an integer in [1, 3600]")
+        request_id = request.get("id")
+        for tick in range(ticks):
+            response = {
+                "ok": True,
+                "tick": tick,
+                "watch": self.telemetry.watch_snapshot(),
+                "done": tick == ticks - 1,
+            }
+            if request_id is not None:
+                response["id"] = request_id
+            await self._write(writer, write_lock, response)
+            if writer.is_closing() or (
+                self._shutdown is not None and self._shutdown.is_set()
+            ):
+                break
+            if tick < ticks - 1:
+                await asyncio.sleep(float(interval))
+
     async def _estimate(self, request: dict, *, track: bool) -> dict:
         zone = self.zones.get(request.get("zone"))
         zone.requests += 1
+        _metrics.inc(zone_metric(zone.name, "requests"))
+        started = time.perf_counter()
         seed = request.get("seed")
         if seed is None:
             seed = zone.allocate_seed()
         elif not isinstance(seed, int) or isinstance(seed, bool) or seed < 0:
             raise ServiceError(400, "seed must be a non-negative integer")
         if not await self.admission.acquire():
+            _metrics.inc(zone_metric(zone.name, "shed"))
             raise ServiceError(
                 429,
                 f"overloaded: {self.admission.inflight} in flight, "
@@ -325,7 +434,13 @@ class EstimationServer:
                 "variance": update.variance,
                 "innovation": update.innovation,
                 "gain": update.gain,
+                "innovation_z": zone.last_innovation_z,
             }
+        # Completed-estimate latency only: shed requests return in
+        # microseconds and would drag the per-zone p99 toward zero.
+        _metrics.observe(
+            zone_metric(zone.name, "seconds"), time.perf_counter() - started
+        )
         return response
 
     async def _zone_sketch(self, request: dict) -> dict:
@@ -393,6 +508,7 @@ class EstimationServer:
             "errors": self.errors,
             "admission": self.admission.stats(),
             "coalescer": None if self.coalescer is None else self.coalescer.stats(),
+            "telemetry": None if self.telemetry is None else self.telemetry.summary(),
         }
 
 

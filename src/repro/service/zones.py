@@ -30,6 +30,8 @@ from ..core.tracking import (
     relative_measurement_std,
 )
 from ..experiments.sweep import SweepPoint
+from ..obs import metrics as _metrics
+from ..obs.live import zone_metric
 from .protocol import ServiceError
 
 __all__ = ["Zone", "ZoneConfig", "ZoneRegistry"]
@@ -201,6 +203,7 @@ class Zone:
     requests: int = 0
     estimates: int = 0
     tracker_epoch: int = 0
+    last_innovation_z: float | None = None
     _tracker: object = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -230,6 +233,15 @@ class Zone:
         variance = (rel * n_hat) ** 2
         update = self._tracker.advance(n_hat, variance=max(variance, 1e-12))
         self.tracker_epoch += 1
+        # Innovation z-score: |prediction residual| in units of the round's
+        # measurement sigma — the SLO layer's drift signal (a healthy zone
+        # sits at z ≈ O(1); sustained large z means the population moved
+        # faster than the tracker's process model allows).
+        sigma = max(rel * max(abs(n_hat), 1.0), 1e-9)
+        self.last_innovation_z = abs(update.innovation) / sigma
+        _metrics.observe(
+            zone_metric(self.name, "innovation_z"), self.last_innovation_z
+        )
         return update
 
     def stats(self) -> dict:
@@ -244,6 +256,7 @@ class Zone:
             "tracker_estimate": (
                 None if self._tracker is None else self._tracker.estimate
             ),
+            "last_innovation_z": self.last_innovation_z,
         }
 
 

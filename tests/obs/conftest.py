@@ -14,8 +14,8 @@ from repro.obs import metrics, trace
 
 @pytest.fixture(autouse=True)
 def _clean_obs_state():
-    trace.configure(None)
+    trace.configure(None, sample=1)
     metrics.reset()
     yield
-    trace.configure(None)
+    trace.configure(None, sample=1)
     metrics.reset()

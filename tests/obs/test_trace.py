@@ -173,3 +173,116 @@ def test_merge_worker_traces_folds_and_removes_sidecars(tmp_path):
     assert not sidecar.exists()
     pids = {r["pid"] for r in _read_records(path) if r["t"] == "span"}
     assert pids == {os.getpid(), 99999}
+
+
+# ----------------------------------------------------------------------
+# head sampling (1 of every N root trees)
+# ----------------------------------------------------------------------
+def test_parse_sample_accepts_rates_and_degrades_garbage_to_one():
+    cases = [
+        (None, 1),        # unset
+        ("1/64", 64),     # canonical env form
+        ("64", 64),       # bare denominator
+        (64, 64),         # already an int
+        (" 1/8 ", 8),     # whitespace tolerated
+        ("2/3", 1),       # only 1/N rates make sense
+        ("1/0", 1),       # degenerate denominator
+        ("nope", 1),      # garbage must never discard data
+        (0, 1),
+        (-4, 1),
+        (True, 1),        # bools are not rates
+    ]
+    for raw, expected in cases:
+        assert trace._parse_sample(raw) == expected, raw
+
+
+def test_sampling_keeps_every_nth_root_and_stamps_weight(tmp_path):
+    path = tmp_path / "t.jsonl"
+    trace.configure(path, sample=4)
+    for i in range(8):
+        with trace.span("trial", i=i) as sp:
+            if sp:
+                sp.set(n_hat=float(i))
+            with trace.span("round"):
+                pass
+    records = _read_records(path)
+    assert [r["sample"] for r in records if r["t"] == "meta"] == [4]
+    spans = [r for r in records if r["t"] == "span"]
+    roots = [r for r in spans if r["parent"] is None]
+    # The per-thread counter keeps roots 0 and 4 of the 8 — deterministic,
+    # no randomness — and every written span carries its 1/N weight.
+    assert [r["attrs"]["i"] for r in roots] == [0, 4]
+    assert len(spans) == 4  # two kept trees x (root + child)
+    assert all(r["sample"] == 4 for r in spans)
+
+
+def test_unsampled_tree_suppresses_spans_but_not_events(tmp_path):
+    path = tmp_path / "t.jsonl"
+    trace.configure(path, sample=2)
+    with trace.span("trial") as kept:  # root seq 0: kept
+        assert kept
+    with trace.span("trial") as dropped:  # root seq 1: dropped
+        assert not dropped  # falsy like NULL_SPAN: `if sp:` guards skip
+        dropped.set(n_hat=1.0)  # silently ignored
+        child = trace.span("round")
+        assert child is NULL_SPAN  # descendants cost one stack peek
+        trace.event("slo_breach", scope="global")  # events never sampled
+    records = _read_records(path)
+    assert sum(r["t"] == "span" for r in records) == 1
+    assert sum(r["t"] == "event" for r in records) == 1
+
+
+def test_sampling_counters_are_per_thread(tmp_path):
+    import threading
+
+    path = tmp_path / "t.jsonl"
+    trace.configure(path, sample=4)
+
+    def worker():
+        for _ in range(8):
+            with trace.span("trial"):
+                pass
+
+    threads = [threading.Thread(target=worker) for _ in range(3)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    spans = [r for r in _read_records(path) if r["t"] == "span"]
+    # Each thread keeps exactly 1 in 4 of its own 8 roots — thread
+    # interleaving can never starve or double-count a thread's share.
+    assert len(spans) == 3 * 2
+
+
+def test_configure_exports_and_clears_sample_env(tmp_path):
+    trace.configure(tmp_path / "t.jsonl", sample="1/64")
+    assert os.environ[trace.TRACE_SAMPLE_ENV] == "1/64"
+    assert trace.tracer().sample_every == 64
+    # Re-configuring without `sample` inherits the exported rate, so
+    # worker processes and later phases sample consistently.
+    trace.configure(tmp_path / "u.jsonl")
+    assert trace.tracer().sample_every == 64
+    # Explicit sample=1 turns sampling off and clears the export.
+    trace.configure(tmp_path / "v.jsonl", sample=1)
+    assert trace.TRACE_SAMPLE_ENV not in os.environ
+    assert trace.tracer().sample_every == 1
+
+
+def test_report_scales_sampled_trials(tmp_path):
+    from repro.obs import report as obs_report
+
+    path = tmp_path / "t.jsonl"
+    trace.configure(path, sample=4)
+    for _ in range(8):
+        with trace.span("trial", engine="analytic") as sp:
+            if sp:
+                sp.set(n_hat=100.0, seconds=0.5, n_true=100)
+    summary = obs_report.summarise(path)
+    assert summary["trials"] == 8  # 2 recorded x weight 4
+    assert summary["sampled"] == {
+        "max_sample": 4,
+        "trials_recorded": 2,
+        "trials_estimated": 8,
+    }
+    text = obs_report.render_summary(summary)
+    assert "sampled 1/4: 2 recorded" in text
